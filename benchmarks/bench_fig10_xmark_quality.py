@@ -1,0 +1,36 @@
+"""Figure 10 — 1-index quality over mixed edge updates on XMark(c).
+
+One panel per cyclicity.  Asserts split/merge's near-zero quality on
+every panel and that propagate's reconstruction pressure grows as
+cyclicity falls (the paper's "increasing difficulty in keeping the index
+fit" for regular data).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig10_xmark_quality
+
+
+def test_fig10_xmark_quality(run_once, benchmark, scale):
+    panels = run_once(lambda: fig10_xmark_quality.run(scale))
+    print()
+    print(fig10_xmark_quality.report(panels))
+
+    for cyclicity, comparison in panels.items():
+        split_merge = comparison.results["split/merge"]
+        propagate = comparison.results["propagate"]
+        benchmark.extra_info[f"sm_max_quality_c{cyclicity:g}"] = split_merge.max_quality
+        benchmark.extra_info[f"pr_recons_c{cyclicity:g}"] = propagate.reconstructions
+        # Paper: split/merge quality curves "virtually remain zero
+        # (never exceeding 0.5%)".
+        assert split_merge.max_quality < 0.005
+        assert propagate.max_quality >= split_merge.max_quality
+
+    # Propagate reconstructs at least as often on the most regular
+    # dataset (lowest cyclicity) as on the most irregular one.
+    low_c = min(panels)
+    high_c = max(panels)
+    assert (
+        panels[low_c].results["propagate"].reconstructions
+        >= panels[high_c].results["propagate"].reconstructions
+    )

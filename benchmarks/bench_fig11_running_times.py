@@ -1,0 +1,34 @@
+"""Figure 11 — average running times of the 1-index algorithms.
+
+Asserts the paper's two timing claims: propagate alone is the cheapest
+per update, but with amortised reconstruction folded in it loses to
+split/merge on every dataset.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig11_running_times
+
+
+def test_fig11_running_times(run_once, benchmark, scale):
+    rows = run_once(lambda: fig11_running_times.run(scale))
+    print()
+    print(fig11_running_times.report(rows))
+
+    for row in rows:
+        benchmark.extra_info[f"{row.dataset}_split_merge_ms"] = row.split_merge_ms
+        benchmark.extra_info[f"{row.dataset}_prop_recon_ms"] = (
+            row.propagate_with_recon_ms
+        )
+        # split/merge pays for its merge phase per update...
+        assert row.split_merge_ms >= row.propagate_ms * 0.5
+        # ...but propagate + amortised reconstruction costs more overall
+        # whenever any reconstruction fired.
+        if row.propagate_reconstructions > 0:
+            assert row.propagate_with_recon_ms > row.split_merge_ms
+
+    # Cyclicity "does not seem to affect the performance of the
+    # split/merge algorithm": max/min within an order of magnitude.
+    xmark_rows = [row for row in rows if row.dataset.startswith("XMark")]
+    times = [row.split_merge_ms for row in xmark_rows]
+    assert max(times) <= 10 * min(times)

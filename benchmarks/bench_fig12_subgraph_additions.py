@@ -1,0 +1,36 @@
+"""Figure 12 — 1-index quality during subgraph additions on XMark.
+
+Asserts the paper's three-way comparison: split/merge keeps quality at
+0%, the propagate-based alternative degrades, and per-addition full
+reconstruction — while also 0% — is drastically slower.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig12_subgraph
+
+
+def test_fig12_subgraph_additions(run_once, benchmark, scale):
+    result = run_once(lambda: fig12_subgraph.run(scale))
+    print()
+    print(fig12_subgraph.report(result))
+
+    split_merge = result.runs["split/merge"]
+    propagate = result.runs["propagate"]
+    reconstruction = result.runs["reconstruction"]
+    benchmark.extra_info["sm_ms_per_subgraph"] = split_merge.mean_ms_per_subgraph
+    benchmark.extra_info["recon_ms_per_subgraph"] = (
+        reconstruction.mean_ms_per_subgraph
+    )
+    benchmark.extra_info["propagate_max_quality"] = propagate.max_quality
+
+    # Paper: split/merge "keeps the quality of 1-index at 0% almost all
+    # the time"; the propagate alternative "keeps increasing the index
+    # size"; reconstruction "is more than 100 times slower".
+    assert split_merge.max_quality <= 0.005
+    assert reconstruction.max_quality == 0.0
+    assert propagate.max_quality >= split_merge.max_quality
+    assert (
+        reconstruction.mean_ms_per_subgraph
+        > 10 * split_merge.mean_ms_per_subgraph
+    )

@@ -1,0 +1,25 @@
+"""Figure 13 — A(k) quality of the simple algorithm (no reconstructions).
+
+Asserts the blow-up the paper plots: the simple baseline's index grows
+monotonically away from the minimum, and the damage is worst for small k.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig13_ak_quality
+
+
+def test_fig13_ak_quality(run_once, benchmark, scale):
+    result = run_once(lambda: fig13_ak_quality.run(scale))
+    print()
+    print(fig13_ak_quality.report(result))
+
+    finals = {k: run.final_quality for k, run in result.runs.items()}
+    for k, quality in finals.items():
+        benchmark.extra_info[f"final_quality_k{k}"] = quality
+        assert quality > 0.0  # "blows up the index size rapidly"
+        assert result.runs[k].total_merges == 0  # split-only baseline
+
+    # "especially for small k's": the smallest k fares worst.
+    smallest, largest = min(finals), max(finals)
+    assert finals[smallest] >= finals[largest]

@@ -1,0 +1,34 @@
+"""Table 2 — average update times of the A(k) maintainers.
+
+Asserts the paper's two timing shapes: split/merge is superior in every
+cell and nearly flat in k; simple+reconstruction's cost climbs steeply
+with k (its k-bisimilarity recomputation is exponential in k).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import tab2_ak_times
+
+
+def test_tab2_ak_running_times(run_once, benchmark, scale):
+    result = run_once(lambda: tab2_ak_times.run(scale))
+    print()
+    print(tab2_ak_times.report(result))
+
+    ks = sorted(result.ks)
+    for dataset in ("XMark", "IMDB"):
+        for k in ks:
+            fast = result.times_ms[("split/merge", dataset, k)]
+            slow = result.times_ms[("simple+reconstruction", dataset, k)]
+            benchmark.extra_info[f"{dataset}_A{k}_split_merge_ms"] = fast
+            benchmark.extra_info[f"{dataset}_A{k}_simple_ms"] = slow
+            # "our algorithm is superior in all experiments"
+            assert fast < slow
+        # simple's cost grows from the smallest to the largest k...
+        assert (
+            result.times_ms[("simple+reconstruction", dataset, ks[-1])]
+            > result.times_ms[("simple+reconstruction", dataset, ks[0])]
+        )
+        # ...while split/merge "is not affected much by k"
+        sm = [result.times_ms[("split/merge", dataset, k)] for k in ks]
+        assert max(sm) <= 20 * max(min(sm), 0.01)

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment this reproduction targets has no ``wheel`` package, so
+PEP 660 editable installs fail; ``pip install -e . --no-use-pep517
+--no-build-isolation`` goes through this shim instead.  All metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,88 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  More specific subclasses distinguish the layer that
+raised them (graph substrate, index layer, maintenance, query parsing).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class GraphError(ReproError):
+    """Invalid operation on a :class:`~repro.graph.datagraph.DataGraph`."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """A node id was referenced that does not exist in the graph."""
+
+    def __init__(self, oid: int):
+        super().__init__(f"node {oid!r} does not exist in the data graph")
+        self.oid = oid
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """An edge was referenced that does not exist in the graph."""
+
+    def __init__(self, source: int, target: int):
+        super().__init__(f"edge ({source!r} -> {target!r}) does not exist")
+        self.source = source
+        self.target = target
+
+
+class DuplicateNodeError(GraphError, ValueError):
+    """A node id was added twice."""
+
+    def __init__(self, oid: int):
+        super().__init__(f"node {oid!r} already exists in the data graph")
+        self.oid = oid
+
+
+class DuplicateEdgeError(GraphError, ValueError):
+    """An edge was added twice (the data model has no parallel edges)."""
+
+    def __init__(self, source: int, target: int):
+        super().__init__(f"edge ({source!r} -> {target!r}) already exists")
+        self.source = source
+        self.target = target
+
+
+class RootError(GraphError):
+    """The single-root invariant of the data model was violated."""
+
+
+class IndexError_(ReproError):
+    """Invalid operation on a structural index.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`; exported as ``StructuralIndexError``.
+    """
+
+
+StructuralIndexError = IndexError_
+
+
+class InvalidIndexError(StructuralIndexError):
+    """An index failed a validity check (partition or stability broken)."""
+
+
+class MaintenanceError(ReproError):
+    """An incremental maintenance operation could not be applied."""
+
+
+class XmlFormatError(ReproError, ValueError):
+    """Malformed XML input or unresolvable IDREF."""
+
+
+class PathSyntaxError(ReproError, ValueError):
+    """A path expression failed to parse."""
+
+    def __init__(self, expression: str, position: int, message: str):
+        super().__init__(
+            f"invalid path expression {expression!r} at position {position}: {message}"
+        )
+        self.expression = expression
+        self.position = position

@@ -1,0 +1,55 @@
+"""Command-line entry point: ``python -m repro.experiments``.
+
+Examples::
+
+    python -m repro.experiments                      # all, small scale
+    python -m repro.experiments --scale smoke fig9
+    python -m repro.experiments --scale paper tab2 tab3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS, scale_by_name
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the evaluation of 'Incremental Maintenance of "
+        "XML Structural Indexes' (SIGMOD 2004).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXP",
+        help=f"which experiments to run (default: all of {', '.join(EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--scale",
+        default="small",
+        choices=("smoke", "small", "paper"),
+        help="dataset/workload scale preset (default: small)",
+    )
+    args = parser.parse_args(argv)
+
+    chosen = args.experiments or list(EXPERIMENTS)
+    unknown = [name for name in chosen if name not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s) {unknown}; choose from {list(EXPERIMENTS)}")
+
+    scale = scale_by_name(args.scale)
+    for name in chosen:
+        module = EXPERIMENTS[name]
+        started = time.perf_counter()
+        print(f"=== {name} (scale={scale.name}) ===")
+        print(module.main(scale))
+        print(f"--- {name} done in {time.perf_counter() - started:.1f}s ---\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

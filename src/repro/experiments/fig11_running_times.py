@@ -1,0 +1,97 @@
+"""Figure 11: average running times of the 1-index algorithms.
+
+For each dataset (XMark(1), XMark(0.5), XMark(0.2), XMark(0), IMDB) the
+paper reports three bars, averaged over the whole mixed-update run:
+
+* **split/merge** — more costly per update than propagate (it has the
+  extra merge phase), but needs (almost) no reconstructions;
+* **propagate** — cheapest per update;
+* **propagate + reconstruction** — propagate with its amortised
+  reconstruction cost folded in, which makes it *much* slower overall.
+
+Two paper observations the reproduction checks: cyclicity barely affects
+split/merge (Figure 5 cases are rare), and amortised reconstruction
+dominates propagate's apparent advantage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.config import ExperimentScale
+from repro.experiments.mixed_1index import (
+    DatasetComparison,
+    imdb_factory,
+    run_dataset_comparison,
+    xmark_factory,
+)
+from repro.experiments.reporting import format_table
+
+
+@dataclass
+class TimingRow:
+    """One dataset's three bars (milliseconds per update)."""
+
+    dataset: str
+    split_merge_ms: float
+    propagate_ms: float
+    propagate_with_recon_ms: float
+    split_merge_reconstructions: int
+    propagate_reconstructions: int
+
+
+def run(scale: ExperimentScale) -> list[TimingRow]:
+    """Run the Figure 11 experiment on every dataset."""
+    comparisons: list[DatasetComparison] = [
+        run_dataset_comparison(
+            f"XMark({c:g})", xmark_factory(scale, c), scale
+        )
+        for c in scale.cyclicities
+    ]
+    comparisons.append(run_dataset_comparison("IMDB", imdb_factory(scale), scale))
+    rows = []
+    for comparison in comparisons:
+        split_merge = comparison.results["split/merge"]
+        propagate = comparison.results["propagate"]
+        rows.append(
+            TimingRow(
+                dataset=comparison.dataset,
+                split_merge_ms=split_merge.mean_update_ms,
+                propagate_ms=propagate.mean_update_ms,
+                propagate_with_recon_ms=propagate.mean_update_with_recon_ms,
+                split_merge_reconstructions=split_merge.reconstructions,
+                propagate_reconstructions=propagate.reconstructions,
+            )
+        )
+    return rows
+
+
+def report(rows: list[TimingRow]) -> str:
+    """Render the timing table."""
+    table = format_table(
+        [
+            "dataset",
+            "split/merge (ms)",
+            "propagate (ms)",
+            "propagate+recon (ms)",
+            "recon (s/m)",
+            "recon (prop)",
+        ],
+        [
+            (
+                row.dataset,
+                f"{row.split_merge_ms:.2f}",
+                f"{row.propagate_ms:.2f}",
+                f"{row.propagate_with_recon_ms:.2f}",
+                row.split_merge_reconstructions,
+                row.propagate_reconstructions,
+            )
+            for row in rows
+        ],
+    )
+    return "Figure 11 — running times of 1-index algorithms\n" + table
+
+
+def main(scale: ExperimentScale) -> str:
+    """Run and render (the harness entry point)."""
+    return report(run(scale))

@@ -1,0 +1,63 @@
+"""Plain-text rendering of experiment results.
+
+The harness prints figures as sampled series (one row per sample point)
+and tables in the paper's own row/column layout, so a run can be eyeballed
+against the original next to EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.experiments.runner import MixedRunResult, SeriesPoint
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Align a list of rows under headers (all cells str()-ed)."""
+    materialised = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+    out = [line(list(headers)), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in materialised)
+    return "\n".join(out)
+
+
+def format_quality_series(
+    title: str, series: dict[str, list[SeriesPoint]]
+) -> str:
+    """Render aligned quality curves: one row per sample point.
+
+    All series must be sampled at the same update counts (the shared
+    runner guarantees it).
+    """
+    names = list(series)
+    if not names:
+        return f"{title}\n(no data)"
+    length = min(len(points) for points in series.values())
+    headers = ["updates"] + [f"{name} quality" for name in names]
+    rows = []
+    for i in range(length):
+        update = series[names[0]][i].update
+        row = [update] + [f"{series[name][i].quality * 100:.2f}%" for name in names]
+        rows.append(row)
+    return f"{title}\n{format_table(headers, rows)}"
+
+
+def format_percent(value: float, digits: int = 2) -> str:
+    """0.0312 -> '3.12%'."""
+    return f"{value * 100:.{digits}f}%"
+
+
+def format_run_summary(result: MixedRunResult) -> str:
+    """One-line digest of a maintainer run."""
+    return (
+        f"{result.name}: {result.updates} updates, "
+        f"final quality {format_percent(result.final_quality)}, "
+        f"max quality {format_percent(result.max_quality)}, "
+        f"{result.mean_update_ms:.2f} ms/update, "
+        f"{result.reconstructions} reconstructions"
+    )

@@ -1,0 +1,155 @@
+"""The shared engine behind every maintenance experiment.
+
+All of Figures 9–11/13 and Tables 1–2 run the same loop: replay a mixed
+insert/delete workload through a maintainer, optionally firing the 5 %
+reconstruction policy, while sampling index quality and accumulating
+per-update wall-clock time.  :func:`run_mixed_updates` is that loop;
+the per-figure modules configure and interpret it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Protocol
+
+from repro.graph.datagraph import DataGraph, EdgeKind
+from repro.maintenance.base import UpdateStats
+from repro.maintenance.reconstruction import ReconstructionPolicy
+from repro.metrics.timing import Stopwatch
+from repro.workload.updates import MixedUpdateWorkload
+
+
+class _EdgeMaintainer(Protocol):
+    graph: DataGraph
+
+    def insert_edge(self, source: int, target: int) -> UpdateStats: ...
+
+    def delete_edge(self, source: int, target: int) -> UpdateStats: ...
+
+    def index_size(self) -> int: ...
+
+
+@dataclass
+class SeriesPoint:
+    """One quality sample along an update sequence."""
+
+    update: int
+    index_size: int
+    minimum_size: int
+
+    @property
+    def quality(self) -> float:
+        """The Section 3 quality metric at this point."""
+        return self.index_size / self.minimum_size - 1.0
+
+
+@dataclass
+class MixedRunResult:
+    """Everything one maintainer run produces."""
+
+    name: str
+    points: list[SeriesPoint] = field(default_factory=list)
+    updates: int = 0
+    trivial_updates: int = 0
+    total_splits: int = 0
+    total_merges: int = 0
+    peak_inodes: int = 0
+    update_seconds: float = 0.0
+    reconstructions: int = 0
+    reconstruction_seconds: float = 0.0
+    reconstruction_intervals: list[int] = field(default_factory=list)
+    final_size: int = 0
+    final_minimum: int = 0
+
+    @property
+    def mean_update_ms(self) -> float:
+        """Mean per-update time, excluding reconstructions (Figure 11's
+        'split/merge' and 'propagate' bars)."""
+        if self.updates == 0:
+            return 0.0
+        return self.update_seconds / self.updates * 1000
+
+    @property
+    def mean_update_with_recon_ms(self) -> float:
+        """Mean per-update time with amortised reconstruction cost
+        (Figure 11's 'propagate + reconstruction' bars)."""
+        if self.updates == 0:
+            return 0.0
+        return (self.update_seconds + self.reconstruction_seconds) / self.updates * 1000
+
+    @property
+    def max_quality(self) -> float:
+        """Worst sampled quality over the run."""
+        if not self.points:
+            return 0.0
+        return max(point.quality for point in self.points)
+
+    @property
+    def final_quality(self) -> float:
+        """Quality at the end of the run."""
+        if self.final_minimum == 0:
+            return 0.0
+        return self.final_size / self.final_minimum - 1.0
+
+
+def run_mixed_updates(
+    name: str,
+    maintainer: _EdgeMaintainer,
+    workload: MixedUpdateWorkload,
+    num_pairs: int,
+    sample_every: int,
+    minimum_size_fn: Callable[[DataGraph], int],
+    policy: Optional[ReconstructionPolicy] = None,
+    reconstruct: Optional[Callable[[], None]] = None,
+) -> MixedRunResult:
+    """Replay ``2 * num_pairs`` operations through *maintainer*.
+
+    *minimum_size_fn* computes the current minimum-index size for quality
+    sampling (it runs outside the timed sections).  When *policy* and
+    *reconstruct* are given, the policy is consulted after every update
+    and reconstructions are timed separately — the paper's protocol for
+    the baselines (and, on cyclic data, for split/merge too).
+    """
+    result = MixedRunResult(name=name)
+    update_watch = Stopwatch()
+    recon_watch = Stopwatch()
+    if policy is not None:
+        policy.start(maintainer.index_size())
+
+    for op_number, (op, source, target) in enumerate(workload.steps(num_pairs), 1):
+        with update_watch:
+            if op == "insert":
+                # workload edges come from the IDREF pool
+                stats = maintainer.insert_edge(source, target, EdgeKind.IDREF)
+            else:
+                stats = maintainer.delete_edge(source, target)
+        result.updates += 1
+        result.total_splits += stats.splits
+        result.total_merges += stats.merges
+        result.peak_inodes = max(result.peak_inodes, stats.peak_inodes)
+        if stats.trivial:
+            result.trivial_updates += 1
+
+        if policy is not None and reconstruct is not None:
+            if policy.should_reconstruct(maintainer.index_size()):
+                with recon_watch:
+                    reconstruct()
+                policy.reconstructed(maintainer.index_size())
+
+        if op_number % sample_every == 0:
+            result.points.append(
+                SeriesPoint(
+                    update=op_number,
+                    index_size=maintainer.index_size(),
+                    minimum_size=minimum_size_fn(maintainer.graph),
+                )
+            )
+
+    result.update_seconds = update_watch.total_seconds
+    result.reconstruction_seconds = recon_watch.total_seconds
+    if policy is not None:
+        result.reconstructions = policy.reconstructions
+        result.reconstruction_intervals = list(policy.intervals)
+    result.final_size = maintainer.index_size()
+    result.final_minimum = minimum_size_fn(maintainer.graph)
+    return result

@@ -1,0 +1,53 @@
+"""Data-graph substrate: the XML data model of Section 3."""
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.datagraph import DELETE_LABEL, ROOT_LABEL, DataGraph, EdgeKind
+from repro.graph.traversal import (
+    bfs_order,
+    count_cycle_edges,
+    descendants_within,
+    dfs_order,
+    graph_depth,
+    is_acyclic,
+    reachable_from,
+    strongly_connected_components,
+    topological_order,
+    unreachable_nodes,
+)
+from repro.graph.serialize import (
+    dump_graph,
+    dumps_graph,
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    loads_graph,
+)
+from repro.graph.xml_io import describe, parse_documents, parse_xml, to_xml
+
+__all__ = [
+    "DataGraph",
+    "EdgeKind",
+    "GraphBuilder",
+    "ROOT_LABEL",
+    "DELETE_LABEL",
+    "bfs_order",
+    "dfs_order",
+    "descendants_within",
+    "reachable_from",
+    "is_acyclic",
+    "topological_order",
+    "strongly_connected_components",
+    "count_cycle_edges",
+    "graph_depth",
+    "unreachable_nodes",
+    "parse_xml",
+    "parse_documents",
+    "to_xml",
+    "describe",
+    "graph_to_dict",
+    "graph_from_dict",
+    "dump_graph",
+    "load_graph",
+    "dumps_graph",
+    "loads_graph",
+]

@@ -1,0 +1,424 @@
+"""The data-graph model of Section 3 of the paper.
+
+XML (and other semistructured data) is modelled as a directed, labeled
+graph ``G = (V, E, root, Sigma, label, oid, value)``:
+
+* each node ("dnode") carries a string *label*, a unique integer *oid*,
+  and an optional *value*;
+* each edge ("dedge") represents either an object–subobject (tree) or an
+  IDREF (reference) relationship;
+* a single distinguished root node is labeled ``ROOT`` and has no incoming
+  edges.
+
+The class below is a plain adjacency-set digraph tuned for the access
+patterns of the index algorithms: O(1) membership tests, O(1) edge
+insert/delete, and cheap iteration over successors (``succ``) and
+predecessors (``pred``).  Predecessor sets are first-class because the
+1-index stability condition is expressed in terms of parents.
+
+Edges carry a *kind* flag (:data:`EdgeKind.TREE` or :data:`EdgeKind.IDREF`)
+so workloads can manipulate only reference edges, exactly as the paper's
+experiments do ("we first remove 20% of all the IDREF edges").  The index
+algorithms themselves are kind-agnostic: a dedge is a dedge.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Hashable, Iterable, Iterator
+from typing import Any, Optional
+
+from repro.exceptions import (
+    DuplicateEdgeError,
+    DuplicateNodeError,
+    EdgeNotFoundError,
+    NodeNotFoundError,
+    RootError,
+)
+
+#: Distinguished label of the single root node (Section 3 of the paper).
+ROOT_LABEL = "ROOT"
+
+#: Distinguished label used to mark subgraphs scheduled for deletion
+#: (Section 5.2: "Have a special node with a distinguished label DELETE").
+DELETE_LABEL = "DELETE"
+
+
+class EdgeKind(enum.Enum):
+    """Provenance of a dedge in the XML data model."""
+
+    #: Object–subobject (containment) edge: the XML element tree.
+    TREE = "tree"
+    #: IDREF/reference edge: cross-references between elements.
+    IDREF = "idref"
+
+
+class DataGraph:
+    """A directed, labeled data graph with a single distinguished root.
+
+    Nodes are identified by integer oids.  The graph stores, per node, the
+    label, the optional value, and adjacency as successor/predecessor sets.
+    Edge kinds are kept in a side dictionary keyed by ``(source, target)``.
+
+    The class enforces the data-model invariants lazily where cheap
+    (duplicate nodes/edges, missing endpoints) and provides
+    :meth:`check_invariants` for the expensive ones (single root, root has
+    no in-edges, reachability is *not* required by the model and is not
+    enforced).
+
+    Examples
+    --------
+    >>> g = DataGraph()
+    >>> r = g.add_root()
+    >>> a = g.add_node("A")
+    >>> g.add_edge(r, a)
+    >>> g.label(a)
+    'A'
+    >>> sorted(g.succ(r))
+    [1]
+    """
+
+    __slots__ = (
+        "_labels",
+        "_values",
+        "_succ",
+        "_pred",
+        "_edge_kinds",
+        "_root",
+        "_next_oid",
+        "_num_edges",
+    )
+
+    def __init__(self) -> None:
+        self._labels: dict[int, str] = {}
+        self._values: dict[int, Any] = {}
+        self._succ: dict[int, set[int]] = {}
+        self._pred: dict[int, set[int]] = {}
+        self._edge_kinds: dict[tuple[int, int], EdgeKind] = {}
+        self._root: Optional[int] = None
+        self._next_oid: int = 0
+        self._num_edges: int = 0
+
+    # ------------------------------------------------------------------
+    # Node operations
+    # ------------------------------------------------------------------
+
+    def add_node(self, label: str, value: Any = None, oid: Optional[int] = None) -> int:
+        """Add a node and return its oid.
+
+        If *oid* is omitted a fresh oid is allocated.  Adding an explicit
+        oid that already exists raises :class:`DuplicateNodeError`.
+        """
+        if oid is None:
+            oid = self._next_oid
+            while oid in self._labels:  # skip oids taken explicitly
+                oid += 1
+        elif oid in self._labels:
+            raise DuplicateNodeError(oid)
+        if not isinstance(label, str):
+            raise TypeError(f"label must be a string, got {type(label).__name__}")
+        self._labels[oid] = label
+        if value is not None:
+            self._values[oid] = value
+        self._succ[oid] = set()
+        self._pred[oid] = set()
+        self._next_oid = max(self._next_oid, oid + 1)
+        return oid
+
+    def add_root(self, oid: Optional[int] = None) -> int:
+        """Add the distinguished ``ROOT`` node.
+
+        Raises :class:`RootError` if a root already exists.
+        """
+        if self._root is not None:
+            raise RootError("data graph already has a root node")
+        root = self.add_node(ROOT_LABEL, oid=oid)
+        self._root = root
+        return root
+
+    def remove_node(self, oid: int) -> None:
+        """Remove a node and all its incident edges."""
+        self._require_node(oid)
+        for target in list(self._succ[oid]):
+            self.remove_edge(oid, target)
+        for source in list(self._pred[oid]):
+            self.remove_edge(source, oid)
+        del self._labels[oid]
+        self._values.pop(oid, None)
+        del self._succ[oid]
+        del self._pred[oid]
+        if self._root == oid:
+            self._root = None
+
+    def has_node(self, oid: int) -> bool:
+        """Return whether *oid* names a node of the graph."""
+        return oid in self._labels
+
+    def label(self, oid: int) -> str:
+        """Return the label of node *oid*."""
+        self._require_node(oid)
+        return self._labels[oid]
+
+    def value(self, oid: int) -> Any:
+        """Return the optional value of node *oid* (``None`` if unset)."""
+        self._require_node(oid)
+        return self._values.get(oid)
+
+    def set_value(self, oid: int, value: Any) -> None:
+        """Set (or clear, with ``None``) the value of node *oid*."""
+        self._require_node(oid)
+        if value is None:
+            self._values.pop(oid, None)
+        else:
+            self._values[oid] = value
+
+    def relabel_node(self, oid: int, label: str) -> None:
+        """Change the label of node *oid*.
+
+        Relabeling invalidates any structural index built over the graph;
+        maintenance of relabelings is out of the paper's scope (they can be
+        modelled as node deletion + insertion).
+        """
+        self._require_node(oid)
+        if oid == self._root and label != ROOT_LABEL:
+            raise RootError("the root node must keep the ROOT label")
+        self._labels[oid] = label
+
+    # ------------------------------------------------------------------
+    # Edge operations
+    # ------------------------------------------------------------------
+
+    def add_edge(self, source: int, target: int, kind: EdgeKind = EdgeKind.TREE) -> None:
+        """Add the dedge ``source -> target``.
+
+        Raises :class:`DuplicateEdgeError` for parallel edges and
+        :class:`RootError` for edges into the root (the model forbids them).
+        """
+        self._require_node(source)
+        self._require_node(target)
+        if target in self._succ[source]:
+            raise DuplicateEdgeError(source, target)
+        if target == self._root:
+            raise RootError("the root node cannot have incoming edges")
+        self._succ[source].add(target)
+        self._pred[target].add(source)
+        self._edge_kinds[(source, target)] = kind
+        self._num_edges += 1
+
+    def remove_edge(self, source: int, target: int) -> None:
+        """Remove the dedge ``source -> target``."""
+        self._require_node(source)
+        self._require_node(target)
+        if target not in self._succ[source]:
+            raise EdgeNotFoundError(source, target)
+        self._succ[source].discard(target)
+        self._pred[target].discard(source)
+        del self._edge_kinds[(source, target)]
+        self._num_edges -= 1
+
+    def has_edge(self, source: int, target: int) -> bool:
+        """Return whether the dedge ``source -> target`` exists."""
+        return source in self._succ and target in self._succ[source]
+
+    def edge_kind(self, source: int, target: int) -> EdgeKind:
+        """Return the :class:`EdgeKind` of an existing edge."""
+        if not self.has_edge(source, target):
+            raise EdgeNotFoundError(source, target)
+        return self._edge_kinds[(source, target)]
+
+    # ------------------------------------------------------------------
+    # Views and queries
+    # ------------------------------------------------------------------
+
+    @property
+    def root(self) -> int:
+        """The oid of the root node.
+
+        Raises :class:`RootError` when the graph has no root yet.
+        """
+        if self._root is None:
+            raise RootError("data graph has no root node")
+        return self._root
+
+    @property
+    def has_root(self) -> bool:
+        """Whether the root node has been created."""
+        return self._root is not None
+
+    def succ(self, oid: int) -> frozenset[int]:
+        """The successors (children) of node *oid* as a frozen set."""
+        self._require_node(oid)
+        return frozenset(self._succ[oid])
+
+    def pred(self, oid: int) -> frozenset[int]:
+        """The predecessors (parents) of node *oid* as a frozen set."""
+        self._require_node(oid)
+        return frozenset(self._pred[oid])
+
+    def iter_succ(self, oid: int) -> Iterator[int]:
+        """Iterate over the successors of *oid* without copying.
+
+        The graph must not be mutated during iteration.
+        """
+        self._require_node(oid)
+        return iter(self._succ[oid])
+
+    def iter_pred(self, oid: int) -> Iterator[int]:
+        """Iterate over the predecessors of *oid* without copying.
+
+        The graph must not be mutated during iteration.
+        """
+        self._require_node(oid)
+        return iter(self._pred[oid])
+
+    def out_degree(self, oid: int) -> int:
+        """Number of outgoing edges of *oid*."""
+        self._require_node(oid)
+        return len(self._succ[oid])
+
+    def in_degree(self, oid: int) -> int:
+        """Number of incoming edges of *oid*."""
+        self._require_node(oid)
+        return len(self._pred[oid])
+
+    def nodes(self) -> Iterator[int]:
+        """Iterate over all node oids."""
+        return iter(self._labels)
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate over all dedges as ``(source, target)`` pairs."""
+        return iter(self._edge_kinds)
+
+    def edges_of_kind(self, kind: EdgeKind) -> Iterator[tuple[int, int]]:
+        """Iterate over all dedges of the given kind."""
+        return (edge for edge, k in self._edge_kinds.items() if k is kind)
+
+    def labels(self) -> set[str]:
+        """The label alphabet Sigma actually used in the graph."""
+        return set(self._labels.values())
+
+    def nodes_with_label(self, label: str) -> list[int]:
+        """All oids carrying *label* (linear scan; used by tests/tools)."""
+        return [oid for oid, lab in self._labels.items() if lab == label]
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of dnodes ``|V|``."""
+        return len(self._labels)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of dedges ``|E|``."""
+        return self._num_edges
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __contains__(self, oid: object) -> bool:
+        return isinstance(oid, Hashable) and oid in self._labels
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<DataGraph nodes={self.num_nodes} edges={self.num_edges} "
+            f"labels={len(self.labels())}>"
+        )
+
+    # ------------------------------------------------------------------
+    # Bulk helpers
+    # ------------------------------------------------------------------
+
+    def copy(self) -> "DataGraph":
+        """Return an independent deep copy of the graph."""
+        clone = DataGraph()
+        clone._labels = dict(self._labels)
+        clone._values = dict(self._values)
+        clone._succ = {oid: set(s) for oid, s in self._succ.items()}
+        clone._pred = {oid: set(p) for oid, p in self._pred.items()}
+        clone._edge_kinds = dict(self._edge_kinds)
+        clone._root = self._root
+        clone._next_oid = self._next_oid
+        clone._num_edges = self._num_edges
+        return clone
+
+    def add_subgraph(self, other: "DataGraph") -> dict[int, int]:
+        """Disjoint-union *other* into this graph.
+
+        Every node of *other* (including its root, which loses its special
+        status and keeps only its label) is added with a fresh oid; every
+        edge is copied.  Returns the oid translation map
+        ``old oid in other -> new oid in self``.
+
+        This is the raw graph-surgery part of subgraph addition
+        (Section 5.2); index maintenance is layered on top by
+        :meth:`repro.maintenance.split_merge.SplitMergeMaintainer.add_subgraph`.
+        """
+        mapping: dict[int, int] = {}
+        for oid in other.nodes():
+            mapping[oid] = self.add_node(other.label(oid), other.value(oid))
+        for source, target in other.edges():
+            self.add_edge(mapping[source], mapping[target], other.edge_kind(source, target))
+        return mapping
+
+    def subgraph_from(self, start: int, follow_idref: bool = False) -> "DataGraph":
+        """Extract the subgraph of all nodes reachable from *start*.
+
+        By default only TREE edges are traversed, matching the paper's
+        subgraph-extraction protocol ("We do not traverse IDREF edges").
+        Edges *between* extracted nodes are all copied regardless of kind.
+        The extracted graph keeps the original oids and has no ROOT node
+        unless *start* is the root.
+        """
+        reachable = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for child in self._succ[node]:
+                if child in reachable:
+                    continue
+                if not follow_idref and self._edge_kinds[(node, child)] is EdgeKind.IDREF:
+                    continue
+                reachable.add(child)
+                stack.append(child)
+        sub = DataGraph()
+        for oid in reachable:
+            sub.add_node(self._labels[oid], self._values.get(oid), oid=oid)
+            if oid == self._root:
+                sub._root = oid
+        for oid in reachable:
+            for child in self._succ[oid]:
+                if child in reachable:
+                    sub.add_edge(oid, child, self._edge_kinds[(oid, child)])
+        return sub
+
+    def remove_nodes(self, oids: Iterable[int]) -> None:
+        """Remove a collection of nodes (and all incident edges)."""
+        for oid in list(oids):
+            if self.has_node(oid):
+                self.remove_node(oid)
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Verify internal consistency; raise :class:`AssertionError` on bugs.
+
+        Intended for tests, not hot paths: O(n + m).
+        """
+        assert set(self._succ) == set(self._labels), "succ keys out of sync"
+        assert set(self._pred) == set(self._labels), "pred keys out of sync"
+        edge_count = 0
+        for source, targets in self._succ.items():
+            for target in targets:
+                assert source in self._pred[target], f"pred missing for {source}->{target}"
+                assert (source, target) in self._edge_kinds, f"kind missing {source}->{target}"
+                edge_count += 1
+        assert edge_count == self._num_edges, "edge counter out of sync"
+        assert edge_count == len(self._edge_kinds), "edge kinds out of sync"
+        if self._root is not None:
+            assert self._labels[self._root] == ROOT_LABEL, "root label corrupted"
+            assert not self._pred[self._root], "root must have no incoming edges"
+
+    def _require_node(self, oid: int) -> None:
+        if oid not in self._labels:
+            raise NodeNotFoundError(oid)

@@ -1,0 +1,78 @@
+"""JSON-friendly (de)serialisation of data graphs.
+
+Structural indexes are cheap to rebuild but data graphs are not always
+re-parseable (they may have been assembled programmatically), so the
+library offers a plain-dict wire format::
+
+    {
+      "nodes": [[oid, label, value-or-null], ...],
+      "edges": [[source, target, "tree"|"idref"], ...],
+      "root": oid-or-null
+    }
+
+Values must be JSON-serialisable; everything else round-trips exactly
+(including oids, which index serialisation relies on).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, TextIO
+
+from repro.exceptions import GraphError
+from repro.graph.datagraph import ROOT_LABEL, DataGraph, EdgeKind
+
+
+def graph_to_dict(graph: DataGraph) -> dict[str, Any]:
+    """Convert a graph to the plain-dict wire format."""
+    return {
+        "nodes": [
+            [oid, graph.label(oid), graph.value(oid)] for oid in sorted(graph.nodes())
+        ],
+        "edges": [
+            [source, target, graph.edge_kind(source, target).value]
+            for source, target in sorted(graph.edges())
+        ],
+        "root": graph.root if graph.has_root else None,
+    }
+
+
+def graph_from_dict(data: dict[str, Any]) -> DataGraph:
+    """Rebuild a graph from :func:`graph_to_dict` output."""
+    graph = DataGraph()
+    try:
+        nodes = data["nodes"]
+        edges = data["edges"]
+        root = data.get("root")
+    except (KeyError, TypeError) as exc:
+        raise GraphError(f"malformed graph payload: {exc}") from exc
+    for oid, label, value in nodes:
+        if root is not None and oid == root:
+            if label != ROOT_LABEL:
+                raise GraphError(f"root node {oid} must carry the ROOT label")
+            graph.add_root(oid=oid)
+        else:
+            graph.add_node(label, value, oid=oid)
+    for source, target, kind in edges:
+        graph.add_edge(source, target, EdgeKind(kind))
+    return graph
+
+
+def dump_graph(graph: DataGraph, fp: TextIO) -> None:
+    """Write a graph as JSON to an open text file."""
+    json.dump(graph_to_dict(graph), fp)
+
+
+def load_graph(fp: TextIO) -> DataGraph:
+    """Read a graph from JSON written by :func:`dump_graph`."""
+    return graph_from_dict(json.load(fp))
+
+
+def dumps_graph(graph: DataGraph) -> str:
+    """Serialise a graph to a JSON string."""
+    return json.dumps(graph_to_dict(graph))
+
+
+def loads_graph(text: str) -> DataGraph:
+    """Deserialise a graph from a JSON string."""
+    return graph_from_dict(json.loads(text))

@@ -1,0 +1,265 @@
+"""The A(k)-index family (Kaushik et al. [9]), Definition 4 of the paper.
+
+Section 6 of the paper maintains the whole family A(0), A(1), ..., A(k)
+together, because updating the A(i)-index needs the A(i-1)-index as a
+reference.  :class:`AkIndexFamily` stores exactly that: one partition per
+level, linked level-to-level by the **refinement tree** (Figure 8): every
+level-i inode knows its parent inode at level i-1 and its children at
+level i+1 (a level-(i+1) inode's extent is always contained in its
+parent's — each A(i+1) is a refinement of A(i), Lemma 2).
+
+Representation note.  The paper's space-optimised layout stores dnode
+extents only at level k and recovers coarser extents through the tree.
+This implementation additionally memoises ``class_of`` maps and extents
+per level, trading O(k·n) memory for simpler and clearly-correct
+maintenance code; the paper's storage layout is accounted *analytically*
+by :mod:`repro.metrics.storage` (Table 3 counts tree edges, inter-iedges
+and level-k extents, which are representation-independent quantities).
+The algorithmic claims — locality of updates, minimum index maintained —
+do not depend on the physical layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.exceptions import InvalidIndexError, StructuralIndexError
+from repro.graph.datagraph import DataGraph
+from repro.index.base import StructuralIndex
+from repro.index.construction import ak_class_maps, blocks_of
+
+
+@dataclass
+class AkLevel:
+    """One level of the family: a partition plus refinement-tree links."""
+
+    #: dnode -> inode token at this level
+    class_of: dict[int, int] = field(default_factory=dict)
+    #: inode token -> extent (set of dnodes)
+    extents: dict[int, set[int]] = field(default_factory=dict)
+    #: inode token -> parent token at the previous level (empty at level 0)
+    parent: dict[int, int] = field(default_factory=dict)
+    #: inode token -> child tokens at the next level (empty at level k)
+    children: dict[int, set[int]] = field(default_factory=dict)
+    #: next fresh token
+    next_token: int = 0
+
+    def fresh_token(self) -> int:
+        token = self.next_token
+        self.next_token += 1
+        return token
+
+
+class AkIndexFamily:
+    """The minimum A(0)..A(k) indexes of a data graph, maintained together.
+
+    Build with :meth:`build`; mutate only through a maintainer from
+    :mod:`repro.maintenance`.  The level-k partition is "the" A(k)-index;
+    :meth:`level_index` materialises any level as a standalone
+    :class:`StructuralIndex` (with iedges) for query evaluation.
+    """
+
+    def __init__(self, graph: DataGraph, k: int):
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        self.graph = graph
+        self.k = k
+        self.levels: list[AkLevel] = [AkLevel() for _ in range(k + 1)]
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(cls, graph: DataGraph, k: int) -> "AkIndexFamily":
+        """Construct the minimum family via k signature-refinement rounds."""
+        family = cls(graph, k)
+        maps = ak_class_maps(graph, k)
+        for i, class_map in enumerate(maps):
+            level = family.levels[i]
+            for dnode, token in class_map.items():
+                level.class_of[dnode] = token
+                level.extents.setdefault(token, set()).add(dnode)
+            level.next_token = max(level.extents, default=-1) + 1
+        for i in range(1, k + 1):
+            level = family.levels[i]
+            coarser = family.levels[i - 1]
+            for token, extent in level.extents.items():
+                representative = next(iter(extent))
+                parent = coarser.class_of[representative]
+                level.parent[token] = parent
+                coarser.children.setdefault(parent, set()).add(token)
+        # Ensure every token has a (possibly empty) children entry.
+        for i in range(k):
+            level = family.levels[i]
+            for token in level.extents:
+                level.children.setdefault(token, set())
+        return family
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+
+    def class_at(self, level: int, dnode: int) -> int:
+        """The A(*level*) inode token containing *dnode*."""
+        self._require_level(level)
+        try:
+            return self.levels[level].class_of[dnode]
+        except KeyError:
+            raise StructuralIndexError(
+                f"dnode {dnode} is not covered at level {level}"
+            ) from None
+
+    def extent_at(self, level: int, token: int) -> set[int]:
+        """The extent of inode *token* at *level* (live set; do not mutate)."""
+        self._require_level(level)
+        try:
+            return self.levels[level].extents[token]
+        except KeyError:
+            raise StructuralIndexError(f"no inode {token} at level {level}") from None
+
+    def num_inodes(self, level: int) -> int:
+        """Number of inodes of the A(*level*)-index."""
+        self._require_level(level)
+        return len(self.levels[level].extents)
+
+    def sizes(self) -> list[int]:
+        """``[|A(0)|, |A(1)|, ..., |A(k)|]``."""
+        return [self.num_inodes(i) for i in range(self.k + 1)]
+
+    def tokens_at(self, level: int) -> Iterator[int]:
+        """Iterate over the inode tokens of one level."""
+        self._require_level(level)
+        return iter(self.levels[level].extents)
+
+    def parent_of(self, level: int, token: int) -> int:
+        """Refinement-tree parent (level-1 token) of a level-``level`` inode."""
+        if level == 0:
+            raise StructuralIndexError("level-0 inodes have no tree parent")
+        self._require_level(level)
+        return self.levels[level].parent[token]
+
+    def children_of(self, level: int, token: int) -> frozenset[int]:
+        """Refinement-tree children (level+1 tokens) of an inode."""
+        if level == self.k:
+            raise StructuralIndexError(f"level-{level} is the leaf level")
+        self._require_level(level)
+        return frozenset(self.levels[level].children.get(token, ()))
+
+    def label_of(self, level: int, token: int) -> str:
+        """The label shared by an inode's extent."""
+        extent = self.extent_at(level, token)
+        return self.graph.label(next(iter(extent)))
+
+    # ------------------------------------------------------------------
+    # Materialisation
+    # ------------------------------------------------------------------
+
+    def level_index(self, level: Optional[int] = None) -> StructuralIndex:
+        """Materialise one level (default: k) as a :class:`StructuralIndex`.
+
+        The result carries extents *and* iedges and is what query
+        evaluation consumes.  It is a snapshot — further maintenance of the
+        family does not update it.
+        """
+        if level is None:
+            level = self.k
+        self._require_level(level)
+        blocks = [list(extent) for extent in self.levels[level].extents.values()]
+        return StructuralIndex.from_partition(self.graph, blocks)
+
+    def count_inter_iedges(self) -> int:
+        """Number of inter-iedges: iedges from level-i to level-(i+1) inodes.
+
+        Section 6 stores, for each A(i)-index inode, iedges to its inode
+        successors *in the A(i+1)-index*; this counts them for the storage
+        model of Table 3 (O(k·m) scan).
+        """
+        total = 0
+        for i in range(self.k):
+            pairs: set[tuple[int, int]] = set()
+            coarse = self.levels[i].class_of
+            fine = self.levels[i + 1].class_of
+            for source, target in self.graph.edges():
+                pairs.add((coarse[source], fine[target]))
+            total += len(pairs)
+        return total
+
+    def count_intra_iedges(self, level: int) -> int:
+        """Number of iedges inside the A(*level*)-index graph."""
+        self._require_level(level)
+        class_of = self.levels[level].class_of
+        return len({(class_of[s], class_of[t]) for s, t in self.graph.edges()})
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert structural consistency of all levels and tree links."""
+        nodes = set(self.graph.nodes())
+        for i, level in enumerate(self.levels):
+            assert set(level.class_of) == nodes, f"level {i} does not cover the graph"
+            for token, extent in level.extents.items():
+                assert extent, f"empty inode {token} at level {i}"
+                for dnode in extent:
+                    assert level.class_of[dnode] == token, (
+                        f"class map broken at level {i} for dnode {dnode}"
+                    )
+                labels = {self.graph.label(w) for w in extent}
+                assert len(labels) == 1, f"inode {token}@{i} mixes labels {labels}"
+            covered = sum(len(e) for e in level.extents.values())
+            assert covered == len(nodes), f"extents at level {i} overlap or leak"
+        for i in range(1, self.k + 1):
+            level = self.levels[i]
+            coarser = self.levels[i - 1]
+            for token, extent in level.extents.items():
+                parents = {coarser.class_of[w] for w in extent}
+                assert len(parents) == 1, f"inode {token}@{i} spans parents {parents}"
+                parent = parents.pop()
+                assert level.parent.get(token) == parent, (
+                    f"tree parent wrong for {token}@{i}"
+                )
+                assert token in coarser.children.get(parent, set()), (
+                    f"children link missing for {token}@{i}"
+                )
+            for token in self.levels[i - 1].extents:
+                for child in self.levels[i - 1].children.get(token, set()):
+                    assert child in level.extents, (
+                        f"stale child {child} under {token}@{i - 1}"
+                    )
+            assert set(level.parent) == set(level.extents), f"parent keys drift @{i}"
+
+    def is_minimum(self) -> bool:
+        """Whether every level equals the freshly-constructed minimum.
+
+        Theorem 2 says the split/merge maintainer preserves this; the
+        tests lean on it as the master oracle.
+        """
+        fresh = ak_class_maps(self.graph, self.k)
+        for i in range(self.k + 1):
+            want = {frozenset(b) for b in blocks_of(fresh[i])}
+            have = {frozenset(e) for e in self.levels[i].extents.values()}
+            if want != have:
+                return False
+        return True
+
+    def copy(self) -> "AkIndexFamily":
+        """An independent copy (shares the graph object)."""
+        clone = AkIndexFamily(self.graph, self.k)
+        for i, level in enumerate(self.levels):
+            target = clone.levels[i]
+            target.class_of = dict(level.class_of)
+            target.extents = {t: set(e) for t, e in level.extents.items()}
+            target.parent = dict(level.parent)
+            target.children = {t: set(c) for t, c in level.children.items()}
+            target.next_token = level.next_token
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<AkIndexFamily k={self.k} sizes={self.sizes()}>"
+
+    def _require_level(self, level: int) -> None:
+        if not 0 <= level <= self.k:
+            raise InvalidIndexError(f"level {level} out of range 0..{self.k}")

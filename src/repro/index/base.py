@@ -1,0 +1,588 @@
+"""Core structural-index representation (Section 3 of the paper).
+
+A structural index is determined by a *partition* of the dnodes into
+inodes; the index edges (iedges) are derived: there is an iedge
+``I -> J`` iff some dedge runs from the extent of ``I`` to the extent of
+``J``.  This module owns that representation:
+
+* ``dnode -> inode`` mapping and inode extents (the partition);
+* iedges with **support counts** — ``support(I, J)`` is the number of
+  dedges between the two extents — so that splits, merges and dedge
+  insertions/deletions can maintain the iedge set incrementally in time
+  proportional to the work already being done on the extents;
+* primitive partition surgery (:meth:`split_off`, :meth:`merge_inodes`,
+  :meth:`move_dnode`) on which the maintenance algorithms are built.
+
+The invariant linking partition and iedges can always be re-derived from
+scratch with :meth:`rebuild_iedges`; :meth:`check_invariants` compares the
+incremental state against that oracle and is used heavily by the tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from typing import Optional
+
+from repro.exceptions import InvalidIndexError, StructuralIndexError
+from repro.graph.datagraph import DataGraph
+
+
+class INodeView:
+    """A read-only handle on one inode of a :class:`StructuralIndex`.
+
+    Views are cheap throwaway objects; all state lives in the index.
+    """
+
+    __slots__ = ("_index", "_id")
+
+    def __init__(self, index: "StructuralIndex", inode_id: int):
+        self._index = index
+        self._id = inode_id
+
+    @property
+    def id(self) -> int:
+        """The inode identifier."""
+        return self._id
+
+    @property
+    def label(self) -> str:
+        """The shared label of every dnode in the extent."""
+        return self._index.label_of(self._id)
+
+    @property
+    def extent(self) -> frozenset[int]:
+        """The dnodes of this inode."""
+        return frozenset(self._index.extent(self._id))
+
+    @property
+    def isucc(self) -> frozenset[int]:
+        """Ids of index successors."""
+        return frozenset(self._index.isucc(self._id))
+
+    @property
+    def ipred(self) -> frozenset[int]:
+        """Ids of index predecessors."""
+        return frozenset(self._index.ipred(self._id))
+
+    def __len__(self) -> int:
+        return self._index.extent_size(self._id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        extent = sorted(self._index.extent(self._id))
+        return f"<INode {self._id} label={self.label!r} extent={extent}>"
+
+
+class StructuralIndex:
+    """A node-partition structural index over a :class:`DataGraph`.
+
+    The class is policy-free: it enforces only that the partition covers
+    the graph and that labels inside an inode agree.  *Which* partition
+    constitutes a 1-index or an A(k)-index is the business of the
+    construction and maintenance layers.
+    """
+
+    def __init__(self, graph: DataGraph):
+        self.graph = graph
+        self._inode_of: dict[int, int] = {}
+        self._extent: dict[int, set[int]] = {}
+        self._label: dict[int, str] = {}
+        # support counts: _succ_support[I][J] = #dedges from extent(I) to extent(J)
+        self._succ_support: dict[int, dict[int, int]] = {}
+        self._pred_support: dict[int, dict[int, int]] = {}
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Construction primitives
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_partition(
+        cls, graph: DataGraph, blocks: Iterable[Iterable[int]]
+    ) -> "StructuralIndex":
+        """Build an index from an explicit partition of the dnodes.
+
+        Raises :class:`InvalidIndexError` if *blocks* is not a partition of
+        the graph's nodes or if some block mixes labels.
+        """
+        index = cls(graph)
+        for block in blocks:
+            members = list(block)
+            if not members:
+                continue
+            labels = {graph.label(w) for w in members}
+            if len(labels) != 1:
+                raise InvalidIndexError(f"block {sorted(members)} mixes labels {labels}")
+            inode = index.new_inode(labels.pop())
+            for w in members:
+                if w in index._inode_of:
+                    raise InvalidIndexError(f"dnode {w} appears in two blocks")
+                index._inode_of[w] = inode
+                index._extent[inode].add(w)
+        missing = set(graph.nodes()) - set(index._inode_of)
+        if missing:
+            raise InvalidIndexError(f"partition misses dnodes {sorted(missing)[:5]}...")
+        index.rebuild_iedges()
+        return index
+
+    def new_inode(self, label: str) -> int:
+        """Create an empty inode with the given label and return its id."""
+        inode = self._next_id
+        self._next_id += 1
+        self._extent[inode] = set()
+        self._label[inode] = label
+        self._succ_support[inode] = {}
+        self._pred_support[inode] = {}
+        return inode
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+
+    def inode_of(self, dnode: int) -> int:
+        """The id of the inode whose extent contains *dnode* (``I[v]``)."""
+        try:
+            return self._inode_of[dnode]
+        except KeyError:
+            raise StructuralIndexError(f"dnode {dnode} is not covered by the index") from None
+
+    def covers(self, dnode: int) -> bool:
+        """Whether *dnode* is assigned to some inode."""
+        return dnode in self._inode_of
+
+    def extent(self, inode: int) -> set[int]:
+        """The extent of *inode* (live set — do not mutate)."""
+        self._require(inode)
+        return self._extent[inode]
+
+    def extent_size(self, inode: int) -> int:
+        """``|extent(inode)|``."""
+        self._require(inode)
+        return len(self._extent[inode])
+
+    def label_of(self, inode: int) -> str:
+        """The label shared by the extent of *inode*."""
+        self._require(inode)
+        return self._label[inode]
+
+    def has_inode(self, inode: int) -> bool:
+        """Whether *inode* is a live inode id."""
+        return inode in self._extent
+
+    def inodes(self) -> Iterator[int]:
+        """Iterate over all live inode ids."""
+        return iter(self._extent)
+
+    def view(self, inode: int) -> INodeView:
+        """A read-only :class:`INodeView` for *inode*."""
+        self._require(inode)
+        return INodeView(self, inode)
+
+    def views(self) -> Iterator[INodeView]:
+        """Iterate over read-only views of all inodes."""
+        return (INodeView(self, inode) for inode in list(self._extent))
+
+    @property
+    def num_inodes(self) -> int:
+        """Number of inodes in the index."""
+        return len(self._extent)
+
+    @property
+    def num_iedges(self) -> int:
+        """Number of distinct iedges."""
+        return sum(len(targets) for targets in self._succ_support.values())
+
+    def __len__(self) -> int:
+        return len(self._extent)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<StructuralIndex inodes={self.num_inodes} iedges={self.num_iedges}>"
+
+    # ------------------------------------------------------------------
+    # Index-graph navigation
+    # ------------------------------------------------------------------
+
+    def isucc(self, inode: int) -> Iterator[int]:
+        """Index successors ``ISucc(I)`` (iterator over inode ids)."""
+        self._require(inode)
+        return iter(self._succ_support[inode])
+
+    def ipred(self, inode: int) -> Iterator[int]:
+        """Index predecessors (iterator over inode ids)."""
+        self._require(inode)
+        return iter(self._pred_support[inode])
+
+    def ipred_set(self, inode: int) -> frozenset[int]:
+        """Index predecessors as a frozen set (hashable merge signature)."""
+        self._require(inode)
+        return frozenset(self._pred_support[inode])
+
+    def isucc_set(self, inode: int) -> frozenset[int]:
+        """Index successors as a frozen set."""
+        self._require(inode)
+        return frozenset(self._succ_support[inode])
+
+    def has_iedge(self, source: int, target: int) -> bool:
+        """Whether the iedge ``source -> target`` exists."""
+        self._require(source)
+        self._require(target)
+        return target in self._succ_support[source]
+
+    def support(self, source: int, target: int) -> int:
+        """Number of dedges witnessing the iedge ``source -> target``."""
+        self._require(source)
+        self._require(target)
+        return self._succ_support[source].get(target, 0)
+
+    def succ_extent(self, inode: int) -> set[int]:
+        """``Succ(I)``: dnode successors of the extent of *inode*."""
+        self._require(inode)
+        result: set[int] = set()
+        for w in self._extent[inode]:
+            result.update(self.graph.iter_succ(w))
+        return result
+
+    def succ_extent_of(self, inodes: Iterable[int]) -> set[int]:
+        """``Succ(I1 u I2 u ...)`` for a collection of inode ids."""
+        result: set[int] = set()
+        for inode in inodes:
+            result.update(self.succ_extent(inode))
+        return result
+
+    def dnode_iparents(self, dnode: int) -> frozenset[int]:
+        """Index parents of a *dnode*: ``{I[w'] | dnode in Succ(w')}``.
+
+        In a valid 1-index this equals the index parents of ``I[dnode]``
+        (see the proof of Lemma 3); on an intermediate partition the two
+        may differ, and the dnode-level notion is the meaningful one.
+        """
+        return frozenset(self._inode_of[p] for p in self.graph.iter_pred(dnode))
+
+    # ------------------------------------------------------------------
+    # Partition surgery
+    # ------------------------------------------------------------------
+
+    def move_dnode(self, dnode: int, to_inode: int) -> None:
+        """Move one dnode into another (existing) inode, updating iedges.
+
+        Cost O(degree of *dnode*).  The source inode is *not* removed if
+        it becomes empty; callers decide (see :meth:`remove_if_empty`).
+        """
+        self._require(to_inode)
+        source = self.inode_of(dnode)
+        if source == to_inode:
+            return
+        if self._label[to_inode] != self.graph.label(dnode):
+            raise InvalidIndexError(
+                f"cannot move dnode {dnode} ({self.graph.label(dnode)!r}) "
+                f"into inode labeled {self._label[to_inode]!r}"
+            )
+        self._detach(dnode)
+        self._extent[source].discard(dnode)
+        self._extent[to_inode].add(dnode)
+        self._inode_of[dnode] = to_inode
+        self._attach(dnode)
+
+    def split_off(self, inode: int, members: Iterable[int]) -> int:
+        """Split *members* out of *inode* into a fresh inode; return its id.
+
+        *members* must be a non-empty proper subset of the extent.
+        """
+        member_list = list(members)
+        extent = self.extent(inode)
+        if not member_list:
+            raise StructuralIndexError("cannot split off an empty set")
+        for w in member_list:
+            if w not in extent:
+                raise StructuralIndexError(f"dnode {w} not in inode {inode}")
+        if len(member_list) == len(extent):
+            raise StructuralIndexError("cannot split off the whole extent")
+        new_inode = self.new_inode(self._label[inode])
+        for w in member_list:
+            self.move_dnode(w, new_inode)
+        return new_inode
+
+    def merge_inodes(self, inodes: Iterable[int]) -> int:
+        """Merge several inodes into one; return the surviving id.
+
+        The largest extent survives (so the cost is proportional to the
+        *smaller* extents).  Labels must agree.  Support counters are
+        folded directly — no dnode adjacency is touched — so merging is
+        O(members moved + iedges folded).
+        """
+        ids = list(dict.fromkeys(inodes))
+        if len(ids) < 2:
+            raise StructuralIndexError("merge needs at least two distinct inodes")
+        labels = {self.label_of(i) for i in ids}
+        if len(labels) != 1:
+            raise InvalidIndexError(f"cannot merge inodes with labels {labels}")
+        survivor = max(ids, key=lambda i: len(self._extent[i]))
+        for other in ids:
+            if other != survivor:
+                self._fold_into(survivor, other)
+        return survivor
+
+    def _fold_into(self, survivor: int, other: int) -> None:
+        """Absorb *other* into *survivor* (extent, mapping, supports)."""
+        for w in self._extent[other]:
+            self._inode_of[w] = survivor
+        self._extent[survivor].update(self._extent[other])
+
+        surv_succ = self._succ_support[survivor]
+        surv_pred = self._pred_support[survivor]
+
+        # survivor -> other edges become a survivor self-iedge.  Their pred
+        # side lives in other's table, which is dropped wholesale below.
+        count = surv_succ.pop(other, 0)
+        if count:
+            self._bump(surv_succ, survivor, count)
+            self._bump(surv_pred, survivor, count)
+        # other -> survivor edges, symmetrically.
+        count = surv_pred.pop(other, 0)
+        if count:
+            self._bump(surv_succ, survivor, count)
+            self._bump(surv_pred, survivor, count)
+
+        # other's remaining outgoing edges (third parties and self-iedge).
+        for target, count in self._succ_support[other].items():
+            if target == survivor:
+                continue  # already folded above
+            if target == other:
+                self._bump(surv_succ, survivor, count)
+                self._bump(surv_pred, survivor, count)
+                continue
+            self._bump(surv_succ, target, count)
+            target_pred = self._pred_support[target]
+            target_pred.pop(other)
+            self._bump(target_pred, survivor, count)
+        # other's remaining incoming edges from third parties.
+        for origin, count in self._pred_support[other].items():
+            if origin in (survivor, other):
+                continue  # already folded above
+            self._bump(surv_pred, origin, count)
+            origin_succ = self._succ_support[origin]
+            origin_succ.pop(other)
+            self._bump(origin_succ, survivor, count)
+
+        del self._extent[other]
+        del self._label[other]
+        del self._succ_support[other]
+        del self._pred_support[other]
+
+    def remove_if_empty(self, inode: int) -> bool:
+        """Delete *inode* if its extent is empty.  Returns whether deleted."""
+        if inode not in self._extent or self._extent[inode]:
+            return False
+        if self._succ_support[inode] or self._pred_support[inode]:
+            raise StructuralIndexError(
+                f"empty inode {inode} still has iedges; supports corrupted"
+            )
+        del self._extent[inode]
+        del self._label[inode]
+        del self._succ_support[inode]
+        del self._pred_support[inode]
+        return True
+
+    def add_dnode(self, dnode: int, inode: Optional[int] = None) -> int:
+        """Cover a newly created dnode.
+
+        With *inode* given, join that inode (labels must match); otherwise a
+        fresh singleton inode is created.  The dnode's edges, if any already
+        exist, are accounted for.  Returns the inode id.
+        """
+        if dnode in self._inode_of:
+            raise StructuralIndexError(f"dnode {dnode} is already covered")
+        label = self.graph.label(dnode)
+        if inode is None:
+            inode = self.new_inode(label)
+        elif self._label[inode] != label:
+            raise InvalidIndexError(
+                f"dnode {dnode} ({label!r}) cannot join inode labeled "
+                f"{self._label[inode]!r}"
+            )
+        self._extent[inode].add(dnode)
+        self._inode_of[dnode] = inode
+        self._attach(dnode)
+        return inode
+
+    def absorb_blocks(self, blocks: Iterable[Iterable[int]]) -> list[int]:
+        """Cover a batch of new dnodes with a given partition of them.
+
+        Used by subgraph addition (Section 5.2): the subgraph's own index
+        blocks are adopted wholesale.  Every dnode in *blocks* must exist
+        in the graph and be uncovered; all dedges among covered nodes that
+        involve a new node are accounted.  Returns the new inode ids, one
+        per block, in order.
+        """
+        new_ids: list[int] = []
+        new_nodes: set[int] = set()
+        for block in blocks:
+            members = list(block)
+            if not members:
+                continue
+            inode = self.new_inode(self.graph.label(members[0]))
+            new_ids.append(inode)
+            for w in members:
+                if w in self._inode_of:
+                    raise StructuralIndexError(f"dnode {w} is already covered")
+                if self.graph.label(w) != self._label[inode]:
+                    raise InvalidIndexError(f"block mixes labels at dnode {w}")
+                self._inode_of[w] = inode
+                self._extent[inode].add(w)
+                new_nodes.add(w)
+        for w in new_nodes:
+            wi = self._inode_of[w]
+            for c in self.graph.iter_succ(w):
+                ci = self._inode_of.get(c)
+                if ci is not None:
+                    self._bump(self._succ_support[wi], ci, 1)
+                    self._bump(self._pred_support[ci], wi, 1)
+            for p in self.graph.iter_pred(w):
+                if p in new_nodes or p == w:
+                    continue  # internal edges were counted from the succ side
+                pi = self._inode_of.get(p)
+                if pi is not None:
+                    self._bump(self._succ_support[pi], wi, 1)
+                    self._bump(self._pred_support[wi], pi, 1)
+        return new_ids
+
+    def drop_dnode(self, dnode: int) -> None:
+        """Stop covering *dnode* (used when deleting nodes from the graph).
+
+        The dnode's incident dedges must already be gone from the graph,
+        or the support counters would drift.
+        """
+        inode = self.inode_of(dnode)
+        self._detach(dnode)
+        self._extent[inode].discard(dnode)
+        del self._inode_of[dnode]
+        self.remove_if_empty(inode)
+
+    # ------------------------------------------------------------------
+    # Dedge notifications
+    # ------------------------------------------------------------------
+
+    def note_edge_added(self, source: int, target: int) -> None:
+        """Account for a dedge that was just added to the data graph."""
+        si = self.inode_of(source)
+        ti = self.inode_of(target)
+        self._bump(self._succ_support[si], ti, 1)
+        self._bump(self._pred_support[ti], si, 1)
+
+    def note_edge_removed(self, source: int, target: int) -> None:
+        """Account for a dedge that was just removed from the data graph."""
+        si = self.inode_of(source)
+        ti = self.inode_of(target)
+        self._bump(self._succ_support[si], ti, -1)
+        self._bump(self._pred_support[ti], si, -1)
+
+    # ------------------------------------------------------------------
+    # Oracles / invariants
+    # ------------------------------------------------------------------
+
+    def rebuild_iedges(self) -> None:
+        """Recompute all support counters from the partition (O(n + m))."""
+        for inode in self._extent:
+            self._succ_support[inode] = {}
+            self._pred_support[inode] = {}
+        for source, target in self.graph.edges():
+            si = self._inode_of[source]
+            ti = self._inode_of[target]
+            self._bump(self._succ_support[si], ti, 1)
+            self._bump(self._pred_support[ti], si, 1)
+
+    def partition(self) -> list[frozenset[int]]:
+        """The partition as a list of frozen extents (testing helper)."""
+        return [frozenset(extent) for extent in self._extent.values()]
+
+    def as_blocks(self) -> set[frozenset[int]]:
+        """The partition as a set of frozen extents (order-insensitive)."""
+        return {frozenset(extent) for extent in self._extent.values()}
+
+    def copy(self) -> "StructuralIndex":
+        """An independent copy sharing the same graph object."""
+        clone = StructuralIndex(self.graph)
+        clone._inode_of = dict(self._inode_of)
+        clone._extent = {i: set(e) for i, e in self._extent.items()}
+        clone._label = dict(self._label)
+        clone._succ_support = {i: dict(s) for i, s in self._succ_support.items()}
+        clone._pred_support = {i: dict(p) for i, p in self._pred_support.items()}
+        clone._next_id = self._next_id
+        return clone
+
+    def check_invariants(self) -> None:
+        """Assert partition/iedge consistency against the from-scratch oracle."""
+        covered: set[int] = set()
+        for inode, extent in self._extent.items():
+            assert extent, f"inode {inode} has an empty extent"
+            for w in extent:
+                assert self._inode_of.get(w) == inode, f"mapping broken for dnode {w}"
+                assert self.graph.label(w) == self._label[inode], (
+                    f"label mismatch in inode {inode}"
+                )
+            assert not (covered & extent), "extents overlap"
+            covered |= extent
+        assert covered == set(self.graph.nodes()), "partition does not cover the graph"
+
+        oracle: dict[int, dict[int, int]] = {i: {} for i in self._extent}
+        for source, target in self.graph.edges():
+            self._bump(oracle[self._inode_of[source]], self._inode_of[target], 1)
+        for inode in self._extent:
+            assert self._succ_support[inode] == oracle[inode], (
+                f"succ supports of inode {inode} drifted: "
+                f"{self._succ_support[inode]} != {oracle[inode]}"
+            )
+        pred_oracle: dict[int, dict[int, int]] = {i: {} for i in self._extent}
+        for source, targets in oracle.items():
+            for target, count in targets.items():
+                self._bump(pred_oracle[target], source, count)
+        for inode in self._extent:
+            assert self._pred_support[inode] == pred_oracle[inode], (
+                f"pred supports of inode {inode} drifted"
+            )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _detach(self, dnode: int) -> None:
+        """Remove all of *dnode*'s dedges from the support counters."""
+        inode = self._inode_of[dnode]
+        for p in self.graph.iter_pred(dnode):
+            pi = self._inode_of[p]
+            self._bump(self._succ_support[pi], inode, -1)
+            self._bump(self._pred_support[inode], pi, -1)
+        for c in self.graph.iter_succ(dnode):
+            if c == dnode:
+                continue  # the self-loop was handled in the pred pass
+            ci = self._inode_of[c]
+            self._bump(self._succ_support[inode], ci, -1)
+            self._bump(self._pred_support[ci], inode, -1)
+
+    def _attach(self, dnode: int) -> None:
+        """Add all of *dnode*'s dedges to the support counters."""
+        inode = self._inode_of[dnode]
+        for p in self.graph.iter_pred(dnode):
+            pi = self._inode_of[p]
+            self._bump(self._succ_support[pi], inode, 1)
+            self._bump(self._pred_support[inode], pi, 1)
+        for c in self.graph.iter_succ(dnode):
+            if c == dnode:
+                continue
+            ci = self._inode_of[c]
+            self._bump(self._succ_support[inode], ci, 1)
+            self._bump(self._pred_support[ci], inode, 1)
+
+    @staticmethod
+    def _bump(counter: dict[int, int], key: int, delta: int) -> None:
+        """Adjust a support counter, deleting the entry when it hits zero."""
+        new = counter.get(key, 0) + delta
+        if new < 0:
+            raise StructuralIndexError("support counter went negative; state corrupted")
+        if new == 0:
+            counter.pop(key, None)
+        else:
+            counter[key] = new
+
+    def _require(self, inode: int) -> None:
+        if inode not in self._extent:
+            raise StructuralIndexError(f"inode {inode} does not exist")

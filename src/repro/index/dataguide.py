@@ -1,0 +1,93 @@
+"""Strong DataGuides (Goldman & Widom [6]) — related-work extension.
+
+The DataGuide is the earliest structural summary the paper surveys
+(Section 2).  A *strong* DataGuide has one node per distinct *target set*:
+the set of dnodes reachable from the root by some label path.  It is built
+by the subset construction (determinising the data graph viewed as an
+NFA over labels), so on cyclic or heavily-shared data it can be
+exponentially larger than the data graph — which is exactly why
+bisimulation-based indexes (1-index, A(k)) superseded it.  We include it
+for size comparisons in the examples and the ablation benchmarks.
+
+Unlike the 1-index, a DataGuide's target sets may overlap, so it is *not*
+a node partition and does not fit :class:`StructuralIndex`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.exceptions import StructuralIndexError
+from repro.graph.datagraph import DataGraph
+
+#: Safety valve: subset construction stops after this many guide nodes.
+DEFAULT_NODE_LIMIT = 1_000_000
+
+
+@dataclass
+class DataGuide:
+    """A strong DataGuide: a deterministic summary graph over label paths."""
+
+    #: guide node id -> target set (dnodes reached by the node's paths)
+    target_sets: dict[int, frozenset[int]] = field(default_factory=dict)
+    #: guide node id -> {label -> guide node id}
+    transitions: dict[int, dict[str, int]] = field(default_factory=dict)
+    #: the guide node for the empty path (target set = {root})
+    start: int = 0
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of guide nodes."""
+        return len(self.target_sets)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of guide transitions."""
+        return sum(len(t) for t in self.transitions.values())
+
+    def lookup(self, labels: list[str]) -> frozenset[int]:
+        """Target set of a label path from the root; empty if absent."""
+        node = self.start
+        for label in labels:
+            nxt = self.transitions[node].get(label)
+            if nxt is None:
+                return frozenset()
+            node = nxt
+        return self.target_sets[node]
+
+
+def build_dataguide(graph: DataGraph, node_limit: int = DEFAULT_NODE_LIMIT) -> DataGuide:
+    """Build the strong DataGuide of *graph* by subset construction.
+
+    Raises :class:`StructuralIndexError` when the guide exceeds
+    *node_limit* nodes (possible on cyclic data).
+    """
+    guide = DataGuide()
+    start_set = frozenset({graph.root})
+    ids: dict[frozenset[int], int] = {start_set: 0}
+    guide.target_sets[0] = start_set
+    guide.transitions[0] = {}
+    queue: deque[frozenset[int]] = deque([start_set])
+
+    while queue:
+        current = queue.popleft()
+        current_id = ids[current]
+        by_label: dict[str, set[int]] = {}
+        for dnode in current:
+            for child in graph.iter_succ(dnode):
+                by_label.setdefault(graph.label(child), set()).add(child)
+        for label, targets in by_label.items():
+            target_set = frozenset(targets)
+            if target_set not in ids:
+                if len(ids) >= node_limit:
+                    raise StructuralIndexError(
+                        f"DataGuide exceeded {node_limit} nodes; "
+                        "the data is too cyclic for subset construction"
+                    )
+                ids[target_set] = len(ids)
+                guide.target_sets[ids[target_set]] = target_set
+                guide.transitions[ids[target_set]] = {}
+                queue.append(target_set)
+            guide.transitions[current_id][label] = ids[target_set]
+    return guide

@@ -1,0 +1,71 @@
+"""The 1-index (Milo & Suciu [11]), Definition 2 of the paper.
+
+A 1-index is a label-homogeneous partition of the dnodes that is stable
+with respect to itself.  :class:`OneIndex` is a thin veneer over
+:class:`~repro.index.base.StructuralIndex` adding the two construction
+entry points:
+
+* ``OneIndex.build(graph)`` — the minimum 1-index via signature iteration
+  (fast path, Lemma 1 guarantees uniqueness);
+* ``OneIndex.build(graph, method="worklist")`` — the same partition via
+  the Paige–Tarjan worklist engine (used to cross-check the fast path).
+
+Any valid (not necessarily minimum) 1-index can also be wrapped from an
+explicit partition with :meth:`OneIndex.from_partition`.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import InvalidIndexError
+from repro.graph.datagraph import DataGraph
+from repro.index.base import StructuralIndex
+from repro.index.construction import (
+    bisimulation_partition,
+    blocks_of,
+    stabilize_from_labels,
+)
+
+
+class OneIndex(StructuralIndex):
+    """A 1-index over a data graph.
+
+    The class does not *enforce* self-stability on every mutation (the
+    maintenance algorithms go through intentionally-unstable intermediate
+    states); :func:`repro.index.stability.is_valid_1index` is the oracle.
+    """
+
+    @classmethod
+    def build(cls, graph: DataGraph, method: str = "signature") -> "OneIndex":
+        """Construct the minimum 1-index of *graph*.
+
+        *method* selects the construction engine: ``"signature"`` (default,
+        O(m · depth)) or ``"worklist"`` (Paige–Tarjan compound blocks).
+        """
+        if method == "signature":
+            return cls.from_partition(graph, blocks_of(bisimulation_partition(graph)))
+        if method == "worklist":
+            plain = stabilize_from_labels(graph)
+            return cls._adopt(plain)
+        raise ValueError(f"unknown construction method {method!r}")
+
+    @classmethod
+    def _adopt(cls, index: StructuralIndex) -> "OneIndex":
+        """Rebrand a plain :class:`StructuralIndex` as a :class:`OneIndex`."""
+        adopted = cls(index.graph)
+        adopted._inode_of = index._inode_of
+        adopted._extent = index._extent
+        adopted._label = index._label
+        adopted._succ_support = index._succ_support
+        adopted._pred_support = index._pred_support
+        adopted._next_id = index._next_id
+        return adopted
+
+    def copy(self) -> "OneIndex":
+        """An independent copy (shares the graph object)."""
+        return OneIndex._adopt(super().copy())
+
+    def compression_ratio(self) -> float:
+        """``#inodes / #dnodes`` — how much smaller the index graph is."""
+        if self.graph.num_nodes == 0:
+            raise InvalidIndexError("empty graph has no compression ratio")
+        return self.num_inodes / self.graph.num_nodes

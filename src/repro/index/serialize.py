@@ -1,0 +1,134 @@
+"""JSON-friendly (de)serialisation of structural indexes.
+
+An index is serialised *relative to its graph* as the partition (lists of
+dnode oids per inode, with the inode ids preserved); iedge supports are
+recomputed on load — they are derived state.  The A(k) family format adds
+the per-level partitions and the refinement-tree parent links.
+
+Typical use: persist the graph (:mod:`repro.graph.serialize`) and its
+maintained index together, reload both, resume maintenance::
+
+    payload = {"graph": graph_to_dict(g), "index": index_to_dict(idx)}
+    ...
+    g = graph_from_dict(payload["graph"])
+    idx = index_from_dict(g, payload["index"], cls=OneIndex)
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, TextIO, Type, TypeVar
+
+from repro.exceptions import InvalidIndexError
+from repro.graph.datagraph import DataGraph
+from repro.index.akindex import AkIndexFamily
+from repro.index.base import StructuralIndex
+
+IndexT = TypeVar("IndexT", bound=StructuralIndex)
+
+
+def index_to_dict(index: StructuralIndex) -> dict[str, Any]:
+    """Serialise an index partition (inode ids preserved)."""
+    return {
+        "inodes": [
+            [inode, sorted(index.extent(inode))] for inode in sorted(index.inodes())
+        ],
+        "next_id": index._next_id,
+    }
+
+
+def index_from_dict(
+    graph: DataGraph,
+    data: dict[str, Any],
+    cls: Type[IndexT] = StructuralIndex,  # type: ignore[assignment]
+) -> IndexT:
+    """Rebuild an index over *graph* from :func:`index_to_dict` output."""
+    try:
+        inodes = data["inodes"]
+        next_id = data["next_id"]
+    except (KeyError, TypeError) as exc:
+        raise InvalidIndexError(f"malformed index payload: {exc}") from exc
+    index = cls(graph)
+    for inode_id, extent in inodes:
+        if not extent:
+            raise InvalidIndexError(f"inode {inode_id} has an empty extent")
+        label = graph.label(extent[0])
+        index._extent[inode_id] = set()
+        index._label[inode_id] = label
+        index._succ_support[inode_id] = {}
+        index._pred_support[inode_id] = {}
+        for dnode in extent:
+            if graph.label(dnode) != label:
+                raise InvalidIndexError(f"inode {inode_id} mixes labels")
+            if dnode in index._inode_of:
+                raise InvalidIndexError(f"dnode {dnode} in two inodes")
+            index._inode_of[dnode] = inode_id
+            index._extent[inode_id].add(dnode)
+    missing = set(graph.nodes()) - set(index._inode_of)
+    if missing:
+        raise InvalidIndexError(f"index misses dnodes {sorted(missing)[:5]}")
+    index._next_id = max(next_id, max(index._extent, default=-1) + 1)
+    index.rebuild_iedges()
+    return index
+
+
+def family_to_dict(family: AkIndexFamily) -> dict[str, Any]:
+    """Serialise an A(k) family: per-level partitions + tree parents."""
+    levels = []
+    for level_no, level in enumerate(family.levels):
+        levels.append(
+            {
+                "extents": [
+                    [token, sorted(extent)] for token, extent in sorted(level.extents.items())
+                ],
+                "parent": sorted(level.parent.items()) if level_no > 0 else [],
+                "next_token": level.next_token,
+            }
+        )
+    return {"k": family.k, "levels": levels}
+
+
+def family_from_dict(graph: DataGraph, data: dict[str, Any]) -> AkIndexFamily:
+    """Rebuild an A(k) family over *graph*; validates the invariants."""
+    try:
+        k = data["k"]
+        levels = data["levels"]
+    except (KeyError, TypeError) as exc:
+        raise InvalidIndexError(f"malformed family payload: {exc}") from exc
+    if len(levels) != k + 1:
+        raise InvalidIndexError(f"expected {k + 1} levels, got {len(levels)}")
+    family = AkIndexFamily(graph, k)
+    for level_no, payload in enumerate(levels):
+        level = family.levels[level_no]
+        for token, extent in payload["extents"]:
+            level.extents[token] = set(extent)
+            for dnode in extent:
+                level.class_of[dnode] = token
+        level.parent = dict((int(a), int(b)) for a, b in payload["parent"])
+        level.next_token = payload["next_token"]
+    for level_no in range(1, k + 1):
+        level = family.levels[level_no]
+        coarser = family.levels[level_no - 1]
+        for token in level.extents:
+            parent = level.parent.get(token)
+            if parent is None:
+                raise InvalidIndexError(f"missing tree parent for {token}@{level_no}")
+            coarser.children.setdefault(parent, set()).add(token)
+    for level_no in range(k):
+        level = family.levels[level_no]
+        for token in level.extents:
+            level.children.setdefault(token, set())
+    family.check_invariants()
+    return family
+
+
+def dump_index(index: StructuralIndex, fp: TextIO) -> None:
+    """Write an index as JSON to an open text file."""
+    json.dump(index_to_dict(index), fp)
+
+
+def load_index(
+    graph: DataGraph, fp: TextIO, cls: Type[IndexT] = StructuralIndex  # type: ignore[assignment]
+) -> IndexT:
+    """Read an index from JSON written by :func:`dump_index`."""
+    return index_from_dict(graph, json.load(fp), cls)

@@ -1,0 +1,127 @@
+"""Stability, validity, minimality and minimum-ness oracles.
+
+These functions are the executable versions of Definitions 1, 2, 5 and 6
+and are used both by the maintenance layer (cheap minimality predicates)
+and by the test-suite as ground truth (expensive whole-index checks,
+O(n + m) or worse — never called on hot paths).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.graph.datagraph import DataGraph
+from repro.index.base import StructuralIndex
+from repro.index.construction import (
+    ClassMap,
+    ak_class_maps,
+    bisimulation_partition,
+)
+
+
+def is_stable_wrt(index: StructuralIndex, target: int, splitter: int) -> bool:
+    """Definition 1: is inode *target* stable w.r.t. inode *splitter*?
+
+    ``I`` is stable w.r.t. ``J`` iff ``I ⊆ Succ(J)`` or ``I ∩ Succ(J) = ∅``.
+    """
+    succ = index.succ_extent(splitter)
+    extent = index.extent(target)
+    hit = sum(1 for w in extent if w in succ)
+    return hit == 0 or hit == len(extent)
+
+
+def unstable_pairs(index: StructuralIndex) -> list[tuple[int, int]]:
+    """All ``(target, splitter)`` inode pairs violating stability.
+
+    Only pairs connected by an iedge can be unstable (if no dedge runs from
+    ``J`` to ``I`` the intersection is empty), so the scan is limited to
+    iedges.
+    """
+    violations: list[tuple[int, int]] = []
+    for splitter in index.inodes():
+        succ = index.succ_extent(splitter)
+        for target in index.isucc(splitter):
+            extent = index.extent(target)
+            hit = sum(1 for w in extent if w in succ)
+            if 0 < hit < len(extent):
+                violations.append((target, splitter))
+    return violations
+
+
+def is_self_stable(index: StructuralIndex) -> bool:
+    """Whether the index is stable with respect to itself."""
+    return not unstable_pairs(index)
+
+
+def is_valid_1index(index: StructuralIndex) -> bool:
+    """Definition 2: label-homogeneous partition + self-stability.
+
+    Label homogeneity and partition-ness are enforced structurally by
+    :class:`StructuralIndex`, so only self-stability needs checking; the
+    structural invariants are still re-asserted for oracle strength.
+    """
+    index.check_invariants()
+    return is_self_stable(index)
+
+
+def mergeable_pairs(index: StructuralIndex) -> list[tuple[int, int]]:
+    """Inode pairs with the same label and the same index-parent set.
+
+    By the remark under Definition 5, a 1-index is minimal iff this list
+    is empty.  Runs in O(#inodes) expected time via signature grouping.
+    """
+    groups: dict[tuple[str, frozenset[int]], list[int]] = {}
+    for inode in index.inodes():
+        signature = (index.label_of(inode), index.ipred_set(inode))
+        groups.setdefault(signature, []).append(inode)
+    pairs: list[tuple[int, int]] = []
+    for members in groups.values():
+        if len(members) > 1:
+            anchor = members[0]
+            pairs.extend((anchor, other) for other in members[1:])
+    return pairs
+
+
+def is_minimal_1index(index: StructuralIndex) -> bool:
+    """Definition 5 via the same-label/same-parents characterisation."""
+    return is_valid_1index(index) and not mergeable_pairs(index)
+
+
+def minimum_1index_size(graph: DataGraph) -> int:
+    """Number of inodes in the (unique, Lemma 1) minimum 1-index."""
+    return len(set(bisimulation_partition(graph).values()))
+
+
+def is_minimum_1index(index: StructuralIndex) -> bool:
+    """Whether *index* is exactly the minimum 1-index of its graph."""
+    minimum = bisimulation_partition(index.graph)
+    return _same_partition(index, minimum)
+
+
+def minimum_ak_size(graph: DataGraph, k: int) -> int:
+    """Number of inodes in the (unique, Lemma 2) minimum A(k)-index."""
+    return len(set(ak_class_maps(graph, k)[k].values()))
+
+
+def is_minimum_ak(index: StructuralIndex, k: int) -> bool:
+    """Whether *index* is exactly the minimum A(k)-index of its graph."""
+    minimum = ak_class_maps(index.graph, k)[k]
+    return _same_partition(index, minimum)
+
+
+def is_refinement(finer: Iterable[frozenset[int]], coarser: ClassMap) -> bool:
+    """Definition 3: every block of *finer* fits inside one *coarser* class."""
+    for block in finer:
+        classes = {coarser[w] for w in block}
+        if len(classes) > 1:
+            return False
+    return True
+
+
+def _same_partition(index: StructuralIndex, class_of: ClassMap) -> bool:
+    """Compare an index partition with a class map, ignoring id names."""
+    blocks: dict[int, set[int]] = {}
+    for node, cls in class_of.items():
+        blocks.setdefault(cls, set()).add(node)
+    want = {frozenset(b) for b in blocks.values()}
+    return index.as_blocks() == want

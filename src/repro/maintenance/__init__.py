@@ -1,0 +1,29 @@
+"""Incremental index maintenance: the paper's algorithms and baselines."""
+
+from repro.maintenance.ak_simple import SimpleAkMaintainer
+from repro.maintenance.ak_split_merge import AkSplitMergeMaintainer
+from repro.maintenance.base import MaintenanceTotals, Maintainer, UpdateStats
+from repro.maintenance.propagate import PropagateMaintainer
+from repro.maintenance.reconstruction import (
+    DEFAULT_THRESHOLD,
+    ReconstructionPolicy,
+    quotient_graph,
+    reconstruct_from_scratch,
+    reconstruct_via_index_graph,
+)
+from repro.maintenance.split_merge import SplitMergeMaintainer
+
+__all__ = [
+    "Maintainer",
+    "UpdateStats",
+    "MaintenanceTotals",
+    "SplitMergeMaintainer",
+    "PropagateMaintainer",
+    "AkSplitMergeMaintainer",
+    "SimpleAkMaintainer",
+    "ReconstructionPolicy",
+    "reconstruct_via_index_graph",
+    "reconstruct_from_scratch",
+    "quotient_graph",
+    "DEFAULT_THRESHOLD",
+]

@@ -1,0 +1,127 @@
+"""The "simple" A(k) update baseline (Section 7.2).
+
+This is the comparator the paper evaluates its A(k) maintainer against:
+the algorithm sketched at the end of Qun et al. [17], "obtained by fixing
+a minor mistake".  After a dedge ``(u, v)`` changes:
+
+1. a breadth-first search finds all potentially affected dnodes — the
+   descendants of ``v`` up to depth ``k - 1``, plus ``v`` itself;
+2. every inode containing an affected dnode is re-partitioned according
+   to **k-bisimilarity computed by definition** on the data graph — the
+   stand-alone A(k)-index retains no information about A(k-1), so the
+   recursive definition
+
+       sig_0(w) = label(w)
+       sig_j(w) = ( sig_{j-1}(w), { sig_{j-1}(p) : p parent of w } )
+
+   is evaluated from scratch for every member.  Without memoisation this
+   walks every ancestor *path* of length <= k, which is what makes the
+   algorithm exponential in k (the paper: "Notice that the cost of this
+   simple algorithm is exponential in k").
+
+The algorithm only ever splits, so the index monotonically degrades —
+Figure 13's blow-up — and must be reconstructed periodically
+(:class:`~repro.maintenance.reconstruction.ReconstructionPolicy`).
+
+``memoize=True`` caches signatures per update, turning the recursion
+linear in the ancestor set; it is offered as an ablation (the blow-up in
+*index quality* is unchanged, only the time is) and is what the paper's
+"fixing a minor mistake" pointedly does **not** do.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.graph.datagraph import DataGraph, EdgeKind
+from repro.graph.traversal import descendants_within
+from repro.index.base import StructuralIndex
+from repro.index.construction import ak_class_maps, blocks_of
+from repro.maintenance.base import UpdateStats
+
+
+class SimpleAkMaintainer:
+    """Stand-alone A(k) maintenance by definition (the baseline of §7.2)."""
+
+    def __init__(self, index: StructuralIndex, k: int, memoize: bool = False):
+        self.index = index
+        self.graph: DataGraph = index.graph
+        self.k = k
+        self.memoize = memoize
+
+    def insert_edge(
+        self, source: int, target: int, kind: EdgeKind = EdgeKind.TREE
+    ) -> UpdateStats:
+        """Insert the dedge and re-split every possibly-unstable inode."""
+        self.graph.add_edge(source, target, kind)
+        self.index.note_edge_added(source, target)
+        return self._repartition_affected(target)
+
+    def delete_edge(self, source: int, target: int) -> UpdateStats:
+        """Delete the dedge and re-split every possibly-unstable inode."""
+        self.graph.remove_edge(source, target)
+        self.index.note_edge_removed(source, target)
+        return self._repartition_affected(target)
+
+    def index_size(self) -> int:
+        """Current number of inodes."""
+        return self.index.num_inodes
+
+    def reconstruct(self) -> None:
+        """Rebuild the index to the minimum A(k) from scratch."""
+        classes = ak_class_maps(self.graph, self.k)[self.k]
+        fresh = StructuralIndex.from_partition(self.graph, blocks_of(classes))
+        index = self.index
+        index._inode_of = fresh._inode_of
+        index._extent = fresh._extent
+        index._label = fresh._label
+        index._succ_support = fresh._succ_support
+        index._pred_support = fresh._pred_support
+        index._next_id = fresh._next_id
+
+    # ------------------------------------------------------------------
+
+    def _repartition_affected(self, v: int) -> UpdateStats:
+        stats = UpdateStats()
+        index = self.index
+        affected = descendants_within(self.graph, v, self.k - 1)
+        affected.add(v)
+        touched = {index.inode_of(w) for w in affected}
+
+        cache: dict[tuple[int, int], Hashable] | None = {} if self.memoize else None
+        for inode in sorted(touched):
+            members = sorted(index.extent(inode))
+            if len(members) == 1:
+                continue
+            groups: dict[Hashable, list[int]] = {}
+            for w in members:
+                groups.setdefault(self._ksig(w, self.k, cache), []).append(w)
+            if len(groups) < 2:
+                continue
+            ordered = sorted(groups.values(), key=len, reverse=True)
+            for block in ordered[1:]:  # the largest group keeps the inode id
+                index.split_off(inode, block)
+                stats.splits += 1
+                stats.moves += len(block)
+        stats.trivial = stats.splits == 0
+        stats.peak_inodes = index.num_inodes
+        return stats
+
+    def _ksig(
+        self, w: int, depth: int, cache: dict[tuple[int, int], Hashable] | None
+    ) -> Hashable:
+        """k-bisimilarity signature by definition (exponential when uncached)."""
+        if depth == 0:
+            return self.graph.label(w)
+        if cache is not None:
+            key = (w, depth)
+            hit = cache.get(key)
+            if hit is not None:
+                return hit
+        sig = (
+            self._ksig(w, depth - 1, cache),
+            frozenset(self._ksig(p, depth - 1, cache) for p in self.graph.iter_pred(w)),
+        )
+        if cache is not None:
+            cache[(w, depth)] = sig
+        return sig

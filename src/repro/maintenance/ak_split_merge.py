@@ -1,0 +1,361 @@
+"""Split/merge maintenance of the A(k)-index family (Section 6, Figure 7).
+
+The paper maintains all of A(0), ..., A(k) together because the split and
+merge decisions for the A(i)-index are made *relative to the
+A(i-1)-index*.  Concretely, a dnode's A(i) class is fully determined by
+its **level signature**
+
+    sig_i(w) = ( class_{i-1}(w), { class_{i-1}(p) : p parent of w } )
+
+(Definition 4 read constructively), so after an edge update the family is
+repaired level by level, ``i = 1 .. k``:
+
+1. the *affected* dnodes at level i are the update target ``v``, every
+   dnode whose class changed at level i-1, and the children of those
+   dnodes — nobody else's signature can have changed;
+2. each affected dnode's new signature is computed and looked up among
+   the candidate classes (the refinement-tree children of its level-(i-1)
+   class): match → the dnode *merges* into that class; no match → a fresh
+   class is *split* off for the signature group.
+
+Classes left empty disappear; classes that kept unaffected members keep
+their identity (their signature is unchanged — those members' inputs did
+not change), which keeps the update local.  Because the minimal family is
+the unique **minimum** family (Lemma 6), this refresh computes exactly
+the same result as Figure 7's compound-block pseudocode — Theorem 2's
+guarantee, ``family.is_minimum()``, is asserted directly by the property
+tests after every update.
+
+Cost: proportional to the affected neighbourhood (out-neighbours of
+changed dnodes, k times), never to the graph size — the locality the
+paper designs for.  The per-level work is reported through
+:class:`UpdateStats` (``moves``, ``splits`` = classes created, ``merges``
+= classes removed, ``levels_touched``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Optional
+
+from repro.exceptions import MaintenanceError
+from repro.graph.datagraph import DataGraph, EdgeKind
+from repro.index.akindex import AkIndexFamily
+from repro.maintenance.base import UpdateStats
+
+LevelSig = tuple[int, frozenset[int]]
+
+
+class AkSplitMergeMaintainer:
+    """Maintains an :class:`AkIndexFamily` at the minimum (Theorem 2)."""
+
+    def __init__(self, family: AkIndexFamily):
+        self.family = family
+        self.graph: DataGraph = family.graph
+        self._label_tokens: dict[str, int] = {}
+        level0 = family.levels[0]
+        for token, extent in level0.extents.items():
+            self._label_tokens[self.graph.label(next(iter(extent)))] = token
+
+    # ------------------------------------------------------------------
+    # Edge insertion / deletion
+    # ------------------------------------------------------------------
+
+    def insert_edge(
+        self, source: int, target: int, kind: EdgeKind = EdgeKind.TREE
+    ) -> UpdateStats:
+        """Insert the dedge ``source -> target`` and repair all levels."""
+        self.graph.add_edge(source, target, kind)
+        return self._propagate({target})
+
+    def delete_edge(self, source: int, target: int) -> UpdateStats:
+        """Delete the dedge ``source -> target`` and repair all levels."""
+        self.graph.remove_edge(source, target)
+        return self._propagate({target})
+
+    def index_size(self) -> int:
+        """Number of inodes of the A(k)-index (the leaf level)."""
+        return self.family.num_inodes(self.family.k)
+
+    # ------------------------------------------------------------------
+    # Node insertion / deletion (composed from the edge machinery)
+    # ------------------------------------------------------------------
+
+    def insert_node(
+        self, parent: int, label: str, value: object = None
+    ) -> tuple[int, UpdateStats]:
+        """Create a new dnode under *parent*; returns (oid, stats)."""
+        graph = self.graph
+        oid = graph.add_node(label, value)
+        graph.add_edge(parent, oid)
+        level0 = self.family.levels[0]
+        token = self._level0_token(label)
+        level0.class_of[oid] = token
+        level0.extents[token].add(oid)
+        stats = self._propagate(set(), initial_changed={oid})
+        return oid, stats
+
+    def delete_node(self, dnode: int) -> UpdateStats:
+        """Delete a dnode and its incident dedges; repair all levels."""
+        graph = self.graph
+        family = self.family
+        entry_points: set[int] = set()
+        for c in list(graph.iter_succ(dnode)):
+            graph.remove_edge(dnode, c)
+            if c != dnode:
+                entry_points.add(c)
+        for p in list(graph.iter_pred(dnode)):
+            graph.remove_edge(p, dnode)
+        stats = UpdateStats()
+        for level_no in range(family.k + 1):
+            level = family.levels[level_no]
+            token = level.class_of.pop(dnode)
+            extent = level.extents[token]
+            extent.discard(dnode)
+            if not extent:
+                self._remove_empty_class(level_no, token, stats)
+        graph.remove_node(dnode)
+        stats.absorb(self._propagate(entry_points))
+        return stats
+
+    # ------------------------------------------------------------------
+    # Subgraph addition / deletion
+    # ------------------------------------------------------------------
+
+    def add_subgraph(
+        self,
+        subgraph: DataGraph,
+        subgraph_root: int,
+        cross_edges: Iterable[tuple[int, int]] = (),
+    ) -> tuple[dict[int, int], UpdateStats]:
+        """Add a rooted subgraph and its cross edges in one batch.
+
+        All graph surgery happens first; the new dnodes then enter level 0
+        by label and ripple up through the same level refresh as edge
+        updates, with every new dnode marked changed — one pass over the
+        family instead of one per cross edge (the batching Section 6
+        inherits from Section 5.2).  Returns the oid translation map and
+        the aggregated stats.
+        """
+        if subgraph.num_nodes == 0:
+            raise MaintenanceError("cannot add an empty subgraph")
+        from repro.maintenance.split_merge import _require_disjoint_oids
+
+        cross_edges = list(cross_edges)
+        _require_disjoint_oids(self.graph, subgraph, cross_edges)
+        del subgraph_root  # the batched A(k) path needs no special root handling
+        graph = self.graph
+        mapping = graph.add_subgraph(subgraph)
+        new_nodes = set(mapping.values())
+        entry_points: set[int] = set()
+        from repro.maintenance.split_merge import _normalise_cross_edges
+
+        for a, b, kind in _normalise_cross_edges(cross_edges):
+            source = mapping.get(a, a)
+            target = mapping.get(b, b)
+            graph.add_edge(source, target, kind)
+            if target not in new_nodes:
+                entry_points.add(target)
+
+        level0 = self.family.levels[0]
+        for w in sorted(new_nodes):
+            token = self._level0_token(graph.label(w))
+            level0.class_of[w] = token
+            level0.extents[token].add(w)
+        stats = self._propagate(entry_points, initial_changed=new_nodes)
+        return mapping, stats
+
+    def delete_subgraph(self, subgraph_root: int) -> UpdateStats:
+        """Delete the subtree (via TREE edges) rooted at *subgraph_root*."""
+        graph = self.graph
+        family = self.family
+        doomed = set(graph.subgraph_from(subgraph_root).nodes())
+
+        entry_points: set[int] = set()
+        for w in doomed:
+            for c in list(graph.iter_succ(w)):
+                graph.remove_edge(w, c)
+                if c not in doomed:
+                    entry_points.add(c)
+            for p in list(graph.iter_pred(w)):
+                if p not in doomed:
+                    graph.remove_edge(p, w)
+
+        stats = UpdateStats()
+        for level_no in range(family.k + 1):
+            level = family.levels[level_no]
+            emptied: set[int] = set()
+            for w in doomed:
+                token = level.class_of.pop(w)
+                extent = level.extents[token]
+                extent.discard(w)
+                if not extent:
+                    emptied.add(token)
+            for token in emptied:
+                self._remove_empty_class(level_no, token, stats)
+        for w in doomed:
+            graph.remove_node(w)
+        stats.absorb(self._propagate(entry_points))
+        return stats
+
+    # ------------------------------------------------------------------
+    # The level loop
+    # ------------------------------------------------------------------
+
+    def _propagate(
+        self, entry_points: set[int], initial_changed: Optional[set[int]] = None
+    ) -> UpdateStats:
+        """Refresh levels 1..k.
+
+        *entry_points* are dnodes whose physical parent set changed (their
+        signature can change at *every* level even when nothing changed at
+        the level below); *initial_changed* seeds the changed set (new
+        dnodes from a subgraph addition, already placed at level 0).
+        """
+        stats = UpdateStats()
+        graph = self.graph
+        changed: set[int] = set(initial_changed or ())
+        any_change = bool(changed)
+        for level_no in range(1, self.family.k + 1):
+            affected = set(entry_points) | changed
+            for w in changed:
+                affected.update(graph.iter_succ(w))
+            if not affected:
+                break
+            changed = self._refresh_level(level_no, affected, stats)
+            if changed:
+                any_change = True
+                stats.levels_touched = level_no
+        stats.trivial = not any_change and stats.moves == 0
+        stats.peak_inodes = max(stats.peak_inodes, self.index_size())
+        return stats
+
+    def _refresh_level(
+        self, level_no: int, affected: set[int], stats: UpdateStats
+    ) -> set[int]:
+        """Re-place every affected dnode at one level; return who moved."""
+        graph = self.graph
+        family = self.family
+        level = family.levels[level_no]
+        coarser = family.levels[level_no - 1]
+
+        # New signatures, in deterministic order.
+        ordered = sorted(affected)
+        sigs: dict[int, LevelSig] = {}
+        for w in ordered:
+            sigs[w] = (
+                coarser.class_of[w],
+                frozenset(coarser.class_of[p] for p in graph.iter_pred(w)),
+            )
+
+        # Old classes of the affected dnodes (None = brand-new dnode).
+        by_old: dict[Optional[int], list[int]] = {}
+        for w in ordered:
+            by_old.setdefault(level.class_of.get(w), []).append(w)
+
+        # Candidate classes that keep their identity: any class under an
+        # involved coarser class with at least one unaffected member — its
+        # signature is unchanged and is read off a representative.
+        sig_table: dict[LevelSig, int] = {}
+        for coarse_token in sorted({sig[0] for sig in sigs.values()}):
+            for token in sorted(coarser.children.get(coarse_token, ())):
+                representative = None
+                for member in level.extents[token]:
+                    if member not in affected:
+                        representative = member
+                        break
+                if representative is None:
+                    continue  # fully affected; may reclaim its id below
+                rep_sig = (
+                    coarse_token,
+                    frozenset(
+                        coarser.class_of[p] for p in graph.iter_pred(representative)
+                    ),
+                )
+                sig_table[rep_sig] = token
+
+        # A fully-affected class keeps its id for its largest signature
+        # group (id stability keeps the changed set, and hence the work at
+        # the next level, small).
+        for old_token in sorted(t for t in by_old if t is not None):
+            members = by_old[old_token]
+            if len(members) != len(level.extents[old_token]):
+                continue
+            counts: dict[LevelSig, int] = {}
+            for w in members:
+                counts[sigs[w]] = counts.get(sigs[w], 0) + 1
+            best_sig: Optional[LevelSig] = None
+            best_count = 0
+            for w in members:  # members are sorted; first max wins
+                if counts[sigs[w]] > best_count:
+                    best_sig = sigs[w]
+                    best_count = counts[sigs[w]]
+            if best_sig is None or best_sig in sig_table:
+                continue
+            sig_table[best_sig] = old_token
+            new_parent = best_sig[0]
+            old_parent = level.parent[old_token]
+            if new_parent != old_parent:
+                kids = coarser.children.get(old_parent)
+                if kids is not None:
+                    kids.discard(old_token)
+                level.parent[old_token] = new_parent
+                coarser.children.setdefault(new_parent, set()).add(old_token)
+
+        # Assign every affected dnode to the class of its signature.
+        changed: set[int] = set()
+        for w in ordered:
+            sig = sigs[w]
+            target = sig_table.get(sig)
+            if target is None:
+                target = level.fresh_token()
+                sig_table[sig] = target
+                level.extents[target] = set()
+                level.parent[target] = sig[0]
+                coarser.children.setdefault(sig[0], set()).add(target)
+                if level_no < family.k:
+                    level.children[target] = set()
+                stats.splits += 1
+            old = level.class_of.get(w)
+            if old == target:
+                continue
+            if old is not None:
+                level.extents[old].discard(w)
+            level.class_of[w] = target
+            level.extents[target].add(w)
+            changed.add(w)
+            stats.moves += 1
+
+        # Drop classes the refresh emptied.
+        for old_token in by_old:
+            if old_token is None:
+                continue
+            extent = level.extents.get(old_token)
+            if extent is not None and not extent:
+                self._remove_empty_class(level_no, old_token, stats)
+        return changed
+
+    def _remove_empty_class(self, level_no: int, token: int, stats: UpdateStats) -> None:
+        family = self.family
+        level = family.levels[level_no]
+        del level.extents[token]
+        if level_no > 0:
+            parent = level.parent.pop(token)
+            kids = family.levels[level_no - 1].children.get(parent)
+            if kids is not None:
+                kids.discard(token)
+        if level_no < family.k:
+            level.children.pop(token, None)
+        stats.merges += 1
+
+    def _level0_token(self, label: str) -> int:
+        token = self._label_tokens.get(label)
+        level0 = self.family.levels[0]
+        if token is not None and token in level0.extents:
+            return token
+        token = level0.fresh_token()
+        level0.extents[token] = set()
+        if self.family.k > 0:
+            level0.children[token] = set()
+        self._label_tokens[label] = token
+        return token

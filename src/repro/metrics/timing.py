@@ -1,0 +1,60 @@
+"""Small timing helpers for the experiment harness.
+
+The paper reports wall-clock milliseconds (Figure 11, Table 2); the
+harness accumulates per-update times with :class:`Stopwatch` and reports
+means with :func:`mean_ms`.  ``perf_counter`` is used throughout —
+monotonic and the highest resolution the platform offers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates durations of repeated timed sections."""
+
+    total_seconds: float = 0.0
+    laps: int = 0
+    lap_seconds: list[float] = field(default_factory=list)
+    keep_laps: bool = False
+    _started: float | None = None
+
+    def __enter__(self) -> "Stopwatch":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._started is not None, "stopwatch was not started"
+        elapsed = time.perf_counter() - self._started
+        self._started = None
+        self.total_seconds += elapsed
+        self.laps += 1
+        if self.keep_laps:
+            self.lap_seconds.append(elapsed)
+
+    @property
+    def mean_seconds(self) -> float:
+        """Mean lap duration in seconds (0.0 before any lap)."""
+        if self.laps == 0:
+            return 0.0
+        return self.total_seconds / self.laps
+
+    @property
+    def mean_ms(self) -> float:
+        """Mean lap duration in milliseconds."""
+        return self.mean_seconds * 1000
+
+    @property
+    def total_ms(self) -> float:
+        """Total accumulated milliseconds."""
+        return self.total_seconds * 1000
+
+
+def mean_ms(seconds: list[float]) -> float:
+    """Mean of a list of second-durations, in milliseconds."""
+    if not seconds:
+        return 0.0
+    return sum(seconds) / len(seconds) * 1000

@@ -1,0 +1,31 @@
+"""Path-expression queries over data graphs and structural indexes."""
+
+from repro.query.automaton import PathNfa, compile_path
+from repro.query.evaluator import (
+    EvaluationReport,
+    ancestors_of,
+    evaluate_on_graph,
+    evaluate_on_subgraph,
+)
+from repro.query.index_evaluator import (
+    evaluate_on_ak,
+    evaluate_on_family,
+    evaluate_on_index,
+)
+from repro.query.path_expression import WILDCARD, PathExpression, Step, parse_path
+
+__all__ = [
+    "PathExpression",
+    "Step",
+    "WILDCARD",
+    "parse_path",
+    "PathNfa",
+    "compile_path",
+    "EvaluationReport",
+    "evaluate_on_graph",
+    "evaluate_on_subgraph",
+    "evaluate_on_index",
+    "evaluate_on_ak",
+    "evaluate_on_family",
+    "ancestors_of",
+]

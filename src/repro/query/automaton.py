@@ -1,0 +1,67 @@
+"""Compilation of path expressions to label NFAs.
+
+Evaluating a path expression over a graph (data graph or index graph) is
+a product construction: walk the graph and the query automaton together.
+This module builds the automaton; :mod:`repro.query.evaluator` runs the
+product.
+
+States are ``0 .. n`` where ``n = len(steps)``; state ``i`` means "the
+first i steps have matched".  A child step is a single transition; a
+descendant step additionally lets the automaton idle in its source state
+across any label (``//a`` = "any path, then an ``a`` child").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.query.path_expression import WILDCARD, PathExpression
+
+
+@dataclass(frozen=True)
+class PathNfa:
+    """An NFA over node labels recognising a path expression.
+
+    ``advance[i]`` describes leaving state ``i`` when a node with some
+    label is consumed: a pair ``(test, i+1)``.  ``loops`` is the set of
+    states that may also stay put on any label (descendant-axis sources).
+    """
+
+    expression: PathExpression
+    advance: tuple[tuple[str, int], ...]
+    loops: frozenset[int]
+
+    @property
+    def start(self) -> int:
+        """Initial state (nothing matched — the ROOT node itself)."""
+        return 0
+
+    @property
+    def accept(self) -> int:
+        """Accepting state (all steps matched)."""
+        return len(self.advance)
+
+    def step(self, states: frozenset[int], label: str) -> frozenset[int]:
+        """All states reachable by consuming one node with *label*."""
+        result: set[int] = set()
+        for state in states:
+            if state in self.loops:
+                result.add(state)
+            if state < len(self.advance):
+                test, target = self.advance[state]
+                if test == WILDCARD or test == label:
+                    result.add(target)
+        return frozenset(result)
+
+    def accepts_states(self, states: frozenset[int]) -> bool:
+        """Whether a state set contains the accepting state."""
+        return self.accept in states
+
+
+def compile_path(expression: PathExpression) -> PathNfa:
+    """Compile a parsed path expression into a :class:`PathNfa`."""
+    advance = tuple((step.test, i + 1) for i, step in enumerate(expression.steps))
+    loops = frozenset(
+        i for i, step in enumerate(expression.steps) if step.axis == "descendant"
+    )
+    return PathNfa(expression, advance, loops)

@@ -1,0 +1,110 @@
+"""Path expressions: the query language structural indexes accelerate.
+
+The paper's motivation (Section 1) is fast evaluation of path
+expressions [4] over graph-shaped XML.  We support the XPath-like core
+that structural-index papers evaluate with:
+
+* ``/a/b/c``   — child steps from the root;
+* ``//a``      — a descendant step (any number of intermediate nodes);
+* ``*``        — a wildcard name test;
+* steps combine freely: ``/site//person/name``, ``//keyword``.
+
+A parsed expression is a sequence of :class:`Step` objects; its *length*
+(number of steps) decides whether an A(k)-index can answer it exactly —
+expressions longer than k need the validation pass of Section 3.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.exceptions import PathSyntaxError
+
+#: Name test that matches any label.
+WILDCARD = "*"
+
+_NAME_RE = re.compile(r"[^/\s]+")
+
+
+@dataclass(frozen=True)
+class Step:
+    """One location step.
+
+    ``axis`` is ``"child"`` (``/``) or ``"descendant"`` (``//``);
+    ``test`` is a label or :data:`WILDCARD`.
+    """
+
+    axis: str
+    test: str
+
+    def __post_init__(self) -> None:
+        if self.axis not in ("child", "descendant"):
+            raise PathSyntaxError(self.test, 0, f"unknown axis {self.axis!r}")
+
+    def matches(self, label: str) -> bool:
+        """Whether this step's name test accepts *label*."""
+        return self.test == WILDCARD or self.test == label
+
+
+@dataclass(frozen=True)
+class PathExpression:
+    """A parsed path expression: an anchored sequence of steps."""
+
+    steps: tuple[Step, ...]
+    text: str
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __str__(self) -> str:
+        return self.text
+
+    @property
+    def has_descendant_axis(self) -> bool:
+        """Whether any step uses ``//`` (unbounded path length)."""
+        return any(step.axis == "descendant" for step in self.steps)
+
+    def answerable_exactly_by_ak(self, k: int) -> bool:
+        """Whether an A(k)-index answers this expression without validation.
+
+        The A(k)-index preserves incoming label paths of length up to k
+        (Section 3), so child-only expressions of at most k steps are
+        answered exactly; anything longer, or with a descendant axis, may
+        produce false positives.
+        """
+        return not self.has_descendant_axis and len(self.steps) <= k
+
+
+def parse_path(text: str) -> PathExpression:
+    """Parse a path expression.
+
+    >>> expr = parse_path('/site//person/name')
+    >>> [(s.axis, s.test) for s in expr.steps]
+    [('child', 'site'), ('descendant', 'person'), ('child', 'name')]
+    """
+    stripped = text.strip()
+    if not stripped:
+        raise PathSyntaxError(text, 0, "empty expression")
+    position = 0
+    steps: list[Step] = []
+    if not stripped.startswith("/"):
+        # A bare name is shorthand for a descendant step, XPath's '//name'
+        # being the overwhelmingly common query in the index literature.
+        stripped = "//" + stripped
+    while position < len(stripped):
+        if stripped.startswith("//", position):
+            axis = "descendant"
+            position += 2
+        elif stripped.startswith("/", position):
+            axis = "child"
+            position += 1
+        else:
+            raise PathSyntaxError(text, position, "expected '/' or '//'")
+        match = _NAME_RE.match(stripped, position)
+        if not match:
+            raise PathSyntaxError(text, position, "expected a name test")
+        name = match.group()
+        position = match.end()
+        steps.append(Step(axis, name))
+    return PathExpression(tuple(steps), text.strip())

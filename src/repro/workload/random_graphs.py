@@ -1,0 +1,148 @@
+"""Random data graphs and adversarial gadgets for testing and ablation.
+
+The property tests drive the maintenance algorithms over three random
+families (trees, DAGs, cyclic graphs) whose invariants differ exactly as
+Theorem 1 predicts: the split/merge 1-index is *minimum* on the first
+two, only guaranteed *minimal* on the third.
+
+Also here: the twin-chain worst-case gadget of Figure 5, used by the
+ablation benchmark to exhibit updates whose split/merge cost is Ω(n).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.graph.datagraph import DataGraph
+
+DEFAULT_LABELS = ("A", "B", "C", "D")
+
+
+def random_tree(
+    rng: random.Random, num_nodes: int, labels: tuple[str, ...] = DEFAULT_LABELS
+) -> DataGraph:
+    """A random rooted tree: every new node hangs off a uniform parent."""
+    graph = DataGraph()
+    nodes = [graph.add_root()]
+    for _ in range(num_nodes):
+        node = graph.add_node(rng.choice(labels))
+        graph.add_edge(rng.choice(nodes), node)
+        nodes.append(node)
+    return graph
+
+
+def random_dag(
+    rng: random.Random,
+    num_nodes: int,
+    extra_edges: int,
+    labels: tuple[str, ...] = DEFAULT_LABELS,
+) -> DataGraph:
+    """A random rooted DAG: a tree plus forward (low-oid -> high-oid) edges."""
+    graph = random_tree(rng, num_nodes, labels)
+    nodes = sorted(graph.nodes())
+    for _ in range(extra_edges):
+        a, b = rng.choice(nodes), rng.choice(nodes)
+        if a > b:
+            a, b = b, a
+        if a == b or b == graph.root or graph.has_edge(a, b):
+            continue
+        graph.add_edge(a, b)
+    return graph
+
+
+def random_cyclic(
+    rng: random.Random,
+    num_nodes: int,
+    extra_edges: int,
+    labels: tuple[str, ...] = DEFAULT_LABELS,
+) -> DataGraph:
+    """A random rooted graph that may contain cycles."""
+    graph = random_tree(rng, num_nodes, labels)
+    nodes = sorted(graph.nodes())
+    for _ in range(extra_edges):
+        a, b = rng.choice(nodes), rng.choice(nodes)
+        if a == b or b == graph.root or graph.has_edge(a, b):
+            continue
+        graph.add_edge(a, b)
+    return graph
+
+
+def candidate_edges(
+    graph: DataGraph, rng: random.Random, count: int, acyclic: bool
+) -> list[tuple[int, int]]:
+    """Up to *count* insertable edges (respecting acyclicity if asked)."""
+    nodes = sorted(graph.nodes())
+    found: list[tuple[int, int]] = []
+    seen: set[tuple[int, int]] = set()
+    attempts = 0
+    while len(found) < count and attempts < count * 20:
+        attempts += 1
+        a, b = rng.choice(nodes), rng.choice(nodes)
+        if acyclic and a > b:
+            a, b = b, a
+        if a == b or b == graph.root or graph.has_edge(a, b) or (a, b) in seen:
+            continue
+        seen.add((a, b))
+        found.append((a, b))
+    return found
+
+
+@dataclass
+class WorstCaseGadget:
+    """The Figure 5 twin-chain gadget.
+
+    ``graph`` holds two parallel label chains of length *depth* under two
+    same-label anchors ``left`` and ``right``; ``marker`` is an extra node
+    whose edge to ``left`` is what distinguishes the chains.
+
+    * With the marker edge **absent**, the two chains are pairwise
+      bisimilar: the minimum 1-index has one inode per chain position.
+    * **Inserting** ``(marker, left)`` splits every pair — Ω(depth)
+      splits with no compensating merges.
+    * **Deleting** it re-merges every pair — Ω(depth) merges.
+
+    Either direction shows an update whose cost is proportional to the
+    index size, the worst case Section 5.1 analyses (and reports to be
+    vanishingly rare on real data — the ablation bench quantifies both).
+    """
+
+    graph: DataGraph
+    marker: int
+    left: int
+    right: int
+    depth: int
+    #: deepest node of each chain (for building cyclic variants)
+    left_tail: int = -1
+    right_tail: int = -1
+
+
+def worst_case_gadget(depth: int, with_marker_edge: bool = False) -> WorstCaseGadget:
+    """Build the Figure 5 twin-chain gadget with chains of length *depth*."""
+    graph = DataGraph()
+    root = graph.add_root()
+    marker = graph.add_node("M")
+    graph.add_edge(root, marker)
+    left = graph.add_node("A")
+    right = graph.add_node("A")
+    graph.add_edge(root, left)
+    graph.add_edge(root, right)
+    previous_left, previous_right = left, right
+    for i in range(depth):
+        label = f"L{i % 3}"
+        next_left = graph.add_node(label)
+        next_right = graph.add_node(label)
+        graph.add_edge(previous_left, next_left)
+        graph.add_edge(previous_right, next_right)
+        previous_left, previous_right = next_left, next_right
+    if with_marker_edge:
+        graph.add_edge(marker, left)
+    return WorstCaseGadget(
+        graph,
+        marker,
+        left,
+        right,
+        depth,
+        left_tail=previous_left,
+        right_tail=previous_right,
+    )

@@ -1,0 +1,184 @@
+"""Update workloads: the experimental protocol of Section 7.
+
+Two workload shapes drive all of the paper's maintenance experiments:
+
+* **Mixed edge insertions and deletions** (Figures 9–11, 13, Tables 1–2):
+  20 % of the IDREF edges are removed from the data graph into a *pool*;
+  starting from the thinned graph, each step inserts one random pooled
+  edge and then deletes one random in-graph IDREF edge back into the
+  pool.  :class:`MixedUpdateWorkload` reproduces that loop.
+
+* **Subgraph additions** (Figure 12): ~500 subtrees are extracted by
+  picking auction dnodes and traversing down *without* following IDREF
+  edges; all are deleted, then re-added one at a time.
+  :func:`extract_subgraphs` / :func:`remove_subgraph_raw` implement the
+  setup; the maintainers' ``add_subgraph`` replays the additions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, Literal
+
+from repro.exceptions import GraphError
+from repro.graph.datagraph import DataGraph, EdgeKind
+
+Operation = tuple[Literal["insert", "delete"], int, int]
+
+
+@dataclass
+class MixedUpdateWorkload:
+    """The paper's insert/delete loop over a pool of IDREF edges.
+
+    Construct with :meth:`prepare`, which *mutates the graph* (removes the
+    pooled edges) — build indexes only afterwards, exactly like the paper
+    ("Using the resulting data graph as the starting point").
+    """
+
+    graph: DataGraph
+    rng: random.Random
+    pool: list[tuple[int, int]] = field(default_factory=list)
+    in_graph: list[tuple[int, int]] = field(default_factory=list)
+
+    @classmethod
+    def prepare(
+        cls,
+        graph: DataGraph,
+        pool_fraction: float = 0.2,
+        seed: int = 7,
+        candidate_edges: list[tuple[int, int]] | None = None,
+    ) -> "MixedUpdateWorkload":
+        """Remove *pool_fraction* of the IDREF edges into the pool.
+
+        *candidate_edges* restricts pooling/deletion to a subset (e.g.
+        only person–auction edges); default is every IDREF edge.
+        """
+        if not 0.0 < pool_fraction <= 1.0:
+            raise ValueError("pool_fraction must lie in (0, 1]")
+        rng = random.Random(seed)
+        candidates = (
+            list(candidate_edges)
+            if candidate_edges is not None
+            else sorted(graph.edges_of_kind(EdgeKind.IDREF))
+        )
+        if not candidates:
+            raise GraphError("graph has no IDREF edges to build a pool from")
+        rng.shuffle(candidates)
+        pool_size = max(1, int(len(candidates) * pool_fraction))
+        pool = candidates[:pool_size]
+        in_graph = candidates[pool_size:]
+        for source, target in pool:
+            graph.remove_edge(source, target)
+        return cls(graph=graph, rng=rng, pool=pool, in_graph=in_graph)
+
+    def steps(self, num_pairs: int) -> Iterator[Operation]:
+        """Yield ``2 * num_pairs`` operations: insert, delete, insert, ...
+
+        The workload is *stateful*: each yielded operation assumes the
+        previous ones were applied to the graph (by a maintainer).  The
+        sequence is deterministic for a fixed seed.
+        """
+        for _ in range(num_pairs):
+            if not self.pool:
+                break
+            index = self.rng.randrange(len(self.pool))
+            edge = self.pool.pop(index)
+            self.in_graph.append(edge)
+            yield ("insert", edge[0], edge[1])
+            if not self.in_graph:
+                break
+            index = self.rng.randrange(len(self.in_graph))
+            edge = self.in_graph.pop(index)
+            self.pool.append(edge)
+            yield ("delete", edge[0], edge[1])
+
+    def remaining_pairs(self) -> int:
+        """How many insert/delete pairs the pool can still supply."""
+        return min(len(self.pool), len(self.pool) + len(self.in_graph) - 1)
+
+
+@dataclass
+class ExtractedSubgraph:
+    """A subtree cut out of the host graph, ready for re-insertion.
+
+    ``subgraph`` keeps the original oids (so ``cross_edges`` — expressed
+    in host-oid space — resolve through the ``mapping`` that
+    ``add_subgraph`` returns).  ``root`` is the subtree root's oid.
+    """
+
+    subgraph: DataGraph
+    root: int
+    #: boundary edges in host-oid space, both directions, with their kind
+    cross_edges: list[tuple[int, int, EdgeKind]] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        """Number of dnodes in the subtree."""
+        return self.subgraph.num_nodes
+
+
+def extract_subgraphs(
+    graph: DataGraph,
+    label: str,
+    count: int,
+    seed: int = 17,
+    min_size: int = 2,
+) -> list[ExtractedSubgraph]:
+    """Extract up to *count* disjoint subtrees rooted at *label* dnodes.
+
+    Follows the paper's protocol: traversal goes down TREE edges only
+    ("we do not traverse IDREF edges ... IDREF edges usually represent
+    inter-object relationships that are not integral parts of the entity
+    of interest").  Candidate roots whose subtree overlaps an already
+    extracted one are skipped; boundary IDREF edges between two extracted
+    subgraphs are dropped (neither endpoint survives the bulk deletion —
+    a limitation also implicit in the paper's re-insertion order).
+    """
+    rng = random.Random(seed)
+    roots = sorted(graph.nodes_with_label(label))
+    rng.shuffle(roots)
+    taken: set[int] = set()
+    extracted: list[ExtractedSubgraph] = []
+    for root in roots:
+        if len(extracted) >= count:
+            break
+        subtree = graph.subgraph_from(root, follow_idref=False)
+        members = set(subtree.nodes())
+        if len(members) < min_size or members & taken:
+            continue
+        taken |= members
+        extracted.append(ExtractedSubgraph(subgraph=subtree, root=root))
+
+    # Boundary edges, with edges into other extracted subtrees dropped.
+    # Each carries its original EdgeKind so re-insertion reproduces the
+    # TREE/IDREF distinction exactly.
+    for item in extracted:
+        members = set(item.subgraph.nodes())
+        cross: set[tuple[int, int, EdgeKind]] = set()
+        for w in members:
+            for p in graph.iter_pred(w):
+                if p not in members and p not in taken:
+                    cross.add((p, w, graph.edge_kind(p, w)))
+            for c in graph.iter_succ(w):
+                if c not in members and c not in taken:
+                    cross.add((w, c, graph.edge_kind(w, c)))
+        item.cross_edges = sorted(cross, key=lambda e: (e[0], e[1]))
+    return extracted
+
+
+def remove_subgraph_raw(graph: DataGraph, extracted: ExtractedSubgraph) -> None:
+    """Delete an extracted subtree from the host graph, index-free.
+
+    Used for experiment *setup* (delete all subtrees, then build the
+    starting index); incremental deletion with index maintenance is
+    :meth:`SplitMergeMaintainer.delete_subgraph`.
+    """
+    graph.remove_nodes(extracted.subgraph.nodes())
+
+
+def average_size(extracted: list[ExtractedSubgraph]) -> float:
+    """Mean subtree size (the paper reports ~50 dnodes)."""
+    if not extracted:
+        return 0.0
+    return sum(item.size for item in extracted) / len(extracted)

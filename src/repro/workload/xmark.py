@@ -1,0 +1,292 @@
+"""A synthetic XMark-like auction database with a cyclicity knob.
+
+Section 7 of the paper uses the XMark benchmark generator [2]: an
+Internet-auction site whose element hierarchy (regions/items, people,
+open and closed auctions, categories) is laced with IDREF edges.  The
+real generator's text content is irrelevant to structural indexing; what
+the experiments manipulate is the *shape*:
+
+* a moderately deep, irregular element hierarchy (optional elements,
+  variable fan-out) — "a highly cyclic and irregular database likely to
+  stress the use of structural indexes";
+* **person–auction reference edges in both directions** — auctions name
+  their sellers and bidders (auction → person) and people watch open
+  auctions (person → auction).  These two directions together create the
+  cycles; the paper's *cyclicity* knob ``XMark(c)`` keeps a fraction
+  ``c`` of the person → auction edges, with ``XMark(0)`` acyclic.
+
+:func:`generate_xmark` reproduces exactly those properties with a
+seeded PRNG, at a configurable scale (defaults give ≈ 20–25 k dnodes;
+the paper's dataset has 167,865 — pass a bigger :class:`XMarkConfig` to
+approach it).  References are spread *uniformly* across the population,
+which Section 7.1 singles out as the reason split/merge achieves ~0 %
+quality on XMark (contrast :mod:`repro.workload.imdb`, whose clustered
+references create the short cycles of Figure 4).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.graph.datagraph import DataGraph, EdgeKind
+
+REGIONS = ("africa", "asia", "australia", "europe", "namerica", "samerica")
+
+
+@dataclass
+class XMarkConfig:
+    """Scale and shape parameters of the synthetic XMark database."""
+
+    num_items: int = 600
+    num_persons: int = 800
+    num_open_auctions: int = 500
+    num_closed_auctions: int = 300
+    num_categories: int = 100
+    #: fraction of person -> open_auction ("watch") edges kept; the
+    #: paper's XMark(c).  1.0 = fully cyclic, 0.0 = acyclic.
+    cyclicity: float = 1.0
+    #: mean number of watches per person (before cyclicity filtering)
+    watches_per_person: float = 1.2
+    #: mean number of bidders per open auction
+    bidders_per_auction: float = 2.0
+    seed: int = 13
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.cyclicity <= 1.0:
+            raise ValueError("cyclicity must lie in [0, 1]")
+
+
+@dataclass
+class XMarkDataset:
+    """The generated graph plus the handles the experiments need."""
+
+    graph: DataGraph
+    config: XMarkConfig
+    items: list[int] = field(default_factory=list)
+    persons: list[int] = field(default_factory=list)
+    open_auctions: list[int] = field(default_factory=list)
+    closed_auctions: list[int] = field(default_factory=list)
+    categories: list[int] = field(default_factory=list)
+    #: all person -> auction edges actually added (the cycle makers)
+    person_auction_edges: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def idref_edges(self) -> list[tuple[int, int]]:
+        """Every IDREF dedge currently in the graph."""
+        return list(self.graph.edges_of_kind(EdgeKind.IDREF))
+
+    def summary(self) -> str:
+        """One-line description in the style of Section 7."""
+        idref = len(self.idref_edges)
+        return (
+            f"XMark({self.config.cyclicity:g}): {self.graph.num_nodes} dnodes, "
+            f"{self.graph.num_edges} dedges, among which {idref} are IDREF edges"
+        )
+
+
+def generate_xmark(config: XMarkConfig | None = None) -> XMarkDataset:
+    """Generate a synthetic XMark-like database.
+
+    Deterministic for a fixed :class:`XMarkConfig` (including seed).
+    """
+    config = config or XMarkConfig()
+    rng = random.Random(config.seed)
+    graph = DataGraph()
+    dataset = XMarkDataset(graph=graph, config=config)
+
+    root = graph.add_root()
+    site = _child(graph, root, "site")
+
+    _build_regions(graph, site, dataset, rng)
+    _build_categories(graph, site, dataset, rng)
+    _build_people(graph, site, dataset, rng)
+    _build_open_auctions(graph, site, dataset, rng)
+    _build_closed_auctions(graph, site, dataset, rng)
+    _wire_references(graph, dataset, rng)
+    return dataset
+
+
+# ----------------------------------------------------------------------
+# Hierarchy builders
+# ----------------------------------------------------------------------
+
+
+def _child(graph: DataGraph, parent: int, label: str, value: object = None) -> int:
+    oid = graph.add_node(label, value)
+    graph.add_edge(parent, oid)
+    return oid
+
+
+def _build_regions(
+    graph: DataGraph, site: int, dataset: XMarkDataset, rng: random.Random
+) -> None:
+    regions = _child(graph, site, "regions")
+    region_nodes = [_child(graph, regions, name) for name in REGIONS]
+    for i in range(dataset.config.num_items):
+        region = region_nodes[i % len(region_nodes)]
+        item = _child(graph, region, "item")
+        dataset.items.append(item)
+        _child(graph, item, "name", f"item{i}")
+        _child(graph, item, "location")
+        if rng.random() < 0.7:
+            _child(graph, item, "quantity", rng.randint(1, 10))
+        if rng.random() < 0.6:
+            _child(graph, item, "payment")
+        description = _child(graph, item, "description")
+        for _ in range(rng.randint(0, 2)):
+            _child(graph, description, "parlist")
+        if rng.random() < 0.3:
+            mailbox = _child(graph, item, "mailbox")
+            for _ in range(rng.randint(1, 3)):
+                mail = _child(graph, mailbox, "mail")
+                _child(graph, mail, "from")
+                _child(graph, mail, "date")
+
+
+def _build_categories(
+    graph: DataGraph, site: int, dataset: XMarkDataset, rng: random.Random
+) -> None:
+    categories = _child(graph, site, "categories")
+    for i in range(dataset.config.num_categories):
+        category = _child(graph, categories, "category")
+        dataset.categories.append(category)
+        _child(graph, category, "name", f"category{i}")
+        if rng.random() < 0.5:
+            _child(graph, category, "description")
+
+
+def _build_people(
+    graph: DataGraph, site: int, dataset: XMarkDataset, rng: random.Random
+) -> None:
+    people = _child(graph, site, "people")
+    for i in range(dataset.config.num_persons):
+        person = _child(graph, people, "person")
+        dataset.persons.append(person)
+        _child(graph, person, "name", f"person{i}")
+        _child(graph, person, "emailaddress")
+        if rng.random() < 0.5:
+            _child(graph, person, "phone")
+        if rng.random() < 0.6:
+            address = _child(graph, person, "address")
+            _child(graph, address, "street")
+            _child(graph, address, "city")
+            _child(graph, address, "country")
+        if rng.random() < 0.4:
+            profile = _child(graph, person, "profile")
+            for _ in range(rng.randint(0, 3)):
+                _child(graph, profile, "interest")
+        if rng.random() < 0.3:
+            _child(graph, person, "creditcard")
+
+
+def _build_open_auctions(
+    graph: DataGraph, site: int, dataset: XMarkDataset, rng: random.Random
+) -> None:
+    auctions = _child(graph, site, "open_auctions")
+    for _ in range(dataset.config.num_open_auctions):
+        auction = _child(graph, auctions, "open_auction")
+        dataset.open_auctions.append(auction)
+        _child(graph, auction, "initial")
+        _child(graph, auction, "current")
+        if rng.random() < 0.5:
+            _child(graph, auction, "reserve")
+        _child(graph, auction, "quantity", rng.randint(1, 5))
+        _child(graph, auction, "type")
+        interval = _child(graph, auction, "interval")
+        _child(graph, interval, "start")
+        _child(graph, interval, "end")
+
+
+def _build_closed_auctions(
+    graph: DataGraph, site: int, dataset: XMarkDataset, rng: random.Random
+) -> None:
+    auctions = _child(graph, site, "closed_auctions")
+    for _ in range(dataset.config.num_closed_auctions):
+        auction = _child(graph, auctions, "closed_auction")
+        dataset.closed_auctions.append(auction)
+        _child(graph, auction, "price")
+        _child(graph, auction, "date")
+        _child(graph, auction, "quantity", rng.randint(1, 5))
+        if rng.random() < 0.4:
+            _child(graph, auction, "annotation")
+
+
+# ----------------------------------------------------------------------
+# IDREF wiring
+# ----------------------------------------------------------------------
+
+
+def _reference(
+    graph: DataGraph, owner: int, ref_label: str, target: int
+) -> tuple[int, int] | None:
+    """Add a reference *element* under *owner* with an IDREF to *target*.
+
+    Real XMark expresses every reference as a dedicated element carrying
+    an IDREF attribute (``<seller person="p123"/>``), so in the graph
+    model the IDREF dedge leaves a ``seller``/``personref``/... leaf, not
+    the auction itself.  This indirection matters structurally: it is what
+    keeps the A(k) levels coarse (every extra hop on a reference cycle
+    costs two levels of k, not one).  Returns the IDREF edge, or ``None``
+    if the identical edge already exists.
+    """
+    ref = graph.add_node(ref_label)
+    graph.add_edge(owner, ref)
+    if graph.has_edge(ref, target):  # unreachable: ref is fresh
+        return None
+    graph.add_edge(ref, target, EdgeKind.IDREF)
+    return (ref, target)
+
+
+def _wire_references(
+    graph: DataGraph, dataset: XMarkDataset, rng: random.Random
+) -> None:
+    config = dataset.config
+    persons = dataset.persons
+    items = dataset.items
+    categories = dataset.categories
+
+    # auction -> person (seller, bidders) and auction -> item / category:
+    # these directions alone keep the graph acyclic.
+    for auction in dataset.open_auctions:
+        _reference(graph, auction, "seller", rng.choice(persons))
+        for _ in range(_poissonish(rng, config.bidders_per_auction)):
+            bidder = _child(graph, auction, "bidder")
+            _reference(graph, bidder, "personref", rng.choice(persons))
+        _reference(graph, auction, "itemref", rng.choice(items))
+    for auction in dataset.closed_auctions:
+        _reference(graph, auction, "seller", rng.choice(persons))
+        _reference(graph, auction, "buyer", rng.choice(persons))
+        _reference(graph, auction, "itemref", rng.choice(items))
+    for item in items:
+        if rng.random() < 0.5 and categories:
+            _reference(graph, item, "incategory", rng.choice(categories))
+
+    # person -> open_auction (watches): the cycle-inducing direction.
+    # The watch *elements* are always generated — XMark(c) datasets have
+    # "the same number of dnodes" for every c — and only the IDREF edge
+    # itself is kept with probability c, so XMark(c)'s edges are a subset
+    # of XMark(1)'s.
+    for person in persons:
+        count = _poissonish(rng, config.watches_per_person)
+        if count == 0:
+            continue
+        watches = _child(graph, person, "watches")
+        for _ in range(count):
+            watch = _child(graph, watches, "watch")
+            auction = rng.choice(dataset.open_auctions)
+            if rng.random() < config.cyclicity:
+                graph.add_edge(watch, auction, EdgeKind.IDREF)
+                dataset.person_auction_edges.append((watch, auction))
+
+
+def _poissonish(rng: random.Random, mean: float) -> int:
+    """A small non-negative integer with the given mean (geometric-ish)."""
+    count = int(mean)
+    remainder = mean - count
+    if rng.random() < remainder:
+        count += 1
+    # occasional heavy tail for irregularity
+    while rng.random() < 0.15:
+        count += 1
+    return count

@@ -1,0 +1,101 @@
+"""Shared fixtures: the paper's running examples and small reference graphs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.datagraph import DataGraph
+
+
+@pytest.fixture
+def tiny_tree() -> DataGraph:
+    """root -> a -> b, root -> c (labels A, B, C)."""
+    return (
+        GraphBuilder()
+        .node("a", "A")
+        .node("b", "B")
+        .node("c", "C")
+        .edge("root", "a")
+        .edge("a", "b")
+        .edge("root", "c")
+        .build()
+    )
+
+
+@pytest.fixture
+def figure2_builder() -> GraphBuilder:
+    """The Figure 2 running example (see test_paper_examples for the map).
+
+    Dnodes 1 (A) and 2 (D) hang off the root; 3, 4, 5 are B-labeled with
+    parents {1}, {1}, {1, 2}; 6, 7, 8 are C-labeled children of 3, 4, 5.
+    Before the update the minimum 1-index is
+    {root} {1} {2} {3,4} {5} {6,7} {8}; inserting dedge (2, 4) makes 4
+    bisimilar to 5, triggering 2 splits then 2 merges.
+    """
+    return (
+        GraphBuilder()
+        .node(1, "A")
+        .node(2, "D")
+        .node(3, "B")
+        .node(4, "B")
+        .node(5, "B")
+        .node(6, "C")
+        .node(7, "C")
+        .node(8, "C")
+        .edge("root", 1)
+        .edge("root", 2)
+        .edge(1, 3)
+        .edge(1, 4)
+        .edge(1, 5)
+        .edge(2, 5)
+        .edge(3, 6)
+        .edge(4, 7)
+        .edge(5, 8)
+    )
+
+
+@pytest.fixture
+def figure2_graph(figure2_builder: GraphBuilder) -> DataGraph:
+    """The built Figure 2 data graph (before the dedge insertion)."""
+    return figure2_builder.build()
+
+
+@pytest.fixture
+def figure4_graph() -> DataGraph:
+    """The Figure 4 example: minimal 1-indexes need not be unique.
+
+    A cyclic graph where two A-B cycles can be folded into one (the
+    minimum) or kept apart (minimal but not minimum): a1 <-> b1 and
+    a2 <-> b2 are parallel 2-cycles fed identically from the root.
+    """
+    builder = (
+        GraphBuilder()
+        .node("a1", "A")
+        .node("a2", "A")
+        .node("b1", "B")
+        .node("b2", "B")
+        .edge("root", "a1")
+        .edge("root", "a2")
+        .edge("a1", "b1")
+        .edge("b1", "a1")
+        .edge("a2", "b2")
+        .edge("b2", "a2")
+    )
+    return builder.build()
+
+
+@pytest.fixture
+def diamond_dag() -> DataGraph:
+    """root -> x, y; both -> shared leaf (tests multi-parent stability)."""
+    return (
+        GraphBuilder()
+        .node("x", "X")
+        .node("y", "X")
+        .node("leaf", "L")
+        .edge("root", "x")
+        .edge("root", "y")
+        .edge("x", "leaf")
+        .edge("y", "leaf")
+        .build()
+    )

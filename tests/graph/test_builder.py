@@ -1,0 +1,74 @@
+"""Unit tests for the fluent graph builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.builder import GraphBuilder
+from repro.graph.datagraph import ROOT_LABEL, EdgeKind
+
+
+class TestBuilder:
+    def test_explicit_nodes_and_edges(self):
+        b = GraphBuilder().node("a", "A").node("b", "B").edge("root", "a").edge("a", "b")
+        g = b.build()
+        assert g.num_nodes == 3
+        assert g.label(b.oid("a")) == "A"
+        assert g.has_edge(b.oid("a"), b.oid("b"))
+        assert g.has_edge(g.root, b.oid("a"))
+
+    def test_implicit_nodes_use_key_as_label(self):
+        b = GraphBuilder().edge("root", "person")
+        g = b.build()
+        assert g.label(b.oid("person")) == "person"
+
+    def test_label_defaults_to_str_of_key(self):
+        b = GraphBuilder().node(7)
+        g = b.build(attach_orphans_to_root=True)
+        assert g.label(b.oid(7)) == "7"
+
+    def test_nodes_shorthand(self):
+        b = GraphBuilder().nodes("x", "y", "z", label="N")
+        g = b.build(attach_orphans_to_root=True)
+        assert [g.label(b.oid(k)) for k in "xyz"] == ["N", "N", "N"]
+
+    def test_idref_edges(self):
+        b = GraphBuilder().edge("root", "a").edge("root", "b").idref("a", "b")
+        g = b.build()
+        assert g.edge_kind(b.oid("a"), b.oid("b")) is EdgeKind.IDREF
+
+    def test_edges_shorthand(self):
+        b = GraphBuilder().edges(("root", "a"), ("a", "b"))
+        g = b.build()
+        assert g.num_edges == 2
+
+    def test_root_key_reserved(self):
+        with pytest.raises(GraphError):
+            GraphBuilder().node("root")
+
+    def test_duplicate_node_key_rejected(self):
+        with pytest.raises(GraphError):
+            GraphBuilder().node("a").node("a")
+
+    def test_attach_orphans(self):
+        b = GraphBuilder().node("lonely", "L")
+        g = b.build(attach_orphans_to_root=True)
+        assert g.has_edge(g.root, b.oid("lonely"))
+
+    def test_without_attach_orphans_stay_orphan(self):
+        b = GraphBuilder().node("lonely", "L")
+        g = b.build()
+        assert g.in_degree(b.oid("lonely")) == 0
+
+    def test_root_always_present(self):
+        g = GraphBuilder().build()
+        assert g.label(g.root) == ROOT_LABEL
+
+    def test_oid_before_build_raises(self):
+        b = GraphBuilder().node("a")
+        with pytest.raises(GraphError):
+            b.oid("a")
+
+    def test_graph_passes_invariants(self, figure2_graph):
+        figure2_graph.check_invariants()

@@ -1,0 +1,154 @@
+"""Unit tests for traversal and structure utilities."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.builder import GraphBuilder
+from repro.graph.datagraph import DataGraph
+from repro.graph.traversal import (
+    bfs_order,
+    count_cycle_edges,
+    descendants_within,
+    dfs_order,
+    graph_depth,
+    induced_edge_count,
+    is_acyclic,
+    reachable_from,
+    strongly_connected_components,
+    topological_order,
+    unreachable_nodes,
+)
+from repro.workload.random_graphs import random_cyclic, random_dag
+
+
+@pytest.fixture
+def chain() -> tuple[DataGraph, list[int]]:
+    g = DataGraph()
+    nodes = [g.add_root()]
+    for i in range(4):
+        node = g.add_node(f"N{i}")
+        g.add_edge(nodes[-1], node)
+        nodes.append(node)
+    return g, nodes
+
+
+class TestOrders:
+    def test_bfs_on_chain(self, chain):
+        g, nodes = chain
+        assert bfs_order(g, g.root) == nodes
+
+    def test_dfs_on_chain(self, chain):
+        g, nodes = chain
+        assert dfs_order(g, g.root) == nodes
+
+    def test_bfs_visits_each_reachable_once(self, figure2_graph):
+        order = bfs_order(figure2_graph, figure2_graph.root)
+        assert len(order) == len(set(order)) == figure2_graph.num_nodes
+
+    def test_bfs_handles_cycles(self, figure4_graph):
+        order = bfs_order(figure4_graph, figure4_graph.root)
+        assert len(order) == figure4_graph.num_nodes
+
+    def test_reachable_from_subset(self, figure2_graph):
+        # from dnode 3 only 3 and its child 6 are reachable
+        three = [n for n in figure2_graph.nodes() if figure2_graph.label(n) == "B"][0]
+        reach = reachable_from(figure2_graph, three)
+        assert three in reach
+        assert figure2_graph.root not in reach
+
+
+class TestDescendantsWithin:
+    def test_depth_zero_is_empty(self, chain):
+        g, nodes = chain
+        assert descendants_within(g, nodes[0], 0) == set()
+
+    def test_depth_limits(self, chain):
+        g, nodes = chain
+        assert descendants_within(g, nodes[0], 2) == set(nodes[1:3])
+        assert descendants_within(g, nodes[0], 10) == set(nodes[1:])
+
+    def test_excludes_start_even_on_cycles(self):
+        g = DataGraph()
+        a = g.add_node("A")
+        b = g.add_node("B")
+        g.add_edge(a, b)
+        g.add_edge(b, a)
+        assert descendants_within(g, a, 5) == {b}
+
+
+class TestAcyclicity:
+    def test_dag_detected(self, diamond_dag):
+        assert is_acyclic(diamond_dag)
+
+    def test_cycle_detected(self, figure4_graph):
+        assert not is_acyclic(figure4_graph)
+
+    def test_topological_order_respects_edges(self, diamond_dag):
+        order = topological_order(diamond_dag)
+        position = {node: i for i, node in enumerate(order)}
+        for s, t in diamond_dag.edges():
+            assert position[s] < position[t]
+
+    def test_topological_order_raises_on_cycle(self, figure4_graph):
+        with pytest.raises(GraphError):
+            topological_order(figure4_graph)
+
+    def test_random_dags_are_acyclic(self):
+        rng = random.Random(5)
+        for _ in range(10):
+            assert is_acyclic(random_dag(rng, 30, 10))
+
+
+class TestScc:
+    def test_sccs_partition_nodes(self, figure4_graph):
+        comps = strongly_connected_components(figure4_graph)
+        all_nodes = set().union(*comps)
+        assert all_nodes == set(figure4_graph.nodes())
+        assert sum(len(c) for c in comps) == figure4_graph.num_nodes
+
+    def test_two_cycles_found(self, figure4_graph):
+        comps = strongly_connected_components(figure4_graph)
+        big = [c for c in comps if len(c) > 1]
+        assert len(big) == 2
+        assert all(len(c) == 2 for c in big)
+
+    def test_dag_has_singleton_sccs(self, diamond_dag):
+        comps = strongly_connected_components(diamond_dag)
+        assert all(len(c) == 1 for c in comps)
+
+    def test_count_cycle_edges(self, figure4_graph, diamond_dag):
+        assert count_cycle_edges(figure4_graph) == 4  # two 2-cycles
+        assert count_cycle_edges(diamond_dag) == 0
+
+    def test_scc_on_random_cyclic_consistent_with_acyclicity(self):
+        rng = random.Random(11)
+        for _ in range(10):
+            g = random_cyclic(rng, 25, 12)
+            has_big = any(
+                len(c) > 1 for c in strongly_connected_components(g)
+            ) or any(g.has_edge(n, n) for n in g.nodes())
+            assert has_big == (not is_acyclic(g))
+
+
+class TestMisc:
+    def test_graph_depth(self, chain):
+        g, nodes = chain
+        assert graph_depth(g) == len(nodes) - 1
+
+    def test_graph_depth_requires_root(self):
+        with pytest.raises(GraphError):
+            graph_depth(DataGraph())
+
+    def test_unreachable_nodes(self):
+        b = GraphBuilder().edge("root", "a").node("stranded", "S")
+        g = b.build()
+        assert unreachable_nodes(g) == {b.oid("stranded")}
+
+    def test_induced_edge_count(self, diamond_dag):
+        nodes = list(diamond_dag.nodes())
+        assert induced_edge_count(diamond_dag, nodes) == diamond_dag.num_edges
+        assert induced_edge_count(diamond_dag, [diamond_dag.root]) == 0

@@ -1,0 +1,130 @@
+"""Unit tests for XML <-> data graph conversion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import XmlFormatError
+from repro.graph.datagraph import ROOT_LABEL, EdgeKind
+from repro.graph.xml_io import describe, parse_documents, parse_xml, roundtrip, to_xml
+
+SIMPLE = "<site><people><person id='p1'><name>alice</name></person></people></site>"
+WITH_REF = (
+    "<site>"
+    "<person id='p1'><name>alice</name></person>"
+    "<auction id='a1'><seller idref='p1'/></auction>"
+    "</site>"
+)
+
+
+class TestParse:
+    def test_elements_become_labeled_nodes(self):
+        g = parse_xml(SIMPLE)
+        assert g.label(g.root) == ROOT_LABEL
+        assert sorted(g.labels()) == sorted(
+            [ROOT_LABEL, "site", "people", "person", "name"]
+        )
+
+    def test_text_becomes_value(self):
+        g = parse_xml(SIMPLE)
+        (name,) = g.nodes_with_label("name")
+        assert g.value(name) == "alice"
+
+    def test_nesting_becomes_tree_edges(self):
+        g = parse_xml(SIMPLE)
+        (site,) = g.nodes_with_label("site")
+        (people,) = g.nodes_with_label("people")
+        assert g.has_edge(site, people)
+        assert g.edge_kind(site, people) is EdgeKind.TREE
+
+    def test_idref_becomes_reference_edge(self):
+        g = parse_xml(WITH_REF)
+        (seller,) = g.nodes_with_label("seller")
+        (person,) = g.nodes_with_label("person")
+        assert g.has_edge(seller, person)
+        assert g.edge_kind(seller, person) is EdgeKind.IDREF
+
+    def test_idrefs_attribute_fans_out(self):
+        text = (
+            "<r><a id='x'/><a id='y'/><b idrefs='x y'/></r>"
+        )
+        g = parse_xml(text)
+        (b,) = g.nodes_with_label("b")
+        assert g.out_degree(b) == 2
+
+    def test_ordinary_attributes_become_child_nodes(self):
+        g = parse_xml("<item quantity='2'/>")
+        (q,) = g.nodes_with_label("quantity")
+        assert g.value(q) == "2"
+
+    def test_attribute_nodes_can_be_disabled(self):
+        g = parse_xml("<item quantity='2'/>", attribute_nodes=False)
+        assert g.nodes_with_label("quantity") == []
+
+    def test_unresolvable_idref_raises(self):
+        with pytest.raises(XmlFormatError):
+            parse_xml("<r><b idref='nope'/></r>")
+
+    def test_duplicate_id_raises(self):
+        with pytest.raises(XmlFormatError):
+            parse_xml("<r><a id='x'/><b id='x'/></r>")
+
+    def test_malformed_xml_raises(self):
+        with pytest.raises(XmlFormatError):
+            parse_xml("<open>")
+
+    def test_multiple_documents_share_root(self):
+        g = parse_documents(["<a/>", "<b/>"])
+        assert g.out_degree(g.root) == 2
+
+    def test_forward_references_resolve(self):
+        g = parse_xml("<r><b idref='later'/><a id='later'/></r>")
+        (b,) = g.nodes_with_label("b")
+        (a,) = g.nodes_with_label("a")
+        assert g.has_edge(b, a)
+
+    def test_parse_passes_graph_invariants(self):
+        parse_xml(WITH_REF).check_invariants()
+
+
+class TestSerialize:
+    def test_roundtrip_preserves_structure(self):
+        g = parse_xml(WITH_REF, attribute_nodes=False)
+        g2 = roundtrip(g)
+        assert g2.num_nodes == g.num_nodes
+        assert g2.num_edges == g.num_edges
+        assert sorted(g2.labels()) == sorted(g.labels())
+
+    def test_to_xml_emits_idref_attributes(self):
+        g = parse_xml(WITH_REF, attribute_nodes=False)
+        text = to_xml(g)
+        assert "idref=" in text
+        assert "id=" in text
+
+    def test_to_xml_requires_single_document_element(self):
+        g = parse_documents(["<a/>", "<b/>"])
+        with pytest.raises(XmlFormatError):
+            to_xml(g)
+
+    def test_to_xml_rejects_tree_sharing(self):
+        from repro.graph.datagraph import DataGraph
+
+        g = DataGraph()
+        root = g.add_root()
+        doc = g.add_node("doc")
+        g.add_edge(root, doc)
+        a, b = g.add_node("a"), g.add_node("b")
+        g.add_edge(doc, a)
+        g.add_edge(doc, b)
+        shared = g.add_node("s")
+        g.add_edge(a, shared)
+        g.add_edge(b, shared)  # two TREE parents: no XML nesting exists
+        with pytest.raises(XmlFormatError):
+            to_xml(g)
+
+
+class TestDescribe:
+    def test_describe_counts(self):
+        g = parse_xml(WITH_REF, attribute_nodes=False)
+        text = describe(g)
+        assert "dnodes" in text and "IDREF" in text

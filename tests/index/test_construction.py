@@ -1,0 +1,190 @@
+"""Unit tests for index construction (signature iteration + worklist)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.datagraph import DataGraph
+from repro.index.construction import (
+    ak_class_maps,
+    bisimulation_partition,
+    blocks_of,
+    label_partition,
+    partition_index,
+    refine_by_signature,
+    stabilize,
+    stabilize_from_labels,
+)
+from repro.index.stability import is_minimal_1index, is_valid_1index
+from repro.workload.random_graphs import random_cyclic, random_dag, random_tree
+
+
+def as_blocks(class_of: dict[int, int]) -> set[frozenset[int]]:
+    groups: dict[int, set[int]] = {}
+    for node, cls in class_of.items():
+        groups.setdefault(cls, set()).add(node)
+    return {frozenset(b) for b in groups.values()}
+
+
+class TestLabelPartition:
+    def test_groups_by_label(self, figure2_graph):
+        blocks = as_blocks(label_partition(figure2_graph))
+        assert len(blocks) == 5  # ROOT A D B C
+        for block in blocks:
+            assert len({figure2_graph.label(w) for w in block}) == 1
+
+    def test_empty_graph(self):
+        assert label_partition(DataGraph()) == {}
+
+
+class TestSignatureRefinement:
+    def test_one_round_splits_by_parents(self, figure2_graph):
+        level0 = label_partition(figure2_graph)
+        level1 = refine_by_signature(figure2_graph, level0)
+        # B-nodes split: {3,4} have A-parent only, {5} has A and D parents
+        b_nodes = figure2_graph.nodes_with_label("B")
+        classes = {level1[w] for w in b_nodes}
+        assert len(classes) == 2
+
+    def test_refinement_is_monotone(self, figure4_graph):
+        current = label_partition(figure4_graph)
+        for _ in range(5):
+            refined = refine_by_signature(figure4_graph, current)
+            # every refined class sits inside one current class
+            for block in as_blocks(refined):
+                assert len({current[w] for w in block}) == 1
+            current = refined
+
+    def test_fixpoint_reached(self, figure2_graph):
+        fixed = bisimulation_partition(figure2_graph)
+        again = refine_by_signature(figure2_graph, fixed)
+        assert as_blocks(fixed) == as_blocks(again)
+
+
+class TestBisimulationPartition:
+    def test_figure2_minimum(self, figure2_graph):
+        blocks = as_blocks(bisimulation_partition(figure2_graph))
+        sizes = sorted(len(b) for b in blocks)
+        assert sizes == [1, 1, 1, 1, 1, 2, 2]  # {3,4} and {6,7} merge
+
+    def test_tree_groups_by_root_path(self):
+        # In a tree, two nodes are bisimilar iff their root label paths match.
+        b = (
+            GraphBuilder()
+            .edge("root", "a1")
+            .edge("root", "a2")
+            .edge("a1", "b1")
+            .edge("a2", "b2")
+        )
+        b.node("a1x", "a1")  # same label as key a1? keys are labels here
+        g = (
+            GraphBuilder()
+            .node("x1", "A").node("x2", "A").node("y1", "B").node("y2", "B")
+            .edge("root", "x1").edge("root", "x2")
+            .edge("x1", "y1").edge("x2", "y2")
+            .build()
+        )
+        blocks = as_blocks(bisimulation_partition(g))
+        assert len(blocks) == 3  # root, {x1,x2}, {y1,y2}
+
+    def test_cycle_handled(self, figure4_graph):
+        blocks = as_blocks(bisimulation_partition(figure4_graph))
+        # minimum folds the two parallel 2-cycles together
+        assert len(blocks) == 3
+
+    def test_max_rounds_cap(self, figure4_graph):
+        capped = bisimulation_partition(figure4_graph, max_rounds=1)
+        assert len(as_blocks(capped)) <= len(
+            as_blocks(bisimulation_partition(figure4_graph))
+        )
+
+
+class TestAkClassMaps:
+    def test_level_zero_is_label_partition(self, figure2_graph):
+        maps = ak_class_maps(figure2_graph, 2)
+        assert as_blocks(maps[0]) == as_blocks(label_partition(figure2_graph))
+
+    def test_each_level_refines_previous(self, figure4_graph):
+        maps = ak_class_maps(figure4_graph, 4)
+        for i in range(1, 5):
+            for block in as_blocks(maps[i]):
+                assert len({maps[i - 1][w] for w in block}) == 1
+
+    def test_high_k_reaches_bisimulation_on_dag(self):
+        rng = random.Random(1)
+        g = random_dag(rng, 30, 8)
+        depth = 40
+        maps = ak_class_maps(g, depth)
+        assert as_blocks(maps[depth]) == as_blocks(bisimulation_partition(g))
+
+    def test_negative_k_rejected(self, figure2_graph):
+        with pytest.raises(ValueError):
+            ak_class_maps(figure2_graph, -1)
+
+
+class TestWorklistEngine:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("family", ["tree", "dag", "cyclic"])
+    def test_worklist_matches_signature_iteration(self, seed, family):
+        rng = random.Random(seed)
+        if family == "tree":
+            g = random_tree(rng, 30)
+        elif family == "dag":
+            g = random_dag(rng, 30, 10)
+        else:
+            g = random_cyclic(rng, 30, 10)
+        via_signature = as_blocks(bisimulation_partition(g))
+        via_worklist = stabilize_from_labels(g).as_blocks()
+        assert via_signature == via_worklist
+
+    @pytest.mark.parametrize("choice", ["small", "first"])
+    def test_splitter_choice_does_not_change_result(self, figure2_graph, choice):
+        index = partition_index(figure2_graph, label_partition(figure2_graph))
+        with_parents: dict[int, set[int]] = {}
+        for node in figure2_graph.nodes():
+            if figure2_graph.in_degree(node) > 0:
+                with_parents.setdefault(index.inode_of(node), set()).add(node)
+        for inode, members in list(with_parents.items()):
+            if len(members) < index.extent_size(inode):
+                index.split_off(inode, members)
+        stabilize(index, [list(index.inodes())], splitter_choice=choice)
+        assert index.as_blocks() == as_blocks(bisimulation_partition(figure2_graph))
+
+    def test_unknown_splitter_choice_rejected(self, figure2_graph):
+        index = partition_index(figure2_graph, label_partition(figure2_graph))
+        with pytest.raises(ValueError):
+            stabilize(index, [], splitter_choice="biggest")
+
+    def test_empty_queue_is_noop(self, figure2_graph):
+        index = partition_index(figure2_graph, bisimulation_partition(figure2_graph))
+        before = index.as_blocks()
+        stats = stabilize(index, [])
+        assert index.as_blocks() == before
+        assert stats.splits == 0
+
+    def test_result_is_valid_and_minimal(self, figure4_graph):
+        index = stabilize_from_labels(figure4_graph)
+        assert is_valid_1index(index)
+        assert is_minimal_1index(index)
+
+    def test_self_loop_graph(self):
+        g = DataGraph()
+        root = g.add_root()
+        a = g.add_node("A")
+        b = g.add_node("A")
+        g.add_edge(root, a)
+        g.add_edge(root, b)
+        g.add_edge(a, a)  # self-loop distinguishes a from b
+        index = stabilize_from_labels(g)
+        assert index.as_blocks() == as_blocks(bisimulation_partition(g))
+
+
+class TestPartitionIndex:
+    def test_blocks_roundtrip(self, figure2_graph):
+        classes = bisimulation_partition(figure2_graph)
+        index = partition_index(figure2_graph, classes)
+        assert index.as_blocks() == as_blocks(classes)
+        assert {frozenset(b) for b in blocks_of(classes)} == as_blocks(classes)

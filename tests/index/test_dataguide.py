@@ -1,0 +1,56 @@
+"""Unit tests for the strong DataGuide extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import StructuralIndexError
+from repro.graph.builder import GraphBuilder
+from repro.index.dataguide import build_dataguide
+
+
+class TestDataGuide:
+    def test_tree_guide_mirrors_paths(self, tiny_tree):
+        guide = build_dataguide(tiny_tree)
+        # paths: "", A, A/B, C  ->  4 guide nodes
+        assert guide.num_nodes == 4
+
+    def test_lookup_returns_target_sets(self, tiny_tree):
+        guide = build_dataguide(tiny_tree)
+        (a,) = tiny_tree.nodes_with_label("A")
+        (b,) = tiny_tree.nodes_with_label("B")
+        assert guide.lookup(["A"]) == frozenset({a})
+        assert guide.lookup(["A", "B"]) == frozenset({b})
+        assert guide.lookup(["nope"]) == frozenset()
+
+    def test_shared_targets_merge_states(self, diamond_dag):
+        guide = build_dataguide(diamond_dag)
+        # both X nodes are reached by the same path "X", so one state
+        (leaf,) = diamond_dag.nodes_with_label("L")
+        assert guide.lookup(["X", "L"]) == frozenset({leaf})
+        assert guide.num_nodes == 3  # "", {x,y}, {leaf}
+
+    def test_cyclic_guide_terminates(self, figure4_graph):
+        guide = build_dataguide(figure4_graph)
+        assert guide.num_nodes >= 3
+        assert guide.num_edges >= guide.num_nodes - 1
+
+    def test_node_limit_enforced(self, figure2_graph):
+        with pytest.raises(StructuralIndexError):
+            build_dataguide(figure2_graph, node_limit=2)
+
+    def test_guide_can_exceed_1index_size_on_dags(self):
+        # The classic DataGuide blow-up: n sources each pointing into two
+        # sinks, giving overlapping target sets.
+        builder = GraphBuilder()
+        for i in range(4):
+            builder.node(f"s{i}", "S")
+            builder.edge("root", f"s{i}")
+        for i in range(4):
+            builder.node(f"t{i}", "T")
+        for i in range(4):
+            builder.edge(f"s{i}", f"t{i}")
+            builder.edge(f"s{i}", f"t{(i + 1) % 4}")
+        g = builder.build()
+        guide = build_dataguide(g)
+        assert guide.num_nodes >= 3

@@ -1,0 +1,181 @@
+"""Round-trip tests for graph and index serialisation."""
+
+from __future__ import annotations
+
+import io
+import json
+import random
+
+import pytest
+
+from repro.exceptions import GraphError, InvalidIndexError
+from repro.graph.serialize import (
+    dump_graph,
+    dumps_graph,
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    loads_graph,
+)
+from repro.index.akindex import AkIndexFamily
+from repro.index.oneindex import OneIndex
+from repro.index.serialize import (
+    dump_index,
+    family_from_dict,
+    family_to_dict,
+    index_from_dict,
+    index_to_dict,
+    load_index,
+)
+from repro.maintenance.ak_split_merge import AkSplitMergeMaintainer
+from repro.maintenance.split_merge import SplitMergeMaintainer
+from repro.workload.random_graphs import candidate_edges, random_cyclic
+
+
+class TestGraphRoundtrip:
+    def test_roundtrip_preserves_everything(self, figure2_graph):
+        clone = loads_graph(dumps_graph(figure2_graph))
+        clone.check_invariants()
+        assert set(clone.nodes()) == set(figure2_graph.nodes())
+        assert set(clone.edges()) == set(figure2_graph.edges())
+        assert clone.root == figure2_graph.root
+        for oid in figure2_graph.nodes():
+            assert clone.label(oid) == figure2_graph.label(oid)
+
+    def test_values_and_kinds_roundtrip(self):
+        from repro.graph.datagraph import DataGraph, EdgeKind
+
+        g = DataGraph()
+        root = g.add_root()
+        a = g.add_node("A", value=3)
+        b = g.add_node("B", value="text")
+        g.add_edge(root, a)
+        g.add_edge(a, b, EdgeKind.IDREF)
+        clone = loads_graph(dumps_graph(g))
+        assert clone.value(a) == 3
+        assert clone.value(b) == "text"
+        assert clone.edge_kind(a, b) is EdgeKind.IDREF
+
+    def test_rootless_graph(self):
+        from repro.graph.datagraph import DataGraph
+
+        g = DataGraph()
+        g.add_node("A")
+        clone = loads_graph(dumps_graph(g))
+        assert not clone.has_root
+
+    def test_file_io(self, tiny_tree):
+        buffer = io.StringIO()
+        dump_graph(tiny_tree, buffer)
+        buffer.seek(0)
+        clone = load_graph(buffer)
+        assert set(clone.edges()) == set(tiny_tree.edges())
+
+    def test_malformed_payload(self):
+        with pytest.raises(GraphError):
+            graph_from_dict({"nodes": []})  # missing edges
+
+    def test_bad_root_label(self, tiny_tree):
+        data = graph_to_dict(tiny_tree)
+        data["nodes"][0][1] = "NOTROOT"
+        with pytest.raises(GraphError):
+            graph_from_dict(data)
+
+    def test_json_serialisable(self, figure2_graph):
+        json.dumps(graph_to_dict(figure2_graph))  # must not raise
+
+
+class TestIndexRoundtrip:
+    def test_roundtrip_preserves_partition_and_ids(self, figure2_graph):
+        index = OneIndex.build(figure2_graph)
+        clone = index_from_dict(figure2_graph, index_to_dict(index), cls=OneIndex)
+        clone.check_invariants()
+        assert isinstance(clone, OneIndex)
+        assert clone.as_blocks() == index.as_blocks()
+        for dnode in figure2_graph.nodes():
+            assert clone.inode_of(dnode) == index.inode_of(dnode)
+
+    def test_maintenance_resumes_after_reload(self, figure2_builder):
+        graph = figure2_builder.build()
+        index = OneIndex.build(graph)
+        clone = index_from_dict(graph, index_to_dict(index), cls=OneIndex)
+        maintainer = SplitMergeMaintainer(clone)
+        stats = maintainer.insert_edge(figure2_builder.oid(2), figure2_builder.oid(4))
+        assert stats.splits == 2 and stats.merges == 2
+        clone.check_invariants()
+
+    def test_file_io(self, figure2_graph):
+        index = OneIndex.build(figure2_graph)
+        buffer = io.StringIO()
+        dump_index(index, buffer)
+        buffer.seek(0)
+        clone = load_index(figure2_graph, buffer, cls=OneIndex)
+        assert clone.as_blocks() == index.as_blocks()
+
+    def test_rejects_partial_partition(self, figure2_graph):
+        index = OneIndex.build(figure2_graph)
+        data = index_to_dict(index)
+        data["inodes"] = data["inodes"][:-1]
+        with pytest.raises(InvalidIndexError):
+            index_from_dict(figure2_graph, data)
+
+    def test_rejects_mixed_labels(self, figure2_graph):
+        index = OneIndex.build(figure2_graph)
+        data = index_to_dict(index)
+        # merge two different-label inodes in the payload
+        (a_id, a_extent), (b_id, b_extent) = data["inodes"][0], data["inodes"][1]
+        data["inodes"] = [[a_id, a_extent + b_extent]] + data["inodes"][2:]
+        with pytest.raises(InvalidIndexError):
+            index_from_dict(figure2_graph, data)
+
+    def test_fresh_ids_continue_after_reload(self, figure2_graph):
+        index = OneIndex.build(figure2_graph)
+        clone = index_from_dict(figure2_graph, index_to_dict(index), cls=OneIndex)
+        fresh = clone.new_inode("X")
+        assert fresh not in set(index.inodes())
+
+
+class TestFamilyRoundtrip:
+    def test_roundtrip(self, figure2_graph):
+        family = AkIndexFamily.build(figure2_graph, 3)
+        clone = family_from_dict(figure2_graph, family_to_dict(family))
+        assert clone.sizes() == family.sizes()
+        assert clone.is_minimum()
+
+    def test_maintenance_resumes_after_reload(self, figure2_builder):
+        graph = figure2_builder.build()
+        family = AkIndexFamily.build(graph, 2)
+        clone = family_from_dict(graph, family_to_dict(family))
+        maintainer = AkSplitMergeMaintainer(clone)
+        maintainer.insert_edge(figure2_builder.oid(2), figure2_builder.oid(4))
+        clone.check_invariants()
+        assert clone.is_minimum()
+
+    def test_level_count_validated(self, figure2_graph):
+        family = AkIndexFamily.build(figure2_graph, 2)
+        data = family_to_dict(family)
+        data["levels"] = data["levels"][:-1]
+        with pytest.raises(InvalidIndexError):
+            family_from_dict(figure2_graph, data)
+
+    def test_missing_parent_rejected(self, figure2_graph):
+        family = AkIndexFamily.build(figure2_graph, 2)
+        data = family_to_dict(family)
+        data["levels"][1]["parent"] = []
+        with pytest.raises(InvalidIndexError):
+            family_from_dict(figure2_graph, data)
+
+    def test_json_serialisable(self, figure2_graph):
+        family = AkIndexFamily.build(figure2_graph, 2)
+        json.dumps(family_to_dict(family))
+
+    def test_random_roundtrip_after_maintenance(self):
+        rng = random.Random(8)
+        graph = random_cyclic(rng, 30, 10)
+        family = AkIndexFamily.build(graph, 2)
+        maintainer = AkSplitMergeMaintainer(family)
+        for u, v in candidate_edges(graph, rng, 6, acyclic=False):
+            maintainer.insert_edge(u, v)
+        clone = family_from_dict(graph, family_to_dict(family))
+        assert clone.sizes() == family.sizes()
+        assert clone.is_minimum() == family.is_minimum()

@@ -1,0 +1,108 @@
+"""Unit tests for the stability / minimality / minimum oracles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.index.construction import (
+    bisimulation_partition,
+    blocks_of,
+    label_partition,
+    partition_index,
+)
+from repro.index.oneindex import OneIndex
+from repro.index.stability import (
+    is_minimal_1index,
+    is_minimum_1index,
+    is_minimum_ak,
+    is_refinement,
+    is_self_stable,
+    is_stable_wrt,
+    is_valid_1index,
+    mergeable_pairs,
+    minimum_1index_size,
+    minimum_ak_size,
+    unstable_pairs,
+)
+
+
+class TestStability:
+    def test_minimum_index_is_self_stable(self, figure2_graph):
+        index = OneIndex.build(figure2_graph)
+        assert is_self_stable(index)
+        assert not unstable_pairs(index)
+
+    def test_label_partition_of_figure2_is_unstable(self, figure2_graph):
+        index = partition_index(figure2_graph, label_partition(figure2_graph))
+        assert not is_self_stable(index)
+        violations = unstable_pairs(index)
+        assert violations
+        target, splitter = violations[0]
+        assert not is_stable_wrt(index, target, splitter)
+
+    def test_stable_wrt_disjoint(self, figure2_graph):
+        index = OneIndex.build(figure2_graph)
+        roots = [i for i in index.inodes() if index.label_of(i) == "ROOT"]
+        cs = [i for i in index.inodes() if index.label_of(i) == "C"]
+        # no edge from ROOT to any C block: disjoint, hence stable
+        assert is_stable_wrt(index, cs[0], roots[0])
+
+    def test_data_graph_partition_is_always_valid(self, figure4_graph):
+        # the discrete partition (each node its own inode) is a 1-index
+        index = partition_index(
+            figure4_graph, {n: n for n in figure4_graph.nodes()}
+        )
+        assert is_valid_1index(index)
+
+
+class TestMinimality:
+    def test_minimum_is_minimal(self, figure2_graph):
+        index = OneIndex.build(figure2_graph)
+        assert is_minimal_1index(index)
+        assert not mergeable_pairs(index)
+
+    def test_discrete_partition_not_minimal_when_mergeable(self, figure2_graph):
+        index = partition_index(
+            figure2_graph, {n: n for n in figure2_graph.nodes()}
+        )
+        assert is_valid_1index(index)
+        assert not is_minimal_1index(index)
+        assert mergeable_pairs(index)
+
+    def test_figure4_minimal_but_not_minimum(self, figure4_graph):
+        # keep the two parallel cycles apart: each {a_i}, {b_i} separately
+        index = partition_index(figure4_graph, {n: n for n in figure4_graph.nodes()})
+        assert is_valid_1index(index)
+        assert is_minimal_1index(index)  # no two inodes share label+parents
+        assert not is_minimum_1index(index)  # the minimum folds the cycles
+
+    def test_minimum_detection(self, figure4_graph):
+        index = OneIndex.build(figure4_graph)
+        assert is_minimum_1index(index)
+
+
+class TestSizes:
+    def test_minimum_sizes_consistent(self, figure2_graph):
+        assert minimum_1index_size(figure2_graph) == 7
+        assert minimum_ak_size(figure2_graph, 0) == 5
+        # A(k) size is monotone in k and capped by the 1-index size
+        sizes = [minimum_ak_size(figure2_graph, k) for k in range(5)]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] <= minimum_1index_size(figure2_graph)
+
+    def test_is_minimum_ak(self, figure2_graph):
+        from repro.index.construction import ak_class_maps
+
+        index = partition_index(figure2_graph, ak_class_maps(figure2_graph, 2)[2])
+        assert is_minimum_ak(index, 2)
+        assert not is_minimum_ak(index, 0)
+
+
+class TestRefinement:
+    def test_refinement_definition(self, figure2_graph):
+        fine = bisimulation_partition(figure2_graph)
+        coarse = label_partition(figure2_graph)
+        fine_blocks = [frozenset(b) for b in blocks_of(fine)]
+        assert is_refinement(fine_blocks, coarse)
+        coarse_blocks = [frozenset(b) for b in blocks_of(coarse)]
+        assert not is_refinement(coarse_blocks, fine)

@@ -1,0 +1,173 @@
+"""Unit tests for the A(k) split/merge maintainer (Theorem 2)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.datagraph import DataGraph
+from repro.index.akindex import AkIndexFamily
+from repro.maintenance.ak_split_merge import AkSplitMergeMaintainer
+from repro.workload.random_graphs import candidate_edges, random_cyclic, random_dag
+
+
+@pytest.fixture
+def maintained(figure2_builder):
+    graph = figure2_builder.build()
+    family = AkIndexFamily.build(graph, 3)
+    return figure2_builder, graph, family, AkSplitMergeMaintainer(family)
+
+
+class TestEdgeUpdates:
+    def test_insert_preserves_minimum(self, maintained):
+        b, graph, family, maintainer = maintained
+        stats = maintainer.insert_edge(b.oid(2), b.oid(4))
+        family.check_invariants()
+        assert family.is_minimum()
+        assert stats.moves > 0
+
+    def test_delete_preserves_minimum(self, maintained):
+        b, graph, family, maintainer = maintained
+        maintainer.insert_edge(b.oid(2), b.oid(4))
+        maintainer.delete_edge(b.oid(2), b.oid(4))
+        family.check_invariants()
+        assert family.is_minimum()
+
+    def test_trivial_update_detected(self):
+        b = (
+            GraphBuilder()
+            .node("a1", "A").node("a2", "A").node("b1", "B")
+            .edge("root", "a1").edge("root", "a2")
+            .edge("a1", "b1").edge("a2", "b1")
+        )
+        graph = b.build()
+        family = AkIndexFamily.build(graph, 2)
+        maintainer = AkSplitMergeMaintainer(family)
+        stats = maintainer.delete_edge(b.oid("a2"), b.oid("b1"))
+        # b1 keeps a parent in the same class at every level
+        assert stats.trivial
+        assert family.is_minimum()
+
+    def test_update_only_touches_k_neighbourhood(self, maintained):
+        b, graph, family, maintainer = maintained
+        stats = maintainer.insert_edge(b.oid(2), b.oid(4))
+        assert stats.levels_touched <= family.k
+
+    def test_k_zero_family_unaffected_by_edges(self, figure2_builder):
+        graph = figure2_builder.build()
+        family = AkIndexFamily.build(graph, 0)
+        maintainer = AkSplitMergeMaintainer(family)
+        stats = maintainer.insert_edge(figure2_builder.oid(2), figure2_builder.oid(4))
+        assert stats.trivial
+        family.check_invariants()
+
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_sequences_stay_minimum(self, k, seed):
+        rng = random.Random(seed)
+        graph = random_cyclic(rng, 35, 12)
+        family = AkIndexFamily.build(graph, k)
+        maintainer = AkSplitMergeMaintainer(family)
+        inserted = []
+        for u, v in candidate_edges(graph, rng, 8, acyclic=False):
+            maintainer.insert_edge(u, v)
+            inserted.append((u, v))
+            family.check_invariants()
+            assert family.is_minimum()
+        for u, v in inserted:
+            maintainer.delete_edge(u, v)
+            family.check_invariants()
+            assert family.is_minimum()
+
+    def test_index_size_protocol(self, maintained):
+        _, _, family, maintainer = maintained
+        assert maintainer.index_size() == family.num_inodes(family.k)
+
+
+class TestSubgraphs:
+    def _subgraph(self) -> tuple[DataGraph, int]:
+        # explicit high oids keep the subgraph disjoint from any host
+        sub = DataGraph()
+        root = sub.add_node("S", oid=1000)
+        a = sub.add_node("A", oid=1001)
+        c = sub.add_node("C", oid=1002)
+        sub.add_edge(root, a)
+        sub.add_edge(a, c)
+        return sub, root
+
+    def test_add_subgraph_minimum(self, maintained):
+        b, graph, family, maintainer = maintained
+        sub, s_root = self._subgraph()
+        mapping, stats = maintainer.add_subgraph(
+            sub, s_root, [(b.oid(1), s_root), (s_root, b.oid(6))]
+        )
+        family.check_invariants()
+        assert family.is_minimum()
+        assert graph.has_edge(b.oid(1), mapping[s_root])
+        assert stats.moves >= sub.num_nodes
+
+    def test_add_subgraph_with_new_labels(self, maintained):
+        b, graph, family, maintainer = maintained
+        sub = DataGraph()
+        root = sub.add_node("NEWLABEL", oid=2000)
+        child = sub.add_node("OTHERNEW", oid=2001)
+        sub.add_edge(root, child)
+        maintainer.add_subgraph(sub, root, [(b.oid(1), root)])
+        family.check_invariants()
+        assert family.is_minimum()
+
+    def test_delete_subgraph_minimum(self, maintained):
+        b, graph, family, maintainer = maintained
+        sub, s_root = self._subgraph()
+        mapping, _ = maintainer.add_subgraph(
+            sub, s_root, [(b.oid(1), s_root), (s_root, b.oid(6))]
+        )
+        stats = maintainer.delete_subgraph(mapping[s_root])
+        family.check_invariants()
+        assert family.is_minimum()
+        assert mapping[s_root] not in graph
+        del stats
+
+    def test_empty_subgraph_rejected(self, maintained):
+        from repro.exceptions import MaintenanceError
+
+        _, _, _, maintainer = maintained
+        with pytest.raises(MaintenanceError):
+            maintainer.add_subgraph(DataGraph(), 0)
+
+    def test_add_delete_roundtrip_restores_sizes(self, maintained):
+        b, graph, family, maintainer = maintained
+        before = family.sizes()
+        sub, s_root = self._subgraph()
+        mapping, _ = maintainer.add_subgraph(sub, s_root, [(b.oid(1), s_root)])
+        maintainer.delete_subgraph(mapping[s_root])
+        assert family.sizes() == before
+        assert family.is_minimum()
+
+
+class TestAgainstFreshConstruction:
+    """The master oracle: incremental result == from-scratch result."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_mixed_sequence_matches_fresh(self, seed):
+        rng = random.Random(100 + seed)
+        graph = random_dag(rng, 30, 10)
+        family = AkIndexFamily.build(graph, 3)
+        maintainer = AkSplitMergeMaintainer(family)
+        live = list(graph.edges())
+        for step in range(20):
+            if rng.random() < 0.55 or not live:
+                found = candidate_edges(graph, rng, 1, acyclic=False)
+                if not found:
+                    continue
+                (u, v) = found[0]
+                maintainer.insert_edge(u, v)
+                live.append((u, v))
+            else:
+                u, v = live.pop(rng.randrange(len(live)))
+                maintainer.delete_edge(u, v)
+        fresh = AkIndexFamily.build(graph, 3)
+        assert family.sizes() == fresh.sizes()
+        assert family.is_minimum()

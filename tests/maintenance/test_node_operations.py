@@ -1,0 +1,153 @@
+"""Node insertion/deletion — composite updates built on edge operations."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.index.akindex import AkIndexFamily
+from repro.index.oneindex import OneIndex
+from repro.index.stability import (
+    is_minimal_1index,
+    is_minimum_1index,
+    is_valid_1index,
+)
+from repro.maintenance.ak_split_merge import AkSplitMergeMaintainer
+from repro.maintenance.split_merge import SplitMergeMaintainer
+from repro.workload.random_graphs import random_dag
+
+
+class TestOneIndexNodeOps:
+    def test_insert_node_merges_with_twin(self, figure2_builder):
+        graph = figure2_builder.build()
+        index = OneIndex.build(graph)
+        maintainer = SplitMergeMaintainer(index)
+        # a new B child of dnode 1 joins the existing {3, 4} inode
+        oid, stats = maintainer.insert_node(figure2_builder.oid(1), "B")
+        assert graph.label(oid) == "B"
+        assert index.inode_of(oid) == index.inode_of(figure2_builder.oid(3))
+        assert is_minimum_1index(index)
+        assert stats.merges >= 1
+
+    def test_insert_node_with_fresh_label(self, figure2_builder):
+        graph = figure2_builder.build()
+        index = OneIndex.build(graph)
+        maintainer = SplitMergeMaintainer(index)
+        oid, _ = maintainer.insert_node(figure2_builder.oid(1), "ZETA", value=7)
+        assert graph.value(oid) == 7
+        assert index.extent_size(index.inode_of(oid)) == 1
+        assert is_minimum_1index(index)
+
+    def test_delete_node_reverses_insert(self, figure2_builder):
+        graph = figure2_builder.build()
+        index = OneIndex.build(graph)
+        before = index.as_blocks()
+        maintainer = SplitMergeMaintainer(index)
+        oid, _ = maintainer.insert_node(figure2_builder.oid(1), "B")
+        maintainer.delete_node(oid)
+        assert index.as_blocks() == before
+        graph.check_invariants()
+        index.check_invariants()
+
+    def test_delete_inner_node(self, figure2_builder):
+        graph = figure2_builder.build()
+        index = OneIndex.build(graph)
+        maintainer = SplitMergeMaintainer(index)
+        # deleting dnode 4 (B) leaves 3 alone; 6,7 reshuffle
+        maintainer.delete_node(figure2_builder.oid(4))
+        assert is_valid_1index(index)
+        assert is_minimal_1index(index)
+        assert is_minimum_1index(index)  # DAG
+        assert not graph.has_node(figure2_builder.oid(4))
+        # 7 lost its parent and became parentless
+        assert graph.in_degree(figure2_builder.oid(7)) == 0
+
+    def test_delete_node_with_self_loop(self):
+        from repro.graph.builder import GraphBuilder
+
+        builder = GraphBuilder().edge("root", "a")
+        graph = builder.build()
+        index = OneIndex.build(graph)
+        maintainer = SplitMergeMaintainer(index)
+        oid, _ = maintainer.insert_node(builder.oid("a"), "L")
+        maintainer.insert_edge(oid, oid)
+        maintainer.delete_node(oid)
+        index.check_invariants()
+        assert is_minimal_1index(index)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_node_churn_stays_minimum_on_dags(self, seed):
+        rng = random.Random(seed)
+        graph = random_dag(rng, 25, 8)
+        index = OneIndex.build(graph)
+        maintainer = SplitMergeMaintainer(index)
+        created = []
+        hosts = sorted(graph.nodes())
+        for _ in range(8):
+            oid, _ = maintainer.insert_node(rng.choice(hosts), rng.choice("ABC"))
+            created.append(oid)
+            assert is_minimum_1index(index)
+        rng.shuffle(created)
+        for oid in created:
+            maintainer.delete_node(oid)
+            assert is_minimum_1index(index)
+
+
+class TestAkNodeOps:
+    def test_insert_node_keeps_minimum(self, figure2_builder):
+        graph = figure2_builder.build()
+        family = AkIndexFamily.build(graph, 3)
+        maintainer = AkSplitMergeMaintainer(family)
+        oid, stats = maintainer.insert_node(figure2_builder.oid(1), "B")
+        family.check_invariants()
+        assert family.is_minimum()
+        assert family.class_at(0, oid) == family.class_at(
+            0, figure2_builder.oid(3)
+        )
+        del stats
+
+    def test_insert_node_new_label(self, figure2_builder):
+        graph = figure2_builder.build()
+        family = AkIndexFamily.build(graph, 2)
+        maintainer = AkSplitMergeMaintainer(family)
+        maintainer.insert_node(figure2_builder.oid(2), "BRANDNEW")
+        family.check_invariants()
+        assert family.is_minimum()
+
+    def test_delete_node_reverses_insert(self, figure2_builder):
+        graph = figure2_builder.build()
+        family = AkIndexFamily.build(graph, 3)
+        sizes = family.sizes()
+        maintainer = AkSplitMergeMaintainer(family)
+        oid, _ = maintainer.insert_node(figure2_builder.oid(1), "B")
+        maintainer.delete_node(oid)
+        family.check_invariants()
+        assert family.sizes() == sizes
+        assert family.is_minimum()
+
+    def test_delete_inner_node(self, figure2_builder):
+        graph = figure2_builder.build()
+        family = AkIndexFamily.build(graph, 3)
+        maintainer = AkSplitMergeMaintainer(family)
+        maintainer.delete_node(figure2_builder.oid(4))
+        family.check_invariants()
+        assert family.is_minimum()
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_node_churn(self, seed):
+        rng = random.Random(100 + seed)
+        graph = random_dag(rng, 20, 6)
+        family = AkIndexFamily.build(graph, 2)
+        maintainer = AkSplitMergeMaintainer(family)
+        created = []
+        hosts = sorted(graph.nodes())
+        for _ in range(6):
+            oid, _ = maintainer.insert_node(rng.choice(hosts), rng.choice("ABC"))
+            created.append(oid)
+            family.check_invariants()
+            assert family.is_minimum()
+        for oid in created:
+            maintainer.delete_node(oid)
+            family.check_invariants()
+            assert family.is_minimum()

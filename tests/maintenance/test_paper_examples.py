@@ -1,0 +1,122 @@
+"""The paper's own worked examples, transcribed as tests.
+
+* Figure 2: the running example of Section 5.1 — a dedge insertion that
+  triggers two splits and then two merges, step by step.
+* Figure 4: minimal 1-indexes are not unique on cyclic graphs.
+* Figure 5: the worst case — one update costing Θ(n) operations.
+"""
+
+from __future__ import annotations
+
+from repro.index.oneindex import OneIndex
+from repro.index.stability import (
+    is_minimal_1index,
+    is_minimum_1index,
+    is_valid_1index,
+)
+from repro.maintenance.split_merge import SplitMergeMaintainer
+from repro.workload.random_graphs import worst_case_gadget
+
+
+class TestFigure2:
+    """Insertion of dedge (2, 4) into the Figure 2 data graph."""
+
+    def test_index_before_update(self, figure2_builder):
+        graph = figure2_builder.build()
+        index = OneIndex.build(graph)
+        blocks = {frozenset(b) for b in index.as_blocks()}
+        oid = figure2_builder.oid
+        assert frozenset({oid(3), oid(4)}) in blocks  # Figure 2(b): {3,4}
+        assert frozenset({oid(5)}) in blocks
+        assert frozenset({oid(6), oid(7)}) in blocks  # {6,7}
+        assert frozenset({oid(8)}) in blocks
+
+    def test_insertion_splits_then_merges(self, figure2_builder):
+        graph = figure2_builder.build()
+        index = OneIndex.build(graph)
+        maintainer = SplitMergeMaintainer(index)
+        oid = figure2_builder.oid
+        stats = maintainer.insert_edge(oid(2), oid(4))
+        # the split phase splits {3,4} and then {6,7} (Figure 2(c)-(d))
+        assert stats.splits == 2
+        # the merge phase merges {4}+{5} and then {7}+{8} (Figure 2(e)-(f))
+        assert stats.merges == 2
+
+    def test_final_index_matches_figure_2f(self, figure2_builder):
+        graph = figure2_builder.build()
+        index = OneIndex.build(graph)
+        SplitMergeMaintainer(index).insert_edge(
+            figure2_builder.oid(2), figure2_builder.oid(4)
+        )
+        oid = figure2_builder.oid
+        blocks = index.as_blocks()
+        assert frozenset({oid(4), oid(5)}) in blocks
+        assert frozenset({oid(7), oid(8)}) in blocks
+        assert frozenset({oid(3)}) in blocks
+        assert frozenset({oid(6)}) in blocks
+        assert is_minimal_1index(index)
+        assert is_minimum_1index(index)
+
+    def test_deleting_the_edge_restores_the_original(self, figure2_builder):
+        graph = figure2_builder.build()
+        index = OneIndex.build(graph)
+        original = index.as_blocks()
+        maintainer = SplitMergeMaintainer(index)
+        maintainer.insert_edge(figure2_builder.oid(2), figure2_builder.oid(4))
+        maintainer.delete_edge(figure2_builder.oid(2), figure2_builder.oid(4))
+        assert index.as_blocks() == original
+
+
+class TestFigure4:
+    """Minimal 1-indexes might not be unique (cyclic data)."""
+
+    def test_minimum_folds_the_parallel_cycles(self, figure4_graph):
+        index = OneIndex.build(figure4_graph)
+        sizes = sorted(index.extent_size(i) for i in index.inodes())
+        assert sizes == [1, 2, 2]  # root, {a1,a2}, {b1,b2}
+
+    def test_discrete_index_is_minimal_but_not_minimum(self, figure4_graph):
+        from repro.index.construction import partition_index
+
+        discrete = partition_index(
+            figure4_graph, {n: n for n in figure4_graph.nodes()}
+        )
+        assert is_valid_1index(discrete)
+        assert is_minimal_1index(discrete)
+        assert not is_minimum_1index(discrete)
+        # simultaneous merges would be needed: no single pair is mergeable
+        from repro.index.stability import mergeable_pairs
+
+        assert mergeable_pairs(discrete) == []
+
+
+class TestFigure5:
+    """The worst case: one update costs Θ(n) split or merge operations."""
+
+    def test_marker_insertion_splits_linearly(self):
+        gadget = worst_case_gadget(depth=20)
+        index = OneIndex.build(gadget.graph)
+        before = index.num_inodes
+        stats = SplitMergeMaintainer(index).insert_edge(gadget.marker, gadget.left)
+        # the twin chains shear apart pairwise: depth+1 splits
+        assert stats.splits == gadget.depth + 1
+        assert index.num_inodes == before + gadget.depth + 1
+        assert is_minimum_1index(index)
+
+    def test_marker_deletion_merges_linearly(self):
+        gadget = worst_case_gadget(depth=20, with_marker_edge=True)
+        index = OneIndex.build(gadget.graph)
+        stats = SplitMergeMaintainer(index).delete_edge(gadget.marker, gadget.left)
+        assert stats.merges == gadget.depth + 1
+        assert is_minimum_1index(index)
+
+    def test_cost_scales_with_depth(self):
+        costs = []
+        for depth in (8, 16, 32):
+            gadget = worst_case_gadget(depth=depth)
+            index = OneIndex.build(gadget.graph)
+            stats = SplitMergeMaintainer(index).insert_edge(
+                gadget.marker, gadget.left
+            )
+            costs.append(stats.splits)
+        assert costs == [9, 17, 33]

@@ -1,0 +1,224 @@
+"""Property-based tests: the paper's theorems over random graphs/updates.
+
+These drive random rooted graphs through random update sequences and
+assert, after *every* update:
+
+* Theorem 1 — split/merge maintains a valid, minimal 1-index; on acyclic
+  graphs it is the unique minimum;
+* Theorem 2 — A(k) split/merge maintains the minimum family at every
+  level;
+* the *propagate* baseline maintains a valid (but possibly non-minimal)
+  1-index and is never smaller than split/merge's;
+* the *simple* A(k) baseline maintains a valid A(k)-index (a refinement
+  of the true minimum) and is never smaller than the minimum.
+
+Graphs are generated from Hypothesis-drawn construction programs (parent
+choices + extra-edge choices), so failures shrink to minimal graphs.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graph.datagraph import DataGraph
+from repro.index.akindex import AkIndexFamily
+from repro.index.base import StructuralIndex
+from repro.index.construction import ak_class_maps, blocks_of
+from repro.index.oneindex import OneIndex
+from repro.index.stability import (
+    is_minimal_1index,
+    is_minimum_1index,
+    is_valid_1index,
+)
+from repro.maintenance.ak_simple import SimpleAkMaintainer
+from repro.maintenance.ak_split_merge import AkSplitMergeMaintainer
+from repro.maintenance.propagate import PropagateMaintainer
+from repro.maintenance.split_merge import SplitMergeMaintainer
+
+LABELS = ("A", "B", "C")
+
+
+@st.composite
+def graph_programs(draw, max_nodes: int = 14, acyclic: bool = False):
+    """A construction program: tree parents + extra edges + update script."""
+    size = draw(st.integers(min_value=2, max_value=max_nodes))
+    labels = draw(
+        st.lists(st.sampled_from(LABELS), min_size=size, max_size=size)
+    )
+    parents = [
+        draw(st.integers(min_value=0, max_value=i)) for i in range(size)
+    ]  # node i+1 hangs off one of nodes 0..i (0 = root)
+    extra = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=size),
+                st.integers(min_value=1, max_value=size),
+            ),
+            max_size=6,
+        )
+    )
+    script = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "delete"]),
+                st.integers(min_value=0, max_value=size),
+                st.integers(min_value=1, max_value=size),
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    return labels, parents, extra, script, acyclic
+
+
+def materialise(program) -> tuple[DataGraph, list[tuple[str, int, int]]]:
+    """Build the graph and a legal update script from a drawn program."""
+    labels, parents, extra, script, acyclic = program
+    graph = DataGraph()
+    nodes = [graph.add_root()]
+    for i, label in enumerate(labels):
+        node = graph.add_node(label)
+        graph.add_edge(nodes[parents[i]], node)
+        nodes.append(node)
+    for a, b in extra:
+        u, v = nodes[a], nodes[b]
+        if acyclic and u > v:
+            u, v = v, u
+        if u != v and v != graph.root and not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+    # turn the raw script into operations that are legal when replayed
+    operations: list[tuple[str, int, int]] = []
+    live = set(graph.edges())
+    for op, a, b in script:
+        u, v = nodes[a], nodes[b]
+        if acyclic and u > v:
+            u, v = v, u
+        if u == v or v == graph.root:
+            continue
+        if op == "insert" and (u, v) not in live:
+            live.add((u, v))
+            operations.append(("insert", u, v))
+        elif op == "delete" and (u, v) in live:
+            live.discard((u, v))
+            operations.append(("delete", u, v))
+    return graph, operations
+
+
+COMMON = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestTheorem1:
+    @COMMON
+    @given(graph_programs(acyclic=True))
+    def test_split_merge_maintains_minimum_on_dags(self, program):
+        graph, operations = materialise(program)
+        index = OneIndex.build(graph)
+        maintainer = SplitMergeMaintainer(index)
+        for op, u, v in operations:
+            if op == "insert":
+                maintainer.insert_edge(u, v)
+            else:
+                maintainer.delete_edge(u, v)
+            index.check_invariants()
+            assert is_valid_1index(index)
+            assert is_minimum_1index(index)
+
+    @COMMON
+    @given(graph_programs(acyclic=False))
+    def test_split_merge_maintains_minimal_on_cyclic(self, program):
+        graph, operations = materialise(program)
+        index = OneIndex.build(graph)
+        maintainer = SplitMergeMaintainer(index)
+        for op, u, v in operations:
+            if op == "insert":
+                maintainer.insert_edge(u, v)
+            else:
+                maintainer.delete_edge(u, v)
+            index.check_invariants()
+            assert is_valid_1index(index)
+            assert is_minimal_1index(index)
+
+
+class TestTheorem2:
+    @COMMON
+    @given(graph_programs(acyclic=False), st.integers(min_value=0, max_value=4))
+    def test_ak_split_merge_maintains_minimum_family(self, program, k):
+        graph, operations = materialise(program)
+        family = AkIndexFamily.build(graph, k)
+        maintainer = AkSplitMergeMaintainer(family)
+        for op, u, v in operations:
+            if op == "insert":
+                maintainer.insert_edge(u, v)
+            else:
+                maintainer.delete_edge(u, v)
+            family.check_invariants()
+            assert family.is_minimum()
+
+
+class TestBaselines:
+    @COMMON
+    @given(graph_programs(acyclic=False))
+    def test_propagate_stays_valid_and_dominates_split_merge(self, program):
+        graph, operations = materialise(program)
+        graph2 = graph.copy()
+        propagate = PropagateMaintainer(OneIndex.build(graph))
+        split_merge = SplitMergeMaintainer(OneIndex.build(graph2))
+        for op, u, v in operations:
+            if op == "insert":
+                propagate.insert_edge(u, v)
+                split_merge.insert_edge(u, v)
+            else:
+                propagate.delete_edge(u, v)
+                split_merge.delete_edge(u, v)
+            propagate.index.check_invariants()
+            assert is_valid_1index(propagate.index)
+            assert propagate.index_size() >= split_merge.index_size()
+
+    @COMMON
+    @given(graph_programs(acyclic=False), st.integers(min_value=1, max_value=3))
+    def test_simple_ak_stays_valid_refinement(self, program, k):
+        graph, operations = materialise(program)
+        index = StructuralIndex.from_partition(
+            graph, blocks_of(ak_class_maps(graph, k)[k])
+        )
+        maintainer = SimpleAkMaintainer(index, k)
+        for op, u, v in operations:
+            if op == "insert":
+                maintainer.insert_edge(u, v)
+            else:
+                maintainer.delete_edge(u, v)
+            index.check_invariants()
+            minimum = ak_class_maps(graph, k)[k]
+            for block in index.as_blocks():
+                assert len({minimum[w] for w in block}) == 1
+            assert index.num_inodes >= len(set(minimum.values()))
+
+
+class TestCrossAlgorithm:
+    @COMMON
+    @given(graph_programs(acyclic=False), st.integers(min_value=1, max_value=3))
+    def test_ak_maintainers_agree_on_leaf_partition_sizes(self, program, k):
+        """simple >= split/merge == minimum, pointwise along the run."""
+        graph, operations = materialise(program)
+        graph2 = graph.copy()
+        family = AkIndexFamily.build(graph, k)
+        ak_sm = AkSplitMergeMaintainer(family)
+        simple = SimpleAkMaintainer(
+            StructuralIndex.from_partition(
+                graph2, blocks_of(ak_class_maps(graph2, k)[k])
+            ),
+            k,
+        )
+        for op, u, v in operations:
+            if op == "insert":
+                ak_sm.insert_edge(u, v)
+                simple.insert_edge(u, v)
+            else:
+                ak_sm.delete_edge(u, v)
+                simple.delete_edge(u, v)
+            assert simple.index_size() >= ak_sm.index_size()

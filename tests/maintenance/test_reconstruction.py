@@ -1,0 +1,108 @@
+"""Unit tests for reconstruction and the 5% trigger policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.index.oneindex import OneIndex
+from repro.index.stability import is_minimum_1index
+from repro.maintenance.propagate import PropagateMaintainer
+from repro.maintenance.reconstruction import (
+    ReconstructionPolicy,
+    quotient_graph,
+    reconstruct_from_scratch,
+    reconstruct_via_index_graph,
+)
+from repro.workload.random_graphs import worst_case_gadget
+
+
+def degraded_index(seed: int = 5, cyclic: bool = False):
+    """A valid-but-bloated 1-index: propagate the gadget edge in and out.
+
+    Inserting the marker edge of the Figure 5 gadget splits every chain
+    position; deleting it again should merge them back, but propagate
+    cannot merge — a guaranteed, deterministic degradation.
+    """
+    gadget = worst_case_gadget(depth=12)
+    graph = gadget.graph
+    if cyclic:
+        # symmetric back-edges keep the twin chains bisimilar but cyclic
+        graph.add_edge(gadget.left_tail, gadget.left)
+        graph.add_edge(gadget.right_tail, gadget.right)
+    index = OneIndex.build(graph)
+    maintainer = PropagateMaintainer(index)
+    maintainer.insert_edge(gadget.marker, gadget.left)
+    maintainer.delete_edge(gadget.marker, gadget.left)
+    del seed
+    return graph, index
+
+
+class TestQuotientGraph:
+    def test_quotient_mirrors_index_graph(self, figure2_graph):
+        index = OneIndex.build(figure2_graph)
+        quotient, to_inode = quotient_graph(index)
+        assert quotient.num_nodes == index.num_inodes
+        assert quotient.num_edges == index.num_iedges
+        for oid in quotient.nodes():
+            assert quotient.label(oid) == index.label_of(to_inode[oid])
+
+
+class TestReconstructViaIndexGraph:
+    @pytest.mark.parametrize("cyclic", [False, True])
+    def test_restores_minimum(self, cyclic):
+        graph, index = degraded_index(cyclic=cyclic)
+        assert not is_minimum_1index(index)
+        reconstruct_via_index_graph(index)
+        index.check_invariants()
+        assert is_minimum_1index(index)
+
+    def test_noop_on_minimum(self, figure2_graph):
+        index = OneIndex.build(figure2_graph)
+        before = index.as_blocks()
+        reconstruct_via_index_graph(index)
+        assert index.as_blocks() == before
+
+
+class TestReconstructFromScratch:
+    def test_restores_minimum_ignoring_state(self):
+        graph, index = degraded_index(seed=9)
+        reconstruct_from_scratch(index)
+        index.check_invariants()
+        assert is_minimum_1index(index)
+
+
+class TestPolicy:
+    def test_trigger_fires_above_threshold(self):
+        policy = ReconstructionPolicy(threshold=0.05)
+        policy.start(100)
+        assert not policy.should_reconstruct(105)
+        assert policy.should_reconstruct(106)
+
+    def test_intervals_recorded(self):
+        policy = ReconstructionPolicy(threshold=0.05)
+        policy.start(100)
+        for size in (101, 102, 106):
+            fired = policy.should_reconstruct(size)
+        assert fired
+        policy.reconstructed(100)
+        assert policy.intervals == [3]
+        assert policy.reconstructions == 1
+        assert policy.mean_interval == 3.0
+
+    def test_mean_interval_without_reconstructions(self):
+        policy = ReconstructionPolicy()
+        policy.start(10)
+        assert policy.mean_interval == float("inf")
+
+    def test_baseline_resets_after_reconstruction(self):
+        policy = ReconstructionPolicy(threshold=0.05)
+        policy.start(100)
+        assert policy.should_reconstruct(120)
+        policy.reconstructed(110)
+        # threshold now relative to 110
+        assert not policy.should_reconstruct(115)
+        assert policy.should_reconstruct(116)
+
+    def test_unstarted_policy_never_fires(self):
+        policy = ReconstructionPolicy()
+        assert not policy.should_reconstruct(1000)

@@ -1,0 +1,210 @@
+"""Unit tests for the 1-index split/merge maintainer."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.datagraph import DataGraph
+from repro.index.oneindex import OneIndex
+from repro.index.stability import (
+    is_minimal_1index,
+    is_minimum_1index,
+    is_valid_1index,
+)
+from repro.maintenance.split_merge import SplitMergeMaintainer
+from repro.workload.random_graphs import candidate_edges, random_dag
+
+
+@pytest.fixture
+def maintained_figure2(figure2_builder):
+    graph = figure2_builder.build()
+    index = OneIndex.build(graph)
+    return figure2_builder, graph, index, SplitMergeMaintainer(index)
+
+
+class TestTrivialUpdates:
+    def test_insert_without_iedge_is_not_trivial(self, maintained_figure2):
+        b, graph, index, maintainer = maintained_figure2
+        # no iedge runs from I[2] to I[8] before the update
+        stats = maintainer.insert_edge(b.oid(2), b.oid(8))
+        assert not stats.trivial
+        assert is_valid_1index(index)
+        assert is_minimal_1index(index)
+
+    def test_truly_trivial_insert(self):
+        # two B-children of the same A-parent; adding an edge a2 -> b1
+        # where iedge A->B already exists and b1 already has an A-parent.
+        b = (
+            GraphBuilder()
+            .node("a1", "A").node("a2", "A")
+            .node("b1", "B").node("b2", "B")
+            .edge("root", "a1").edge("root", "a2")
+            .edge("a1", "b1").edge("a2", "b2")
+        )
+        graph = b.build()
+        index = OneIndex.build(graph)
+        maintainer = SplitMergeMaintainer(index)
+        before = index.as_blocks()
+        stats = maintainer.insert_edge(b.oid("a2"), b.oid("b1"))
+        assert stats.trivial
+        assert index.as_blocks() == before
+        assert is_minimal_1index(index)
+
+    def test_trivial_delete_keeps_partition(self):
+        b = (
+            GraphBuilder()
+            .node("a1", "A").node("a2", "A")
+            .node("b1", "B")
+            .edge("root", "a1").edge("root", "a2")
+            .edge("a1", "b1").edge("a2", "b1")
+        )
+        graph = b.build()
+        index = OneIndex.build(graph)
+        maintainer = SplitMergeMaintainer(index)
+        before = index.as_blocks()
+        stats = maintainer.delete_edge(b.oid("a2"), b.oid("b1"))
+        # b1 still has a parent (a1) in the same inode {a1, a2}
+        assert stats.trivial
+        assert index.as_blocks() == before
+
+    def test_nontrivial_delete_when_last_parent_in_inode_lost(self):
+        # The case the paper's literal deletion guard would get wrong:
+        # v loses its only parent in I[u] while a sibling keeps one.
+        b = (
+            GraphBuilder()
+            .node("a1", "A").node("a2", "A")
+            .node("b1", "B").node("b2", "B")
+            .edge("root", "a1").edge("root", "a2")
+            .edge("a1", "b1").edge("a2", "b2")
+        )
+        graph = b.build()
+        index = OneIndex.build(graph)
+        maintainer = SplitMergeMaintainer(index)
+        # extent-level edges between I[a]={a1,a2} and I[b]={b1,b2} remain
+        # after deleting (a1, b1), but b1 loses its only I[a]-parent:
+        stats = maintainer.delete_edge(b.oid("a1"), b.oid("b1"))
+        assert not stats.trivial
+        assert is_valid_1index(index)
+        assert is_minimal_1index(index)
+        # b1 is now parentless and must sit alone
+        assert index.extent_size(index.inode_of(b.oid("b1"))) == 1
+
+
+class TestStatsAndGuarantees:
+    def test_update_stats_counters(self, maintained_figure2):
+        b, graph, index, maintainer = maintained_figure2
+        stats = maintainer.insert_edge(b.oid(2), b.oid(4))
+        assert stats.splits == 2
+        assert stats.merges == 2
+        assert stats.peak_inodes >= index.num_inodes
+
+    def test_insert_then_delete_roundtrip_random_dags(self):
+        rng = random.Random(99)
+        for trial in range(5):
+            g = random_dag(rng, 40, 12)
+            index = OneIndex.build(g)
+            maintainer = SplitMergeMaintainer(index)
+            original = index.as_blocks()
+            edges = candidate_edges(g, rng, 5, acyclic=True)
+            for u, v in edges:
+                maintainer.insert_edge(u, v)
+            for u, v in reversed(edges):
+                maintainer.delete_edge(u, v)
+            # the minimum 1-index of a DAG is unique: exact restoration
+            assert index.as_blocks() == original
+
+    def test_minimality_preserved_through_sequence(self, maintained_figure2):
+        b, graph, index, maintainer = maintained_figure2
+        maintainer.insert_edge(b.oid(2), b.oid(4))
+        maintainer.insert_edge(b.oid(2), b.oid(3))
+        maintainer.delete_edge(b.oid(1), b.oid(5))
+        assert is_valid_1index(index)
+        assert is_minimal_1index(index)
+        assert is_minimum_1index(index)  # DAG: minimal == minimum
+
+    def test_insert_into_unreachable_region(self):
+        # stranded nodes are still indexed and maintainable
+        b = GraphBuilder().edge("root", "a").node("s1", "S").node("s2", "S")
+        graph = b.build()
+        index = OneIndex.build(graph)
+        maintainer = SplitMergeMaintainer(index)
+        stats = maintainer.insert_edge(b.oid("s1"), b.oid("s2"))
+        assert is_valid_1index(index)
+        assert is_minimal_1index(index)
+        del stats
+
+    def test_delete_makes_node_parentless_then_merges(self):
+        # after deletion two parentless same-label inodes must merge
+        b = (
+            GraphBuilder()
+            .node("s1", "S").node("s2", "S").node("m", "M")
+            .edge("root", "m")
+            .edge("m", "s1")
+            .node("s3", "S")
+        )
+        graph = b.build()
+        index = OneIndex.build(graph)
+        maintainer = SplitMergeMaintainer(index)
+        # s1 has parent m; s2, s3 parentless (one inode {s2, s3})
+        stats = maintainer.delete_edge(b.oid("m"), b.oid("s1"))
+        assert not stats.trivial
+        s_inode = index.inode_of(b.oid("s1"))
+        assert index.extent_size(s_inode) == 3  # merged with {s2, s3}
+        assert is_minimal_1index(index)
+
+
+class TestSelfLoops:
+    def test_self_loop_insert_and_delete(self):
+        b = (
+            GraphBuilder()
+            .node("a1", "A").node("a2", "A")
+            .edge("root", "a1").edge("root", "a2")
+        )
+        graph = b.build()
+        index = OneIndex.build(graph)
+        maintainer = SplitMergeMaintainer(index)
+        original = index.as_blocks()
+        stats = maintainer.insert_edge(b.oid("a1"), b.oid("a1"))
+        assert is_valid_1index(index)
+        assert is_minimal_1index(index)
+        # a1 now has a self-loop; a2 does not: they must be split
+        assert index.inode_of(b.oid("a1")) != index.inode_of(b.oid("a2"))
+        maintainer.delete_edge(b.oid("a1"), b.oid("a1"))
+        assert index.as_blocks() == original
+        del stats
+
+    def test_two_cycle_insertion(self, figure4_graph):
+        index = OneIndex.build(figure4_graph)
+        maintainer = SplitMergeMaintainer(index)
+        a1 = sorted(figure4_graph.nodes_with_label("A"))[0]
+        b2 = sorted(figure4_graph.nodes_with_label("B"))[1]
+        maintainer.insert_edge(a1, b2)
+        assert is_valid_1index(index)
+        assert is_minimal_1index(index)
+
+
+class TestErrorPaths:
+    def test_insert_duplicate_edge_raises_and_leaves_state_clean(
+        self, maintained_figure2
+    ):
+        from repro.exceptions import DuplicateEdgeError
+
+        b, graph, index, maintainer = maintained_figure2
+        with pytest.raises(DuplicateEdgeError):
+            maintainer.insert_edge(b.oid(1), b.oid(3))
+        index.check_invariants()
+
+    def test_delete_missing_edge_raises(self, maintained_figure2):
+        from repro.exceptions import EdgeNotFoundError
+
+        b, graph, index, maintainer = maintained_figure2
+        with pytest.raises(EdgeNotFoundError):
+            maintainer.delete_edge(b.oid(3), b.oid(8))
+        index.check_invariants()
+
+    def test_index_size_protocol(self, maintained_figure2):
+        _, _, index, maintainer = maintained_figure2
+        assert maintainer.index_size() == index.num_inodes

@@ -1,0 +1,205 @@
+"""Unit + property tests for subgraph addition/deletion (Section 5.2)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import MaintenanceError
+from repro.graph.builder import GraphBuilder
+from repro.graph.datagraph import DataGraph
+from repro.index.oneindex import OneIndex
+from repro.index.stability import (
+    is_minimal_1index,
+    is_minimum_1index,
+    is_valid_1index,
+)
+from repro.maintenance.split_merge import SplitMergeMaintainer
+
+
+def build_subgraph(rng: random.Random, size: int, base_oid: int = 10_000) -> tuple[DataGraph, int]:
+    """A random rooted sub-DAG with oids disjoint from any small host."""
+    sub = DataGraph()
+    root = sub.add_node("S", oid=base_oid)
+    nodes = [root]
+    for i in range(size):
+        node = sub.add_node(rng.choice("ABC"), oid=base_oid + i + 1)
+        sub.add_edge(rng.choice(nodes), node)
+        nodes.append(node)
+    return sub, root
+
+
+class TestAddSubgraph:
+    def test_figure6_shape(self, figure2_builder):
+        """Build sub-index, union, batch root edges, merge once."""
+        graph = figure2_builder.build()
+        index = OneIndex.build(graph)
+        maintainer = SplitMergeMaintainer(index)
+        sub, s_root = build_subgraph(random.Random(1), 5)
+        hooks = [figure2_builder.oid(1), figure2_builder.oid(2)]
+        mapping, stats = maintainer.add_subgraph(
+            sub, s_root, [(h, s_root) for h in hooks]
+        )
+        index.check_invariants()
+        assert is_valid_1index(index)
+        assert is_minimal_1index(index)
+        assert is_minimum_1index(index)  # DAG
+        for h in hooks:
+            assert graph.has_edge(h, mapping[s_root])
+        del stats
+
+    def test_subgraph_without_cross_edges(self, figure2_graph):
+        index = OneIndex.build(figure2_graph)
+        maintainer = SplitMergeMaintainer(index)
+        sub, s_root = build_subgraph(random.Random(2), 4)
+        maintainer.add_subgraph(sub, s_root)
+        index.check_invariants()
+        assert is_valid_1index(index)
+        assert is_minimal_1index(index)
+
+    def test_cross_edges_out_of_subgraph(self, figure2_builder):
+        graph = figure2_builder.build()
+        index = OneIndex.build(graph)
+        maintainer = SplitMergeMaintainer(index)
+        sub, s_root = build_subgraph(random.Random(3), 3)
+        leaf = max(sub.nodes())
+        mapping, _ = maintainer.add_subgraph(
+            sub,
+            s_root,
+            [(figure2_builder.oid(1), s_root), (leaf, figure2_builder.oid(6))],
+        )
+        assert graph.has_edge(mapping[leaf], figure2_builder.oid(6))
+        assert is_minimum_1index(index)
+
+    def test_isomorphic_subgraphs_merge_together(self, figure2_graph):
+        """Adding the same shape twice must not double the index."""
+        index = OneIndex.build(figure2_graph)
+        maintainer = SplitMergeMaintainer(index)
+        hook = figure2_graph.root
+        for base in (10_000, 20_000):
+            sub, s_root = build_subgraph(random.Random(7), 5, base_oid=base)
+            maintainer.add_subgraph(sub, s_root, [(hook, s_root)])
+        assert is_minimum_1index(index)
+        # the two isomorphic copies share every inode
+        s_inodes = [i for i in index.inodes() if index.label_of(i) == "S"]
+        assert len(s_inodes) == 1
+        assert index.extent_size(s_inodes[0]) == 2
+
+    def test_empty_subgraph_rejected(self, figure2_graph):
+        maintainer = SplitMergeMaintainer(OneIndex.build(figure2_graph))
+        with pytest.raises(MaintenanceError):
+            maintainer.add_subgraph(DataGraph(), 0)
+
+    def test_colliding_oids_rejected(self, figure2_graph):
+        maintainer = SplitMergeMaintainer(OneIndex.build(figure2_graph))
+        sub = DataGraph()
+        s_root = sub.add_node("S")  # oid 0 collides with the host root
+        with pytest.raises(MaintenanceError):
+            maintainer.add_subgraph(sub, s_root, [(figure2_graph.root, s_root)])
+
+    def test_cyclic_subgraph_with_edge_into_its_root(self, figure2_graph):
+        """Exercises the defensive root split + stabilize path."""
+        sub = DataGraph()
+        s_root = sub.add_node("S", oid=9000)
+        mid = sub.add_node("S", oid=9001)  # same label as root
+        sub.add_edge(s_root, mid)
+        sub.add_edge(mid, s_root)  # cycle back into the subgraph root
+        index = OneIndex.build(figure2_graph)
+        maintainer = SplitMergeMaintainer(index)
+        maintainer.add_subgraph(sub, s_root, [(figure2_graph.root, s_root)])
+        index.check_invariants()
+        assert is_valid_1index(index)
+        assert is_minimal_1index(index)
+
+
+class TestDeleteSubgraph:
+    def test_add_then_delete_restores_index(self, figure2_graph):
+        index = OneIndex.build(figure2_graph)
+        original = index.as_blocks()
+        maintainer = SplitMergeMaintainer(index)
+        sub, s_root = build_subgraph(random.Random(4), 6)
+        mapping, _ = maintainer.add_subgraph(
+            sub, s_root, [(figure2_graph.root, s_root)]
+        )
+        maintainer.delete_subgraph(mapping[s_root])
+        assert index.as_blocks() == original  # DAG: unique minimum
+        figure2_graph.check_invariants()
+
+    def test_delete_with_idref_boundary(self, figure2_builder):
+        """The deleted subtree has IDREFs in and out of it."""
+        from repro.graph.datagraph import EdgeKind
+
+        graph = figure2_builder.build()
+        index = OneIndex.build(graph)
+        maintainer = SplitMergeMaintainer(index)
+        sub, s_root = build_subgraph(random.Random(5), 4)
+        leaf = max(sub.nodes())
+        mapping, _ = maintainer.add_subgraph(
+            sub,
+            s_root,
+            [
+                (figure2_builder.oid(1), s_root),
+                (figure2_builder.oid(2), leaf),  # IDREF-ish into interior
+                (leaf, figure2_builder.oid(8)),  # and out of it
+            ],
+        )
+        maintainer.delete_subgraph(mapping[s_root])
+        index.check_invariants()
+        assert is_valid_1index(index)
+        assert is_minimal_1index(index)
+        assert is_minimum_1index(index)
+        del EdgeKind
+
+    def test_delete_merges_stranded_lookalikes(self):
+        """Removing a subtree can enable merges among survivors."""
+        builder = (
+            GraphBuilder()
+            .node("keep1", "K").node("keep2", "K")
+            .node("mark", "M")
+            .edge("root", "keep1")
+            .edge("root", "keep2")
+            .edge("root", "mark")
+            .idref("mark", "keep2")  # distinguishes keep2 from keep1
+        )
+        graph = builder.build()
+        index = OneIndex.build(graph)
+        maintainer = SplitMergeMaintainer(index)
+        assert index.inode_of(builder.oid("keep1")) != index.inode_of(
+            builder.oid("keep2")
+        )
+        maintainer.delete_subgraph(builder.oid("mark"))
+        # with the marker gone, keep1 and keep2 are bisimilar again
+        assert index.inode_of(builder.oid("keep1")) == index.inode_of(
+            builder.oid("keep2")
+        )
+        assert is_minimum_1index(index)
+
+
+class TestRandomised:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_add_delete_cycles(self, seed):
+        rng = random.Random(seed)
+        builder = GraphBuilder()
+        for i in range(10):
+            builder.node(f"n{i}", rng.choice("ABC"))
+            builder.edge("root" if i < 3 else f"n{rng.randrange(i)}", f"n{i}")
+        graph = builder.build()
+        index = OneIndex.build(graph)
+        maintainer = SplitMergeMaintainer(index)
+        roots = []
+        host_nodes = sorted(graph.nodes())
+        for round_number in range(3):
+            sub, s_root = build_subgraph(
+                rng, rng.randrange(2, 7), base_oid=50_000 + 100 * round_number
+            )
+            hook = rng.choice(host_nodes)
+            mapping, _ = maintainer.add_subgraph(sub, s_root, [(hook, s_root)])
+            roots.append(mapping[s_root])
+            assert is_valid_1index(index)
+            assert is_minimal_1index(index)
+        for root in roots:
+            maintainer.delete_subgraph(root)
+            assert is_valid_1index(index)
+            assert is_minimal_1index(index)
+        assert is_minimum_1index(index)

@@ -1,0 +1,77 @@
+"""Unit tests for the Table 3 storage model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.index.akindex import AkIndexFamily
+from repro.metrics.storage import UNIT_BYTES, estimate_storage
+from repro.workload.xmark import XMarkConfig, generate_xmark
+
+CONFIG = XMarkConfig(
+    num_items=30, num_persons=40, num_open_auctions=25,
+    num_closed_auctions=15, num_categories=8,
+)
+
+
+class TestAccounting:
+    def test_standalone_formula(self, figure2_graph):
+        family = AkIndexFamily.build(figure2_graph, 2)
+        estimate = estimate_storage(family)
+        n = figure2_graph.num_nodes
+        expected_units = (
+            family.num_inodes(2)
+            + n
+            + 2 * n
+            + 2 * family.count_intra_iedges(2)
+        )
+        assert estimate.standalone_bytes == expected_units * UNIT_BYTES
+
+    def test_family_adds_tree_and_inter_iedges(self, figure2_graph):
+        family = AkIndexFamily.build(figure2_graph, 2)
+        estimate = estimate_storage(family)
+        extra_units = (
+            family.num_inodes(0)
+            + family.num_inodes(1)  # upper inode records
+            + family.num_inodes(1)
+            + family.num_inodes(2)  # tree parent pointers
+            + 2 * family.count_inter_iedges()
+        )
+        assert estimate.family_bytes == estimate.standalone_bytes + extra_units * UNIT_BYTES
+
+    def test_overhead_positive_and_growing_in_k(self):
+        graph = generate_xmark(CONFIG).graph
+        overheads = []
+        for k in (1, 2, 3, 4):
+            family = AkIndexFamily.build(graph, k)
+            estimate = estimate_storage(family)
+            assert estimate.family_bytes >= estimate.standalone_bytes
+            overheads.append(estimate.overhead_fraction)
+        assert overheads == sorted(overheads)
+
+    def test_kb_properties(self, figure2_graph):
+        family = AkIndexFamily.build(figure2_graph, 1)
+        estimate = estimate_storage(family)
+        assert estimate.standalone_kb == pytest.approx(
+            estimate.standalone_bytes / 1024
+        )
+        assert estimate.family_kb == pytest.approx(estimate.family_bytes / 1024)
+
+    def test_overhead_stable_under_maintenance(self):
+        """Paper: 'this ratio does not change much during updates'."""
+        from repro.maintenance.ak_split_merge import AkSplitMergeMaintainer
+        from repro.workload.updates import MixedUpdateWorkload
+
+        dataset = generate_xmark(CONFIG)
+        graph = dataset.graph
+        workload = MixedUpdateWorkload.prepare(graph, seed=2)
+        family = AkIndexFamily.build(graph, 2)
+        before = estimate_storage(family).overhead_fraction
+        maintainer = AkSplitMergeMaintainer(family)
+        for op, u, v in workload.steps(15):
+            if op == "insert":
+                maintainer.insert_edge(u, v)
+            else:
+                maintainer.delete_edge(u, v)
+        after = estimate_storage(family).overhead_fraction
+        assert after == pytest.approx(before, abs=0.05)

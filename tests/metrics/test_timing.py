@@ -1,0 +1,54 @@
+"""Unit tests for the timing helpers."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.metrics.timing import Stopwatch, mean_ms
+
+
+class TestStopwatch:
+    def test_accumulates_laps(self):
+        watch = Stopwatch()
+        for _ in range(3):
+            with watch:
+                time.sleep(0.001)
+        assert watch.laps == 3
+        assert watch.total_seconds >= 0.003
+        assert watch.mean_seconds == pytest.approx(watch.total_seconds / 3)
+        assert watch.mean_ms == pytest.approx(watch.mean_seconds * 1000)
+        assert watch.total_ms == pytest.approx(watch.total_seconds * 1000)
+
+    def test_zero_laps(self):
+        assert Stopwatch().mean_seconds == 0.0
+
+    def test_keep_laps(self):
+        watch = Stopwatch(keep_laps=True)
+        with watch:
+            pass
+        with watch:
+            pass
+        assert len(watch.lap_seconds) == 2
+
+    def test_laps_not_kept_by_default(self):
+        watch = Stopwatch()
+        with watch:
+            pass
+        assert watch.lap_seconds == []
+
+    def test_exception_still_records(self):
+        watch = Stopwatch()
+        with pytest.raises(RuntimeError):
+            with watch:
+                raise RuntimeError("boom")
+        assert watch.laps == 1
+
+
+class TestMeanMs:
+    def test_mean(self):
+        assert mean_ms([0.001, 0.003]) == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert mean_ms([]) == 0.0

@@ -1,0 +1,58 @@
+"""Unit tests for the path-expression NFA."""
+
+from __future__ import annotations
+
+from repro.query.automaton import compile_path
+from repro.query.path_expression import parse_path
+
+
+class TestCompile:
+    def test_child_chain(self):
+        nfa = compile_path(parse_path("/a/b"))
+        assert nfa.start == 0
+        assert nfa.accept == 2
+        assert nfa.loops == frozenset()
+
+    def test_descendant_adds_loop(self):
+        nfa = compile_path(parse_path("/a//b"))
+        assert nfa.loops == frozenset({1})
+
+
+class TestStep:
+    def test_advance_on_match(self):
+        nfa = compile_path(parse_path("/a/b"))
+        states = nfa.step(frozenset({0}), "a")
+        assert states == frozenset({1})
+        states = nfa.step(states, "b")
+        assert nfa.accepts_states(states)
+
+    def test_dead_on_mismatch(self):
+        nfa = compile_path(parse_path("/a/b"))
+        assert nfa.step(frozenset({0}), "x") == frozenset()
+
+    def test_descendant_idles(self):
+        nfa = compile_path(parse_path("//b"))
+        states = frozenset({0})
+        for label in ("x", "y", "z"):
+            states = nfa.step(states, label)
+            assert 0 in states
+        states = nfa.step(states, "b")
+        assert nfa.accepts_states(states)
+        # and it can keep idling past a match
+        assert 0 in states
+
+    def test_wildcard_advances_on_anything(self):
+        nfa = compile_path(parse_path("/*"))
+        assert nfa.accepts_states(nfa.step(frozenset({0}), "whatever"))
+
+    def test_multiple_states_tracked(self):
+        nfa = compile_path(parse_path("//a//a"))
+        states = nfa.step(frozenset({0}), "a")  # both idle and advance
+        assert states == frozenset({0, 1})
+        states = nfa.step(states, "a")
+        assert nfa.accepts_states(states)
+
+    def test_accept_state_has_no_outgoing_advance(self):
+        nfa = compile_path(parse_path("/a"))
+        accepting = nfa.step(frozenset({0}), "a")
+        assert nfa.step(accepting, "a") == frozenset()

@@ -1,0 +1,54 @@
+"""Multi-resolution family evaluation (the Section 6 option)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.index.akindex import AkIndexFamily
+from repro.query.evaluator import evaluate_on_graph
+from repro.query.index_evaluator import evaluate_on_family
+from repro.workload.random_graphs import random_cyclic
+
+
+@pytest.fixture(scope="module")
+def setting():
+    graph = random_cyclic(random.Random(77), 30, 10)
+    return graph, AkIndexFamily.build(graph, 3)
+
+
+class TestFamilyEvaluation:
+    @pytest.mark.parametrize(
+        "query",
+        ["/A", "/A/B", "/A/B/C", "/A/B/C/A", "//B", "/A//C", "/*/B"],
+    )
+    def test_always_exact(self, setting, query):
+        graph, family = setting
+        truth = evaluate_on_graph(graph, query).matches
+        assert evaluate_on_family(family, query).matches == truth
+
+    def test_short_queries_skip_validation(self, setting):
+        _, family = setting
+        report = evaluate_on_family(family, "/A/B")
+        assert not report.validated  # answered exactly by A(2)
+
+    def test_long_queries_validate(self, setting):
+        graph, family = setting
+        report = evaluate_on_family(family, "//C")
+        truth = evaluate_on_graph(graph, "//C").matches
+        assert report.matches == truth
+        if truth:
+            assert report.validated
+
+    def test_coarse_level_touches_fewer_inodes(self, setting):
+        graph, family = setting
+        short = evaluate_on_family(family, "/A")
+        deep = evaluate_on_family(family, "/A/B/C/A", validate=True)
+        # the A(1)-level walk can never visit more inodes than leaf level
+        assert short.nodes_visited <= max(deep.nodes_visited, 1)
+
+    def test_figure2_semantics(self, figure2_graph):
+        family = AkIndexFamily.build(figure2_graph, 2)
+        truth = evaluate_on_graph(figure2_graph, "/A/B").matches
+        assert evaluate_on_family(family, "/A/B").matches == truth

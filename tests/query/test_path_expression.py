@@ -1,0 +1,75 @@
+"""Unit tests for path-expression parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import PathSyntaxError
+from repro.query.path_expression import WILDCARD, Step, parse_path
+
+
+class TestParsing:
+    def test_child_steps(self):
+        expr = parse_path("/site/people/person")
+        assert [s.axis for s in expr.steps] == ["child"] * 3
+        assert [s.test for s in expr.steps] == ["site", "people", "person"]
+
+    def test_descendant_steps(self):
+        expr = parse_path("//keyword")
+        assert expr.steps == (Step("descendant", "keyword"),)
+
+    def test_mixed_axes(self):
+        expr = parse_path("/site//person/name")
+        assert [s.axis for s in expr.steps] == ["child", "descendant", "child"]
+
+    def test_bare_name_is_descendant_shorthand(self):
+        assert parse_path("person").steps == (Step("descendant", "person"),)
+
+    def test_wildcard(self):
+        expr = parse_path("/site/*/person")
+        assert expr.steps[1].test == WILDCARD
+        assert expr.steps[1].matches("anything")
+
+    def test_step_matches(self):
+        step = Step("child", "name")
+        assert step.matches("name")
+        assert not step.matches("other")
+
+    def test_len_and_str(self):
+        expr = parse_path("/a/b")
+        assert len(expr) == 2
+        assert str(expr) == "/a/b"
+
+    def test_whitespace_stripped(self):
+        assert parse_path("  /a/b  ").text == "/a/b"
+
+    def test_empty_rejected(self):
+        with pytest.raises(PathSyntaxError):
+            parse_path("   ")
+
+    def test_trailing_slash_rejected(self):
+        with pytest.raises(PathSyntaxError):
+            parse_path("/a/")
+
+    def test_triple_slash_rejected(self):
+        with pytest.raises(PathSyntaxError):
+            parse_path("///a")
+
+    def test_invalid_axis_in_step(self):
+        with pytest.raises(PathSyntaxError):
+            Step("parent", "a")
+
+
+class TestAkAnswerability:
+    def test_short_child_paths_exact(self):
+        expr = parse_path("/a/b")
+        assert expr.answerable_exactly_by_ak(2)
+        assert not expr.answerable_exactly_by_ak(1)
+
+    def test_descendant_axis_never_exact(self):
+        expr = parse_path("//a")
+        assert expr.has_descendant_axis
+        assert not expr.answerable_exactly_by_ak(100)
+
+    def test_child_only_flag(self):
+        assert not parse_path("/a/b/c").has_descendant_axis

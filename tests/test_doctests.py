@@ -1,0 +1,24 @@
+"""Run the doctests embedded in module/class docstrings."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.graph.datagraph
+import repro.graph.xml_io
+import repro.query.path_expression
+
+MODULES = (
+    repro.graph.datagraph,
+    repro.graph.xml_io,
+    repro.query.path_expression,
+)
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0, f"{result.failed} doctest failures in {module.__name__}"
+    assert result.attempted > 0, f"no doctests collected from {module.__name__}"

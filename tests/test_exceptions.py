@@ -1,0 +1,66 @@
+"""Unit tests for the exception hierarchy and error payloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    DuplicateEdgeError,
+    DuplicateNodeError,
+    EdgeNotFoundError,
+    GraphError,
+    NodeNotFoundError,
+    PathSyntaxError,
+    ReproError,
+    StructuralIndexError,
+    XmlFormatError,
+)
+
+
+class TestHierarchy:
+    def test_graph_errors_are_repro_errors(self):
+        for exc in (
+            NodeNotFoundError(1),
+            EdgeNotFoundError(1, 2),
+            DuplicateNodeError(1),
+            DuplicateEdgeError(1, 2),
+        ):
+            assert isinstance(exc, GraphError)
+            assert isinstance(exc, ReproError)
+
+    def test_lookup_errors_are_keyerrors(self):
+        assert isinstance(NodeNotFoundError(1), KeyError)
+        assert isinstance(EdgeNotFoundError(1, 2), KeyError)
+
+    def test_duplicate_errors_are_valueerrors(self):
+        assert isinstance(DuplicateNodeError(1), ValueError)
+        assert isinstance(DuplicateEdgeError(1, 2), ValueError)
+
+    def test_xml_and_path_errors(self):
+        assert isinstance(XmlFormatError("x"), ValueError)
+        error = PathSyntaxError("/a//", 4, "expected a name test")
+        assert error.expression == "/a//"
+        assert error.position == 4
+        assert "position 4" in str(error)
+
+
+class TestPayloads:
+    def test_node_error_carries_oid(self):
+        assert NodeNotFoundError(42).oid == 42
+
+    def test_edge_error_carries_endpoints(self):
+        error = EdgeNotFoundError(3, 7)
+        assert (error.source, error.target) == (3, 7)
+
+    def test_catch_all_base_class(self):
+        from repro.graph.datagraph import DataGraph
+
+        g = DataGraph()
+        with pytest.raises(ReproError):
+            g.label(99)
+
+    def test_structural_index_error_alias(self):
+        from repro.exceptions import IndexError_
+
+        assert StructuralIndexError is IndexError_
+        assert not issubclass(StructuralIndexError, IndexError)

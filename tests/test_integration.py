@@ -1,0 +1,202 @@
+"""End-to-end integration: the full pipeline stays consistent.
+
+The ultimate consumer-level property: after ANY sequence of maintained
+updates, every query answered through the index equals the answer
+computed from the raw data graph.  This exercises graph surgery, index
+maintenance, iedge support counting and query evaluation together.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph.datagraph import EdgeKind
+from repro.index.akindex import AkIndexFamily
+from repro.index.oneindex import OneIndex
+from repro.maintenance.ak_split_merge import AkSplitMergeMaintainer
+from repro.maintenance.split_merge import SplitMergeMaintainer
+from repro.query.evaluator import evaluate_on_graph
+from repro.query.index_evaluator import (
+    evaluate_on_ak,
+    evaluate_on_family,
+    evaluate_on_index,
+)
+from repro.workload.updates import MixedUpdateWorkload, extract_subgraphs, remove_subgraph_raw
+from repro.workload.xmark import XMarkConfig, generate_xmark
+
+CONFIG = XMarkConfig(
+    num_items=50,
+    num_persons=70,
+    num_open_auctions=40,
+    num_closed_auctions=25,
+    num_categories=12,
+)
+
+QUERIES = (
+    "/site/people/person/name",
+    "/site/open_auctions/open_auction/seller/person",
+    "//watch/open_auction",
+    "//person/name",
+    "/site/regions/*/item",
+)
+
+
+class TestQueriesThroughMaintenance:
+    def test_1index_stays_precise_through_mixed_updates(self):
+        dataset = generate_xmark(CONFIG)
+        graph = dataset.graph
+        workload = MixedUpdateWorkload.prepare(graph, seed=9)
+        index = OneIndex.build(graph)
+        maintainer = SplitMergeMaintainer(index)
+        for number, (op, u, v) in enumerate(workload.steps(20), 1):
+            if op == "insert":
+                maintainer.insert_edge(u, v, EdgeKind.IDREF)
+            else:
+                maintainer.delete_edge(u, v)
+            if number % 5 == 0:
+                for query in QUERIES:
+                    truth = evaluate_on_graph(graph, query).matches
+                    assert evaluate_on_index(index, query).matches == truth
+
+    def test_ak_family_stays_exact_through_mixed_updates(self):
+        dataset = generate_xmark(CONFIG)
+        graph = dataset.graph
+        workload = MixedUpdateWorkload.prepare(graph, seed=9)
+        family = AkIndexFamily.build(graph, 2)
+        maintainer = AkSplitMergeMaintainer(family)
+        for number, (op, u, v) in enumerate(workload.steps(12), 1):
+            if op == "insert":
+                maintainer.insert_edge(u, v, EdgeKind.IDREF)
+            else:
+                maintainer.delete_edge(u, v)
+            if number % 6 == 0:
+                index = family.level_index()
+                for query in QUERIES:
+                    truth = evaluate_on_graph(graph, query).matches
+                    assert evaluate_on_ak(index, 2, query).matches == truth
+                    assert evaluate_on_family(family, query).matches == truth
+
+    def test_subgraph_cycle_preserves_query_answers(self):
+        dataset = generate_xmark(CONFIG)
+        graph = dataset.graph
+        baseline = {q: evaluate_on_graph(graph, q).matches for q in QUERIES}
+
+        extracted = extract_subgraphs(graph, "open_auction", 5, seed=13)
+        for item in extracted:
+            remove_subgraph_raw(graph, item)
+        index = OneIndex.build(graph)
+        maintainer = SplitMergeMaintainer(index)
+        for item in extracted:
+            maintainer.add_subgraph(item.subgraph, item.root, item.cross_edges)
+        # re-added subtrees receive fresh oids, so the graph is isomorphic
+        # (answer *cardinalities* match the baseline) while the index stays
+        # exact with respect to the current graph.
+        for query, truth_before in baseline.items():
+            truth_now = evaluate_on_graph(graph, query).matches
+            assert len(truth_now) == len(truth_before)
+            assert evaluate_on_index(index, query).matches == truth_now
+
+    def test_node_churn_preserves_query_answers(self):
+        rng = random.Random(5)
+        dataset = generate_xmark(CONFIG)
+        graph = dataset.graph
+        index = OneIndex.build(graph)
+        maintainer = SplitMergeMaintainer(index)
+        people = graph.nodes_with_label("person")
+        created = []
+        for _ in range(5):
+            oid, _ = maintainer.insert_node(rng.choice(people), "phone")
+            created.append(oid)
+        truth = evaluate_on_graph(graph, "//person/phone").matches
+        assert evaluate_on_index(index, "//person/phone").matches == truth
+        assert set(created) <= truth
+        for oid in created:
+            maintainer.delete_node(oid)
+        truth = evaluate_on_graph(graph, "//person/phone").matches
+        assert evaluate_on_index(index, "//person/phone").matches == truth
+
+
+class TestPublicApiSurface:
+    def test_top_level_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_subpackage_exports_resolve(self):
+        import repro.graph
+        import repro.index
+        import repro.maintenance
+        import repro.metrics
+        import repro.query
+        import repro.workload
+
+        for module in (
+            repro.graph,
+            repro.index,
+            repro.maintenance,
+            repro.query,
+            repro.workload,
+            repro.metrics,
+        ):
+            for name in module.__all__:
+                assert getattr(module, name) is not None, f"{module.__name__}.{name}"
+
+    def test_exception_hierarchy(self):
+        from repro.exceptions import (
+            GraphError,
+            InvalidIndexError,
+            MaintenanceError,
+            PathSyntaxError,
+            ReproError,
+            StructuralIndexError,
+            XmlFormatError,
+        )
+
+        for exc in (
+            GraphError,
+            StructuralIndexError,
+            InvalidIndexError,
+            MaintenanceError,
+            XmlFormatError,
+            PathSyntaxError,
+        ):
+            assert issubclass(exc, ReproError)
+        assert issubclass(InvalidIndexError, StructuralIndexError)
+        assert issubclass(PathSyntaxError, ValueError)
+
+    def test_maintainer_protocol_satisfied(self):
+        from repro.graph.builder import GraphBuilder
+        from repro.maintenance.base import Maintainer
+
+        graph = GraphBuilder().edge("root", "a").build()
+        index = OneIndex.build(graph)
+        assert isinstance(SplitMergeMaintainer(index), Maintainer)
+        family = AkIndexFamily.build(graph.copy(), 1)
+        assert isinstance(AkSplitMergeMaintainer(family), Maintainer)
+
+
+class TestUpdateStats:
+    def test_absorb_accumulates(self):
+        from repro.maintenance.base import UpdateStats
+
+        a = UpdateStats(splits=1, merges=2, moves=3, peak_inodes=10, trivial=True)
+        b = UpdateStats(splits=4, merges=0, moves=1, peak_inodes=7, trivial=False)
+        a.absorb(b)
+        assert (a.splits, a.merges, a.moves) == (5, 2, 4)
+        assert a.peak_inodes == 10
+        assert not a.trivial  # any non-trivial constituent poisons it
+
+    def test_totals_record(self):
+        from repro.maintenance.base import MaintenanceTotals, UpdateStats
+
+        totals = MaintenanceTotals()
+        totals.record(UpdateStats(splits=2, trivial=True), keep_log=True)
+        totals.record(UpdateStats(merges=3), keep_log=True)
+        assert totals.updates == 2
+        assert totals.trivial_updates == 1
+        assert totals.splits == 2
+        assert totals.merges == 3
+        assert len(totals.stats_log) == 2

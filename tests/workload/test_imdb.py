@@ -1,0 +1,81 @@
+"""Unit tests for the IMDB-like generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.datagraph import EdgeKind
+from repro.graph.traversal import is_acyclic, strongly_connected_components
+from repro.workload.imdb import IMDBConfig, generate_imdb
+
+SMALL = IMDBConfig(num_movies=50, num_persons=70, num_communities=5)
+
+
+class TestShape:
+    def test_deterministic(self):
+        a = generate_imdb(SMALL)
+        b = generate_imdb(SMALL)
+        assert sorted(a.graph.edges()) == sorted(b.graph.edges())
+
+    def test_invariants(self):
+        generate_imdb(SMALL).graph.check_invariants()
+
+    def test_expected_labels(self):
+        labels = generate_imdb(SMALL).graph.labels()
+        for expected in ("imdb", "movie", "person", "title", "name",
+                         "actorref", "movieref"):
+            assert expected in labels
+
+    def test_population_handles(self):
+        dataset = generate_imdb(SMALL)
+        assert len(dataset.movies) == SMALL.num_movies
+        assert len(dataset.persons) == SMALL.num_persons
+        assert set(dataset.community_of) == set(dataset.movies) | set(
+            dataset.persons
+        )
+
+    def test_is_cyclic(self):
+        # both reference directions are present: short cycles exist
+        assert not is_acyclic(generate_imdb(SMALL).graph)
+
+
+class TestClustering:
+    def test_references_are_mostly_local(self):
+        dataset = generate_imdb(IMDBConfig(
+            num_movies=80, num_persons=100, num_communities=8, locality=0.95
+        ))
+        graph = dataset.graph
+        local = 0
+        total = 0
+        for ref, target in graph.edges_of_kind(EdgeKind.IDREF):
+            (owner,) = [
+                p for p in graph.pred(ref)
+                if p in dataset.community_of or graph.label(p) == "filmography"
+            ]
+            if graph.label(owner) == "filmography":
+                (owner,) = graph.pred(owner)
+            total += 1
+            if dataset.community_of[owner] == dataset.community_of[target]:
+                local += 1
+        assert total > 0
+        assert local / total > 0.7
+
+    def test_clustering_shrinks_big_sccs(self):
+        clustered = generate_imdb(IMDBConfig(
+            num_movies=60, num_persons=80, num_communities=10,
+            locality=1.0, seed=3,
+        ))
+        comps = strongly_connected_components(clustered.graph)
+        big = max(len(c) for c in comps)
+        # with locality 1.0 no SCC can span communities, so the largest
+        # cycle is bounded by one community's population (movies+persons+refs)
+        assert big <= (60 + 80) // 10 * 6
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            IMDBConfig(locality=2.0)
+        with pytest.raises(ValueError):
+            IMDBConfig(num_communities=0)
+
+    def test_summary(self):
+        assert "communities" in generate_imdb(SMALL).summary()

@@ -1,0 +1,80 @@
+"""Unit tests for random graph generators and the Figure 5 gadget."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph.traversal import is_acyclic
+from repro.index.oneindex import OneIndex
+from repro.workload.random_graphs import (
+    candidate_edges,
+    random_cyclic,
+    random_dag,
+    random_tree,
+    worst_case_gadget,
+)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_tree_is_tree(self, seed):
+        g = random_tree(random.Random(seed), 25)
+        assert g.num_edges == g.num_nodes - 1
+        assert is_acyclic(g)
+        assert all(g.in_degree(n) <= 1 for n in g.nodes())
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_dag_is_acyclic(self, seed):
+        assert is_acyclic(random_dag(random.Random(seed), 30, 12))
+
+    def test_cyclic_generator_can_produce_cycles(self):
+        cyclic_found = any(
+            not is_acyclic(random_cyclic(random.Random(seed), 30, 20))
+            for seed in range(10)
+        )
+        assert cyclic_found
+
+    def test_all_generators_pass_invariants(self):
+        rng = random.Random(0)
+        for g in (random_tree(rng, 20), random_dag(rng, 20, 5), random_cyclic(rng, 20, 5)):
+            g.check_invariants()
+
+
+class TestCandidateEdges:
+    def test_candidates_are_insertable(self):
+        rng = random.Random(4)
+        g = random_dag(rng, 30, 10)
+        for u, v in candidate_edges(g, rng, 10, acyclic=True):
+            assert not g.has_edge(u, v)
+            assert v != g.root
+            assert u != v
+            g.add_edge(u, v)  # must not raise
+        assert is_acyclic(g)
+
+    def test_candidates_unique(self):
+        rng = random.Random(4)
+        g = random_dag(rng, 30, 10)
+        found = candidate_edges(g, rng, 15, acyclic=False)
+        assert len(found) == len(set(found))
+
+
+class TestWorstCaseGadget:
+    def test_twin_chains_fold_without_marker(self):
+        gadget = worst_case_gadget(depth=10)
+        index = OneIndex.build(gadget.graph)
+        # one inode per chain position (+ root + marker + anchor)
+        assert index.num_inodes == gadget.depth + 3
+        assert index.inode_of(gadget.left) == index.inode_of(gadget.right)
+
+    def test_marker_edge_splits_everything(self):
+        gadget = worst_case_gadget(depth=10, with_marker_edge=True)
+        index = OneIndex.build(gadget.graph)
+        assert index.inode_of(gadget.left) != index.inode_of(gadget.right)
+        assert index.num_inodes == 2 * gadget.depth + 4
+
+    def test_tails_exposed(self):
+        gadget = worst_case_gadget(depth=5)
+        assert gadget.graph.out_degree(gadget.left_tail) == 0
+        assert gadget.graph.out_degree(gadget.right_tail) == 0

@@ -1,0 +1,159 @@
+"""Unit tests for the update workloads (Section 7 protocol)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.datagraph import EdgeKind
+from repro.workload.updates import (
+    MixedUpdateWorkload,
+    average_size,
+    extract_subgraphs,
+    remove_subgraph_raw,
+)
+from repro.workload.xmark import XMarkConfig, generate_xmark
+
+CONFIG = XMarkConfig(
+    num_items=40, num_persons=60, num_open_auctions=35,
+    num_closed_auctions=20, num_categories=10,
+)
+
+
+class TestMixedWorkload:
+    def test_prepare_removes_pool_fraction(self):
+        dataset = generate_xmark(CONFIG)
+        total = len(dataset.idref_edges)
+        workload = MixedUpdateWorkload.prepare(dataset.graph, pool_fraction=0.2)
+        assert len(workload.pool) == max(1, int(total * 0.2))
+        for edge in workload.pool:
+            assert not dataset.graph.has_edge(*edge)
+        for edge in workload.in_graph:
+            assert dataset.graph.has_edge(*edge)
+
+    def test_steps_alternate_insert_delete(self):
+        dataset = generate_xmark(CONFIG)
+        workload = MixedUpdateWorkload.prepare(dataset.graph)
+        ops = list(workload.steps(5))
+        assert [op for op, *_ in ops] == ["insert", "delete"] * 5
+
+    def test_steps_are_replayable_on_the_graph(self):
+        dataset = generate_xmark(CONFIG)
+        graph = dataset.graph
+        workload = MixedUpdateWorkload.prepare(graph)
+        for op, u, v in workload.steps(10):
+            if op == "insert":
+                assert not graph.has_edge(u, v)
+                graph.add_edge(u, v, EdgeKind.IDREF)
+            else:
+                assert graph.has_edge(u, v)
+                graph.remove_edge(u, v)
+        graph.check_invariants()
+
+    def test_deterministic_across_graph_copies(self):
+        a = generate_xmark(CONFIG)
+        b = generate_xmark(CONFIG)
+        wa = MixedUpdateWorkload.prepare(a.graph, seed=5)
+        wb = MixedUpdateWorkload.prepare(b.graph, seed=5)
+        ops_a = []
+        ops_b = []
+        for op in wa.steps(8):
+            ops_a.append(op)
+            if op[0] == "insert":
+                a.graph.add_edge(op[1], op[2], EdgeKind.IDREF)
+            else:
+                a.graph.remove_edge(op[1], op[2])
+        for op in wb.steps(8):
+            ops_b.append(op)
+            if op[0] == "insert":
+                b.graph.add_edge(op[1], op[2], EdgeKind.IDREF)
+            else:
+                b.graph.remove_edge(op[1], op[2])
+        assert ops_a == ops_b
+
+    def test_candidate_restriction(self):
+        dataset = generate_xmark(CONFIG)
+        candidates = dataset.person_auction_edges
+        workload = MixedUpdateWorkload.prepare(
+            dataset.graph, candidate_edges=candidates
+        )
+        for op, u, v in workload.steps(5):
+            assert (u, v) in candidates
+
+    def test_no_idrefs_raises(self, tiny_tree):
+        with pytest.raises(GraphError):
+            MixedUpdateWorkload.prepare(tiny_tree)
+
+    def test_bad_fraction_rejected(self):
+        dataset = generate_xmark(CONFIG)
+        with pytest.raises(ValueError):
+            MixedUpdateWorkload.prepare(dataset.graph, pool_fraction=0.0)
+
+    def test_remaining_pairs(self):
+        dataset = generate_xmark(CONFIG)
+        workload = MixedUpdateWorkload.prepare(dataset.graph)
+        assert workload.remaining_pairs() == len(workload.pool)
+
+
+class TestSubgraphExtraction:
+    def test_extracts_disjoint_auction_subtrees(self):
+        dataset = generate_xmark(CONFIG)
+        extracted = extract_subgraphs(dataset.graph, "open_auction", 10)
+        assert 0 < len(extracted) <= 10
+        seen: set[int] = set()
+        for item in extracted:
+            members = set(item.subgraph.nodes())
+            assert not members & seen
+            seen |= members
+            assert dataset.graph.label(item.root) == "open_auction"
+
+    def test_subtrees_do_not_follow_idrefs(self):
+        dataset = generate_xmark(CONFIG)
+        for item in extract_subgraphs(dataset.graph, "open_auction", 5):
+            for node in item.subgraph.nodes():
+                # persons/items are only reachable via IDREF: never inside
+                assert dataset.graph.label(node) not in ("person", "item")
+
+    def test_cross_edges_point_across_the_boundary(self):
+        dataset = generate_xmark(CONFIG)
+        extracted = extract_subgraphs(dataset.graph, "open_auction", 5)
+        for item in extracted:
+            members = set(item.subgraph.nodes())
+            assert item.cross_edges  # at least the tree parent edge
+            for a, b, kind in item.cross_edges:
+                assert (a in members) != (b in members)
+                assert kind is dataset.graph.edge_kind(a, b)
+
+    def test_remove_subgraph_raw(self):
+        dataset = generate_xmark(CONFIG)
+        graph = dataset.graph
+        (item,) = extract_subgraphs(graph, "open_auction", 1)
+        before = graph.num_nodes
+        remove_subgraph_raw(graph, item)
+        assert graph.num_nodes == before - item.size
+        graph.check_invariants()
+
+    def test_removal_then_readd_via_maintainer_roundtrips(self):
+        from repro.index.oneindex import OneIndex
+        from repro.index.stability import is_minimal_1index
+        from repro.maintenance.split_merge import SplitMergeMaintainer
+
+        dataset = generate_xmark(CONFIG)
+        graph = dataset.graph
+        extracted = extract_subgraphs(graph, "open_auction", 3)
+        for item in extracted:
+            remove_subgraph_raw(graph, item)
+        index = OneIndex.build(graph)
+        maintainer = SplitMergeMaintainer(index)
+        for item in extracted:
+            maintainer.add_subgraph(item.subgraph, item.root, item.cross_edges)
+            assert is_minimal_1index(index)
+
+    def test_average_size(self):
+        dataset = generate_xmark(CONFIG)
+        extracted = extract_subgraphs(dataset.graph, "open_auction", 5)
+        mean = average_size(extracted)
+        assert mean == pytest.approx(
+            sum(i.size for i in extracted) / len(extracted)
+        )
+        assert average_size([]) == 0.0

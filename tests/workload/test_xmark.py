@@ -1,0 +1,114 @@
+"""Unit tests for the XMark-like generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.datagraph import EdgeKind
+from repro.graph.traversal import is_acyclic
+from repro.workload.xmark import XMarkConfig, generate_xmark
+
+SMALL = XMarkConfig(
+    num_items=40,
+    num_persons=60,
+    num_open_auctions=35,
+    num_closed_auctions=20,
+    num_categories=10,
+)
+
+
+def small_config(**overrides) -> XMarkConfig:
+    from dataclasses import replace
+
+    return replace(SMALL, **overrides)
+
+
+class TestShape:
+    def test_deterministic_per_config(self):
+        a = generate_xmark(SMALL)
+        b = generate_xmark(SMALL)
+        assert a.graph.num_nodes == b.graph.num_nodes
+        assert sorted(a.graph.edges()) == sorted(b.graph.edges())
+
+    def test_seed_changes_output(self):
+        a = generate_xmark(SMALL)
+        b = generate_xmark(small_config(seed=99))
+        assert sorted(a.graph.edges()) != sorted(b.graph.edges())
+
+    def test_graph_invariants(self):
+        dataset = generate_xmark(SMALL)
+        dataset.graph.check_invariants()
+
+    def test_expected_element_hierarchy(self):
+        dataset = generate_xmark(SMALL)
+        labels = dataset.graph.labels()
+        for expected in (
+            "site", "regions", "people", "person", "open_auctions",
+            "open_auction", "closed_auctions", "categories", "item",
+            "seller", "itemref", "watch", "bidder",
+        ):
+            assert expected in labels, expected
+
+    def test_population_handles(self):
+        dataset = generate_xmark(SMALL)
+        assert len(dataset.items) == SMALL.num_items
+        assert len(dataset.persons) == SMALL.num_persons
+        assert len(dataset.open_auctions) == SMALL.num_open_auctions
+        for person in dataset.persons:
+            assert dataset.graph.label(person) == "person"
+
+    def test_references_leave_reference_elements(self):
+        dataset = generate_xmark(SMALL)
+        for source, target in dataset.graph.edges_of_kind(EdgeKind.IDREF):
+            assert dataset.graph.label(source) in (
+                "seller", "buyer", "personref", "itemref", "incategory", "watch"
+            )
+
+    def test_summary_mentions_counts(self):
+        dataset = generate_xmark(SMALL)
+        assert "dnodes" in dataset.summary()
+        assert "IDREF" in dataset.summary()
+
+
+class TestCyclicity:
+    def test_full_cyclicity_has_cycles(self):
+        dataset = generate_xmark(small_config(cyclicity=1.0))
+        assert not is_acyclic(dataset.graph)
+        assert dataset.person_auction_edges
+
+    def test_zero_cyclicity_is_acyclic(self):
+        dataset = generate_xmark(small_config(cyclicity=0.0))
+        assert is_acyclic(dataset.graph)
+        assert dataset.person_auction_edges == []
+
+    def test_node_count_independent_of_cyclicity(self):
+        full = generate_xmark(small_config(cyclicity=1.0))
+        none = generate_xmark(small_config(cyclicity=0.0))
+        assert full.graph.num_nodes == none.graph.num_nodes
+
+    def test_partial_cyclicity_keeps_a_subset(self):
+        full = generate_xmark(small_config(cyclicity=1.0))
+        half = generate_xmark(small_config(cyclicity=0.5))
+        full_edges = set(full.person_auction_edges)
+        half_edges = set(half.person_auction_edges)
+        assert half_edges < full_edges
+        assert 0 < len(half_edges) < len(full_edges)
+
+    def test_cyclicity_validation(self):
+        with pytest.raises(ValueError):
+            XMarkConfig(cyclicity=1.5)
+
+    def test_cycles_come_only_from_watch_edges(self):
+        dataset = generate_xmark(small_config(cyclicity=1.0))
+        for source, target in dataset.person_auction_edges:
+            dataset.graph.remove_edge(source, target)
+        assert is_acyclic(dataset.graph)
+
+
+class TestIdrefAccess:
+    def test_idref_edges_property(self):
+        dataset = generate_xmark(SMALL)
+        assert set(dataset.idref_edges) == set(
+            dataset.graph.edges_of_kind(EdgeKind.IDREF)
+        )
+        assert dataset.idref_edges
