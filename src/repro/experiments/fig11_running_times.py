@@ -30,7 +30,12 @@ from repro.experiments.reporting import format_table
 
 @dataclass
 class TimingRow:
-    """One dataset's three bars (milliseconds per update)."""
+    """One dataset's three bars (milliseconds per update), with tails.
+
+    The paper reports means; the reproduction also surfaces p95/max so a
+    handful of expensive repairs (e.g. Figure 5 worst cases) are visible
+    rather than averaged away.
+    """
 
     dataset: str
     split_merge_ms: float
@@ -38,6 +43,10 @@ class TimingRow:
     propagate_with_recon_ms: float
     split_merge_reconstructions: int
     propagate_reconstructions: int
+    split_merge_p95_ms: float = 0.0
+    split_merge_max_ms: float = 0.0
+    propagate_p95_ms: float = 0.0
+    propagate_max_ms: float = 0.0
 
 
 def run(scale: ExperimentScale) -> list[TimingRow]:
@@ -61,19 +70,27 @@ def run(scale: ExperimentScale) -> list[TimingRow]:
                 propagate_with_recon_ms=propagate.mean_update_with_recon_ms,
                 split_merge_reconstructions=split_merge.reconstructions,
                 propagate_reconstructions=propagate.reconstructions,
+                split_merge_p95_ms=split_merge.p95_update_ms,
+                split_merge_max_ms=split_merge.max_update_ms,
+                propagate_p95_ms=propagate.p95_update_ms,
+                propagate_max_ms=propagate.max_update_ms,
             )
         )
     return rows
 
 
 def report(rows: list[TimingRow]) -> str:
-    """Render the timing table."""
+    """Render the timing table (means plus p95/max tails)."""
     table = format_table(
         [
             "dataset",
-            "split/merge (ms)",
-            "propagate (ms)",
-            "propagate+recon (ms)",
+            "s/m (ms)",
+            "s/m p95",
+            "s/m max",
+            "prop (ms)",
+            "prop p95",
+            "prop max",
+            "prop+recon (ms)",
             "recon (s/m)",
             "recon (prop)",
         ],
@@ -81,7 +98,11 @@ def report(rows: list[TimingRow]) -> str:
             (
                 row.dataset,
                 f"{row.split_merge_ms:.2f}",
+                f"{row.split_merge_p95_ms:.2f}",
+                f"{row.split_merge_max_ms:.2f}",
                 f"{row.propagate_ms:.2f}",
+                f"{row.propagate_p95_ms:.2f}",
+                f"{row.propagate_max_ms:.2f}",
                 f"{row.propagate_with_recon_ms:.2f}",
                 row.split_merge_reconstructions,
                 row.propagate_reconstructions,

@@ -53,11 +53,13 @@ def format_percent(value: float, digits: int = 2) -> str:
 
 
 def format_run_summary(result: MixedRunResult) -> str:
-    """One-line digest of a maintainer run."""
+    """One-line digest of a maintainer run (mean and tail update times)."""
     return (
         f"{result.name}: {result.updates} updates, "
         f"final quality {format_percent(result.final_quality)}, "
         f"max quality {format_percent(result.max_quality)}, "
-        f"{result.mean_update_ms:.2f} ms/update, "
+        f"{result.mean_update_ms:.2f} ms/update "
+        f"(p50 {result.p50_update_ms:.2f}, p95 {result.p95_update_ms:.2f}, "
+        f"max {result.max_update_ms:.2f}), "
         f"{result.reconstructions} reconstructions"
     )

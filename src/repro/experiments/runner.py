@@ -5,6 +5,18 @@ insert/delete workload through a maintainer, optionally firing the 5 %
 reconstruction policy, while sampling index quality and accumulating
 per-update wall-clock time.  :func:`run_mixed_updates` is that loop;
 the per-figure modules configure and interpret it.
+
+Observability: the loop tallies its work into a per-run
+:class:`repro.obs.MetricsRegistry` (counters ``run.updates``,
+``run.splits``, ``run.merges``, …; histograms ``run.update_seconds``,
+``run.reconstruction_seconds``) and the returned
+:class:`MixedRunResult` is a snapshot view over that registry rather
+than a hand-maintained tally.  When the current observer
+(:func:`repro.obs.current`) is enabled, the run additionally emits a
+``run`` span, one ``run.update`` event per operation and a final
+metrics-snapshot record, so a JSONL trace of any experiment can be
+cross-checked against the result object (their split/merge counts are
+equal by construction).
 """
 
 from __future__ import annotations
@@ -15,7 +27,8 @@ from typing import Callable, Optional, Protocol
 from repro.graph.datagraph import DataGraph, EdgeKind
 from repro.maintenance.base import UpdateStats
 from repro.maintenance.reconstruction import ReconstructionPolicy
-from repro.metrics.timing import Stopwatch
+from repro.metrics.timing import Stopwatch, max_ms, p50_ms, p95_ms
+from repro.obs import MetricsRegistry, Observer, current
 from repro.workload.updates import MixedUpdateWorkload
 
 
@@ -45,7 +58,13 @@ class SeriesPoint:
 
 @dataclass
 class MixedRunResult:
-    """Everything one maintainer run produces."""
+    """Everything one maintainer run produces.
+
+    The scalar fields are synced from the run's metrics registry
+    (:attr:`metrics`) when the runner finishes — see
+    :meth:`sync_from_metrics`; they remain plain fields so results can
+    be constructed directly in tests and serialised trivially.
+    """
 
     name: str
     points: list[SeriesPoint] = field(default_factory=list)
@@ -60,6 +79,27 @@ class MixedRunResult:
     reconstruction_intervals: list[int] = field(default_factory=list)
     final_size: int = 0
     final_minimum: int = 0
+    #: per-update durations (seconds), for tail percentiles
+    update_lap_seconds: list[float] = field(default_factory=list)
+    #: the per-run registry the scalar fields are views of (None when the
+    #: result was built by hand)
+    metrics: Optional[MetricsRegistry] = None
+
+    def sync_from_metrics(self, registry: MetricsRegistry) -> None:
+        """Refresh the scalar tallies from a ``run.*`` metrics registry."""
+        self.metrics = registry
+        self.updates = registry.counter("run.updates").value
+        self.trivial_updates = registry.counter("run.trivial").value
+        self.total_splits = registry.counter("run.splits").value
+        self.total_merges = registry.counter("run.merges").value
+        self.peak_inodes = int(registry.gauge("run.peak_inodes").max_value)
+        update_hist = registry.histogram("run.update_seconds")
+        self.update_seconds = update_hist.total
+        self.update_lap_seconds = list(update_hist.values)
+        self.reconstructions = registry.counter("run.reconstructions").value
+        self.reconstruction_seconds = registry.histogram(
+            "run.reconstruction_seconds"
+        ).total
 
     @property
     def mean_update_ms(self) -> float:
@@ -68,6 +108,21 @@ class MixedRunResult:
         if self.updates == 0:
             return 0.0
         return self.update_seconds / self.updates * 1000
+
+    @property
+    def p50_update_ms(self) -> float:
+        """Median per-update time (0.0 when laps were not recorded)."""
+        return p50_ms(self.update_lap_seconds)
+
+    @property
+    def p95_update_ms(self) -> float:
+        """95th-percentile per-update time (0.0 when laps were not recorded)."""
+        return p95_ms(self.update_lap_seconds)
+
+    @property
+    def max_update_ms(self) -> float:
+        """Worst single update time (0.0 when laps were not recorded)."""
+        return max_ms(self.update_lap_seconds)
 
     @property
     def mean_update_with_recon_ms(self) -> float:
@@ -101,6 +156,7 @@ def run_mixed_updates(
     minimum_size_fn: Callable[[DataGraph], int],
     policy: Optional[ReconstructionPolicy] = None,
     reconstruct: Optional[Callable[[], None]] = None,
+    obs: Optional[Observer] = None,
 ) -> MixedRunResult:
     """Replay ``2 * num_pairs`` operations through *maintainer*.
 
@@ -109,47 +165,84 @@ def run_mixed_updates(
     *reconstruct* are given, the policy is consulted after every update
     and reconstructions are timed separately — the paper's protocol for
     the baselines (and, on cyclic data, for split/merge too).
+
+    *obs* is the observer to trace through (default: the process-wide
+    :func:`repro.obs.current`); tracing work happens outside the timed
+    sections, so enabling it does not skew the reported update times.
     """
+    registry = MetricsRegistry()
     result = MixedRunResult(name=name)
     update_watch = Stopwatch()
     recon_watch = Stopwatch()
+    # Hoisted registry slots: the loop's per-update cost must stay at a
+    # handful of attribute bumps, observability on or off.
+    lap_hist = registry.histogram("run.update_seconds")
+    recon_hist = registry.histogram("run.reconstruction_seconds")
+    recon_counter = registry.counter("run.reconstructions")
+    if obs is None:
+        obs = current()
     if policy is not None:
         policy.start(maintainer.index_size())
 
-    for op_number, (op, source, target) in enumerate(workload.steps(num_pairs), 1):
-        with update_watch:
-            if op == "insert":
-                # workload edges come from the IDREF pool
-                stats = maintainer.insert_edge(source, target, EdgeKind.IDREF)
-            else:
-                stats = maintainer.delete_edge(source, target)
-        result.updates += 1
-        result.total_splits += stats.splits
-        result.total_merges += stats.merges
-        result.peak_inodes = max(result.peak_inodes, stats.peak_inodes)
-        if stats.trivial:
-            result.trivial_updates += 1
-
-        if policy is not None and reconstruct is not None:
-            if policy.should_reconstruct(maintainer.index_size()):
-                with recon_watch:
-                    reconstruct()
-                policy.reconstructed(maintainer.index_size())
-
-        if op_number % sample_every == 0:
-            result.points.append(
-                SeriesPoint(
-                    update=op_number,
-                    index_size=maintainer.index_size(),
-                    minimum_size=minimum_size_fn(maintainer.graph),
+    with obs.span("run", run=name, num_pairs=num_pairs) as run_span:
+        for op_number, (op, source, target) in enumerate(workload.steps(num_pairs), 1):
+            with update_watch:
+                if op == "insert":
+                    # workload edges come from the IDREF pool
+                    stats = maintainer.insert_edge(source, target, EdgeKind.IDREF)
+                else:
+                    stats = maintainer.delete_edge(source, target)
+            lap_hist.observe(update_watch.last_seconds)
+            stats.record_to(registry, "run")
+            if obs.enabled:
+                obs.event(
+                    "run.update",
+                    op=op,
+                    source=source,
+                    target=target,
+                    splits=stats.splits,
+                    merges=stats.merges,
+                    moves=stats.moves,
+                    trivial=stats.trivial,
+                    seconds=update_watch.last_seconds,
                 )
-            )
 
-    result.update_seconds = update_watch.total_seconds
-    result.reconstruction_seconds = recon_watch.total_seconds
-    if policy is not None:
-        result.reconstructions = policy.reconstructions
-        result.reconstruction_intervals = list(policy.intervals)
-    result.final_size = maintainer.index_size()
-    result.final_minimum = minimum_size_fn(maintainer.graph)
+            if policy is not None and reconstruct is not None:
+                if policy.should_reconstruct(maintainer.index_size()):
+                    with recon_watch:
+                        reconstruct()
+                    recon_hist.observe(recon_watch.last_seconds)
+                    recon_counter.inc()
+                    if obs.enabled:
+                        obs.event(
+                            "run.reconstruction",
+                            update=op_number,
+                            index_size=maintainer.index_size(),
+                            seconds=recon_watch.last_seconds,
+                        )
+                    policy.reconstructed(maintainer.index_size())
+
+            if op_number % sample_every == 0:
+                result.points.append(
+                    SeriesPoint(
+                        update=op_number,
+                        index_size=maintainer.index_size(),
+                        minimum_size=minimum_size_fn(maintainer.graph),
+                    )
+                )
+
+        result.sync_from_metrics(registry)
+        if policy is not None:
+            result.reconstruction_intervals = list(policy.intervals)
+        result.final_size = maintainer.index_size()
+        result.final_minimum = minimum_size_fn(maintainer.graph)
+        run_span.set(
+            updates=result.updates,
+            splits=result.total_splits,
+            merges=result.total_merges,
+            reconstructions=result.reconstructions,
+            final_size=result.final_size,
+            final_minimum=result.final_minimum,
+        )
+    obs.emit_metrics(registry, name=name)
     return result

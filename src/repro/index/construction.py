@@ -30,6 +30,7 @@ from typing import Optional
 
 from repro.graph.datagraph import DataGraph
 from repro.index.base import StructuralIndex
+from repro.obs import current as current_obs
 
 ClassMap = dict[int, int]
 
@@ -78,19 +79,25 @@ def bisimulation_partition(graph: DataGraph, max_rounds: Optional[int] = None) -
     round produces a refinement of the previous partition, the fixpoint is
     reached exactly when the number of classes stops growing.
     """
-    class_of = label_partition(graph)
-    count = len(set(class_of.values()))
-    rounds = 0
-    while True:
-        refined = refine_by_signature(graph, class_of)
-        new_count = len(set(refined.values()))
-        rounds += 1
-        if new_count == count:
-            return refined
-        class_of = refined
-        count = new_count
-        if max_rounds is not None and rounds >= max_rounds:
-            return class_of
+    obs = current_obs()
+    with obs.span("construct.bisim_partition", nodes=graph.num_nodes) as span:
+        class_of = label_partition(graph)
+        count = len(set(class_of.values()))
+        rounds = 0
+        while True:
+            refined = refine_by_signature(graph, class_of)
+            new_count = len(set(refined.values()))
+            rounds += 1
+            if new_count == count:
+                span.set(rounds=rounds, classes=new_count)
+                obs.add("construct.bisim_rounds", rounds)
+                return refined
+            class_of = refined
+            count = new_count
+            if max_rounds is not None and rounds >= max_rounds:
+                span.set(rounds=rounds, classes=count, truncated=True)
+                obs.add("construct.bisim_rounds", rounds)
+                return class_of
 
 
 def ak_class_maps(graph: DataGraph, k: int) -> list[ClassMap]:
@@ -174,6 +181,9 @@ def stabilize(
     """
     if splitter_choice not in ("small", "first"):
         raise ValueError(f"unknown splitter_choice {splitter_choice!r}")
+    obs = current_obs()
+    track = obs.enabled
+    queue_peak = 0
     stats = SplitStats()
     stats.note(index)
     queue: deque[list[int]] = deque()
@@ -190,53 +200,61 @@ def stabilize(
     for block in compound_blocks:
         enqueue(list(block))
 
-    while queue:
-        compound = queue.popleft()
-        compound[:] = [i for i in compound if index.has_inode(i)]
-        if len(compound) < 2:
-            for inode in compound:
-                member_of.pop(inode, None)
-            continue
-        if splitter_choice == "small":
-            # The smallest member always satisfies |I| <= 1/2 * total.
-            splitter = min(compound, key=index.extent_size)
-        else:
-            splitter = compound[0]
-        rest = [i for i in compound if i != splitter]
-        member_of.pop(splitter, None)
-        if len(rest) >= 2:
-            queue.append(rest)
-            for inode in rest:
-                member_of[inode] = rest
-        else:
-            for inode in rest:
-                member_of.pop(inode, None)
-
-        succ_splitter = frozenset(index.succ_extent(splitter))
-        succ_rest = frozenset(index.succ_extent_of(rest))
-
-        # Group Succ(I) by containing inode: K -> K ∩ Succ(I).
-        touched: dict[int, set[int]] = {}
-        for w in succ_splitter:
-            touched.setdefault(index.inode_of(w), set()).add(w)
-
-        for k_inode, k1 in touched.items():
-            k11 = {w for w in k1 if w in succ_rest}
-            k12 = k1 - k11
-            pieces = _three_way_split(index, k_inode, k1, k11, k12, stats)
-            if len(pieces) < 2:
+    with obs.span("construct.stabilize", seeds=len(compound_blocks)) as span:
+        while queue:
+            if track and len(queue) > queue_peak:
+                queue_peak = len(queue)
+            compound = queue.popleft()
+            compound[:] = [i for i in compound if index.has_inode(i)]
+            if len(compound) < 2:
+                for inode in compound:
+                    member_of.pop(inode, None)
                 continue
-            holder = member_of.get(k_inode)
-            if holder is not None:
-                holder.remove(k_inode)
-                member_of.pop(k_inode, None)
-                holder.extend(pieces)
-                for inode in pieces:
-                    member_of[inode] = holder
+            if splitter_choice == "small":
+                # The smallest member always satisfies |I| <= 1/2 * total.
+                splitter = min(compound, key=index.extent_size)
             else:
-                enqueue(pieces)
-        stats.note(index)
+                splitter = compound[0]
+            rest = [i for i in compound if i != splitter]
+            member_of.pop(splitter, None)
+            if len(rest) >= 2:
+                queue.append(rest)
+                for inode in rest:
+                    member_of[inode] = rest
+            else:
+                for inode in rest:
+                    member_of.pop(inode, None)
 
+            succ_splitter = frozenset(index.succ_extent(splitter))
+            succ_rest = frozenset(index.succ_extent_of(rest))
+
+            # Group Succ(I) by containing inode: K -> K ∩ Succ(I).
+            touched: dict[int, set[int]] = {}
+            for w in succ_splitter:
+                touched.setdefault(index.inode_of(w), set()).add(w)
+
+            for k_inode, k1 in touched.items():
+                k11 = {w for w in k1 if w in succ_rest}
+                k12 = k1 - k11
+                pieces = _three_way_split(index, k_inode, k1, k11, k12, stats)
+                if len(pieces) < 2:
+                    continue
+                holder = member_of.get(k_inode)
+                if holder is not None:
+                    holder.remove(k_inode)
+                    member_of.pop(k_inode, None)
+                    holder.extend(pieces)
+                    for inode in pieces:
+                        member_of[inode] = holder
+                else:
+                    enqueue(pieces)
+            stats.note(index)
+        span.set(
+            splits=stats.splits, peak_inodes=stats.peak_inodes, queue_peak=queue_peak
+        )
+    if track:
+        obs.add("construct.splits", stats.splits)
+        obs.observe("construct.queue_peak", queue_peak)
     return stats
 
 

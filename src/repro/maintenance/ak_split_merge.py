@@ -42,6 +42,7 @@ from repro.exceptions import MaintenanceError
 from repro.graph.datagraph import DataGraph, EdgeKind
 from repro.index.akindex import AkIndexFamily
 from repro.maintenance.base import UpdateStats
+from repro.obs import current as current_obs
 
 LevelSig = tuple[int, frozenset[int]]
 
@@ -115,6 +116,8 @@ class AkSplitMergeMaintainer:
             if not extent:
                 self._remove_empty_class(level_no, token, stats)
         graph.remove_node(dnode)
+        # classes emptied here are removed outside _propagate's tally
+        current_obs().add("ak.merges", stats.merges)
         stats.absorb(self._propagate(entry_points))
         return stats
 
@@ -195,6 +198,8 @@ class AkSplitMergeMaintainer:
                 self._remove_empty_class(level_no, token, stats)
         for w in doomed:
             graph.remove_node(w)
+        # classes emptied here are removed outside _propagate's tally
+        current_obs().add("ak.merges", stats.merges)
         stats.absorb(self._propagate(entry_points))
         return stats
 
@@ -212,22 +217,43 @@ class AkSplitMergeMaintainer:
         the level below); *initial_changed* seeds the changed set (new
         dnodes from a subgraph addition, already placed at level 0).
         """
+        obs = current_obs()
         stats = UpdateStats()
         graph = self.graph
         changed: set[int] = set(initial_changed or ())
         any_change = bool(changed)
-        for level_no in range(1, self.family.k + 1):
-            affected = set(entry_points) | changed
-            for w in changed:
-                affected.update(graph.iter_succ(w))
-            if not affected:
-                break
-            changed = self._refresh_level(level_no, affected, stats)
-            if changed:
-                any_change = True
-                stats.levels_touched = level_no
-        stats.trivial = not any_change and stats.moves == 0
-        stats.peak_inodes = max(stats.peak_inodes, self.index_size())
+        with obs.span("ak.propagate", entry_points=len(entry_points)) as span:
+            for level_no in range(1, self.family.k + 1):
+                affected = set(entry_points) | changed
+                for w in changed:
+                    affected.update(graph.iter_succ(w))
+                if not affected:
+                    break
+                with obs.span(
+                    "ak.level_refresh", level=level_no, affected=len(affected)
+                ) as level_span:
+                    changed = self._refresh_level(level_no, affected, stats)
+                    level_span.set(changed=len(changed))
+                if changed:
+                    any_change = True
+                    stats.levels_touched = level_no
+            stats.trivial = not any_change and stats.moves == 0
+            stats.peak_inodes = max(stats.peak_inodes, self.index_size())
+            span.set(
+                levels_touched=stats.levels_touched,
+                moves=stats.moves,
+                splits=stats.splits,
+                merges=stats.merges,
+                trivial=stats.trivial,
+            )
+        if obs.enabled:
+            obs.add("ak.moves", stats.moves)
+            obs.add("ak.splits", stats.splits)
+            obs.add("ak.merges", stats.merges)
+            if stats.trivial:
+                obs.add("ak.trivial")
+            obs.observe("ak.levels_touched", stats.levels_touched)
+            obs.set_max("ak.peak_inodes", stats.peak_inodes)
         return stats
 
     def _refresh_level(

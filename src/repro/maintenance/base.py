@@ -49,6 +49,22 @@ class UpdateStats:
         if not other.trivial:
             self.trivial = False
 
+    def record_to(self, registry, prefix: str) -> None:
+        """Tally this operation into a ``repro.obs`` metrics registry.
+
+        Counters ``{prefix}.updates/trivial/splits/merges/moves`` and the
+        gauge ``{prefix}.peak_inodes`` become the source of truth for
+        aggregate views (e.g. :class:`repro.experiments.runner.MixedRunResult`),
+        replacing hand-maintained tallies in the callers.
+        """
+        registry.counter(f"{prefix}.updates").inc()
+        if self.trivial:
+            registry.counter(f"{prefix}.trivial").inc()
+        registry.counter(f"{prefix}.splits").add(self.splits)
+        registry.counter(f"{prefix}.merges").add(self.merges)
+        registry.counter(f"{prefix}.moves").add(self.moves)
+        registry.gauge(f"{prefix}.peak_inodes").set_max(self.peak_inodes)
+
 
 @dataclass
 class MaintenanceTotals:

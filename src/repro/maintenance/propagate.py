@@ -22,6 +22,7 @@ from repro.graph.datagraph import DataGraph, EdgeKind
 from repro.index.base import StructuralIndex
 from repro.index.construction import stabilize
 from repro.maintenance.base import UpdateStats
+from repro.obs import current as current_obs
 
 
 class PropagateMaintainer:
@@ -46,6 +47,7 @@ class PropagateMaintainer:
         if trivial:
             stats = UpdateStats(trivial=True)
             stats.peak_inodes = index.num_inodes
+            current_obs().add("one.trivial")
             return stats
         return self._split_phase(target)
 
@@ -63,21 +65,31 @@ class PropagateMaintainer:
         if trivial:
             stats = UpdateStats(trivial=True)
             stats.peak_inodes = index.num_inodes
+            current_obs().add("one.trivial")
             return stats
         return self._split_phase(target)
 
     def _split_phase(self, v: int) -> UpdateStats:
+        obs = current_obs()
         index = self.index
         stats = UpdateStats()
-        iv = index.inode_of(v)
-        seeds: list[list[int]] = []
-        if index.extent_size(iv) > 1:
-            singleton = index.split_off(iv, [v])
-            stats.splits += 1
-            seeds = [[singleton, iv]]
-        split_stats = stabilize(index, seeds, self.splitter_choice)
-        stats.splits += split_stats.splits
-        stats.peak_inodes = max(split_stats.peak_inodes, index.num_inodes)
+        # Same span name as the split/merge maintainer's split phase: the
+        # two algorithms differ only in the merge phase, so sharing the
+        # name makes their traces directly comparable.
+        with obs.span("one.split_phase") as span:
+            iv = index.inode_of(v)
+            seeds: list[list[int]] = []
+            if index.extent_size(iv) > 1:
+                singleton = index.split_off(iv, [v])
+                stats.splits += 1
+                seeds = [[singleton, iv]]
+            split_stats = stabilize(index, seeds, self.splitter_choice)
+            stats.splits += split_stats.splits
+            stats.peak_inodes = max(split_stats.peak_inodes, index.num_inodes)
+            span.set(splits=stats.splits, peak_inodes=stats.peak_inodes)
+        if obs.enabled:
+            obs.add("one.splits", stats.splits)
+            obs.set_max("one.peak_inodes", stats.peak_inodes)
         return stats
 
     def add_subgraph(

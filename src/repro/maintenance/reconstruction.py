@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from repro.graph.datagraph import DataGraph
 from repro.index.base import StructuralIndex
 from repro.index.construction import bisimulation_partition
+from repro.obs import current as current_obs
 
 #: The paper's reconstruction trigger: 5 % growth since last reconstruction.
 DEFAULT_THRESHOLD = 0.05
@@ -56,14 +57,18 @@ def reconstruct_via_index_graph(index: StructuralIndex) -> None:
     bisimilarity class yields the coarsest stable partition of the data
     graph, i.e. the minimum 1-index (Lemma 1).
     """
-    quotient, to_inode = quotient_graph(index)
-    classes = bisimulation_partition(quotient)
-    groups: dict[int, list[int]] = {}
-    for oid, cls in classes.items():
-        groups.setdefault(cls, []).append(to_inode[oid])
-    for members in groups.values():
-        if len(members) > 1:
-            index.merge_inodes(members)
+    obs = current_obs()
+    with obs.span("one.reconstruction", before=index.num_inodes) as span:
+        quotient, to_inode = quotient_graph(index)
+        classes = bisimulation_partition(quotient)
+        groups: dict[int, list[int]] = {}
+        for oid, cls in classes.items():
+            groups.setdefault(cls, []).append(to_inode[oid])
+        for members in groups.values():
+            if len(members) > 1:
+                index.merge_inodes(members)
+        span.set(after=index.num_inodes)
+    obs.add("recon.via_index_graph")
 
 
 def reconstruct_from_scratch(index: StructuralIndex) -> None:
@@ -72,17 +77,21 @@ def reconstruct_from_scratch(index: StructuralIndex) -> None:
     The expensive alternative (used as the third comparator in the
     subgraph-addition experiment): ignores the current partition entirely.
     """
-    classes = bisimulation_partition(index.graph)
-    target: dict[int, list[int]] = {}
-    for dnode, cls in classes.items():
-        target.setdefault(cls, []).append(dnode)
-    fresh = StructuralIndex.from_partition(index.graph, target.values())
-    index._inode_of = fresh._inode_of
-    index._extent = fresh._extent
-    index._label = fresh._label
-    index._succ_support = fresh._succ_support
-    index._pred_support = fresh._pred_support
-    index._next_id = fresh._next_id
+    obs = current_obs()
+    with obs.span("one.reconstruction_from_scratch", before=index.num_inodes) as span:
+        classes = bisimulation_partition(index.graph)
+        target: dict[int, list[int]] = {}
+        for dnode, cls in classes.items():
+            target.setdefault(cls, []).append(dnode)
+        fresh = StructuralIndex.from_partition(index.graph, target.values())
+        index._inode_of = fresh._inode_of
+        index._extent = fresh._extent
+        index._label = fresh._label
+        index._succ_support = fresh._succ_support
+        index._pred_support = fresh._pred_support
+        index._next_id = fresh._next_id
+        span.set(after=index.num_inodes)
+    obs.add("recon.from_scratch")
 
 
 @dataclass

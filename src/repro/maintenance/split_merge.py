@@ -38,6 +38,7 @@ from repro.graph.datagraph import DataGraph, EdgeKind
 from repro.index.base import StructuralIndex
 from repro.index.construction import bisimulation_partition, blocks_of, stabilize
 from repro.maintenance.base import UpdateStats
+from repro.obs import current as current_obs
 
 
 def _normalise_cross_edges(
@@ -111,6 +112,7 @@ class SplitMergeMaintainer:
         if trivial:
             stats = UpdateStats(trivial=True)
             stats.peak_inodes = index.num_inodes
+            current_obs().add("one.trivial")
             return stats
         return self._split_then_merge(target)
 
@@ -126,31 +128,45 @@ class SplitMergeMaintainer:
         if trivial:
             stats = UpdateStats(trivial=True)
             stats.peak_inodes = index.num_inodes
+            current_obs().add("one.trivial")
             return stats
         return self._split_then_merge(target)
 
     def _split_then_merge(self, v: int) -> UpdateStats:
         """The non-trivial path of Figure 3: split phase, then merge phase."""
+        obs = current_obs()
         index = self.index
         stats = UpdateStats()
-        # --- split phase -------------------------------------------------
-        iv = index.inode_of(v)
-        seeds: list[list[int]] = []
-        if index.extent_size(iv) > 1:
-            singleton = index.split_off(iv, [v])
-            stats.splits += 1
-            seeds = [[singleton, iv]]
-        split_stats = stabilize(index, seeds, self.splitter_choice)
-        stats.splits += split_stats.splits
-        stats.peak_inodes = max(split_stats.peak_inodes, index.num_inodes)
-        # --- merge phase --------------------------------------------------
-        self._merge_phase(index.inode_of(v), stats)
+        with obs.span("one.repair", dnode=v) as repair_span:
+            # --- split phase ---------------------------------------------
+            with obs.span("one.split_phase") as split_span:
+                iv = index.inode_of(v)
+                seeds: list[list[int]] = []
+                if index.extent_size(iv) > 1:
+                    singleton = index.split_off(iv, [v])
+                    stats.splits += 1
+                    seeds = [[singleton, iv]]
+                split_stats = stabilize(index, seeds, self.splitter_choice)
+                stats.splits += split_stats.splits
+                stats.peak_inodes = max(split_stats.peak_inodes, index.num_inodes)
+                split_span.set(splits=stats.splits, peak_inodes=stats.peak_inodes)
+            # --- merge phase ---------------------------------------------
+            with obs.span("one.merge_phase") as merge_span:
+                self._merge_phase(index.inode_of(v), stats)
+                merge_span.set(merges=stats.merges)
+            repair_span.set(splits=stats.splits, merges=stats.merges)
+        if obs.enabled:
+            # one.merges is emitted inside _merge_phase; stats.splits here
+            # is exactly the split phase's work.
+            obs.add("one.splits", stats.splits)
+            obs.set_max("one.peak_inodes", stats.peak_inodes)
         return stats
 
     def _merge_phase(self, start: int, stats: UpdateStats) -> None:
         """Figure 3's merge phase, beginning at inode *start* (= I[v])."""
         index = self.index
         queue: deque[int] = deque()
+        merges_before = stats.merges
 
         partner = self._find_merge_partner(start)
         if partner is not None:
@@ -164,38 +180,47 @@ class SplitMergeMaintainer:
                 continue
             merged_any = self._merge_successor_groups(inode, queue, stats)
             del merged_any  # cascade is driven purely by the queue
+        current_obs().add("one.merges", stats.merges - merges_before)
 
     def _find_merge_partner(self, inode: int) -> int | None:
         """An inode with the same label and index parents as *inode*.
 
         The paper looks "among I[v]'s siblings"; when ``I[v]`` has no
         index parents (v became unreachable) the sibling set is undefined
-        and we fall back to a scan over parentless inodes.
+        and we fall back to a scan over parentless inodes.  The number of
+        candidates examined is reported through the ``one.merge_probes``
+        counter — the cost driver of the merge phase.
         """
         index = self.index
         label = index.label_of(inode)
         parents = index.ipred_set(inode)
-        if parents:
-            seen: set[int] = set()
-            for parent in parents:
-                for sibling in index.isucc(parent):
-                    if sibling == inode or sibling in seen:
-                        continue
-                    seen.add(sibling)
-                    if (
-                        index.label_of(sibling) == label
-                        and index.ipred_set(sibling) == parents
-                    ):
-                        return sibling
+        probes = 0
+        try:
+            if parents:
+                seen: set[int] = set()
+                for parent in parents:
+                    for sibling in index.isucc(parent):
+                        if sibling == inode or sibling in seen:
+                            continue
+                        seen.add(sibling)
+                        probes += 1
+                        if (
+                            index.label_of(sibling) == label
+                            and index.ipred_set(sibling) == parents
+                        ):
+                            return sibling
+                return None
+            for other in index.inodes():
+                probes += 1
+                if (
+                    other != inode
+                    and index.label_of(other) == label
+                    and not index.ipred_set(other)
+                ):
+                    return other
             return None
-        for other in index.inodes():
-            if (
-                other != inode
-                and index.label_of(other) == label
-                and not index.ipred_set(other)
-            ):
-                return other
-        return None
+        finally:
+            current_obs().add("one.merge_probes", probes)
 
     def _merge_successor_groups(
         self, inode: int, queue: deque[int], stats: UpdateStats
@@ -283,8 +308,26 @@ class SplitMergeMaintainer:
         if subgraph.num_nodes == 0:
             raise MaintenanceError("cannot add an empty subgraph")
         _require_disjoint_oids(self.graph, subgraph, cross_edges)
+        obs = current_obs()
         index = self.index
         stats = UpdateStats()
+        with obs.span("one.add_subgraph", nodes=subgraph.num_nodes) as span:
+            mapping = self._add_subgraph(subgraph, subgraph_root, cross_edges, stats)
+            span.set(splits=stats.splits, merges=stats.merges)
+        if obs.enabled:
+            obs.add("one.subgraph_adds")
+            obs.set_max("one.peak_inodes", stats.peak_inodes)
+        return mapping, stats
+
+    def _add_subgraph(
+        self,
+        subgraph: DataGraph,
+        subgraph_root: int,
+        cross_edges: Iterable[tuple[int, int]],
+        stats: UpdateStats,
+    ) -> dict[int, int]:
+        """Figure 6's body (split out so :meth:`add_subgraph` can trace it)."""
+        index = self.index
 
         # 1. Graph surgery + adopt the subgraph's own (minimum) 1-index.
         sub_partition = blocks_of(bisimulation_partition(subgraph))
@@ -305,6 +348,7 @@ class SplitMergeMaintainer:
             split_stats = stabilize(index, [[singleton, root_inode]], self.splitter_choice)
             stats.splits += split_stats.splits
             stats.peak_inodes = max(stats.peak_inodes, split_stats.peak_inodes)
+            current_obs().add("one.splits", 1 + split_stats.splits)
 
         # 2. Batch all incoming cross edges to the root, merge once.
         incoming_root: list[tuple[int, int, EdgeKind]] = []
@@ -325,7 +369,7 @@ class SplitMergeMaintainer:
         for source, target, kind in other_edges:
             stats.absorb(self.insert_edge(source, target, kind))
         stats.peak_inodes = max(stats.peak_inodes, index.num_inodes)
-        return mapping, stats
+        return mapping
 
     def delete_subgraph(self, subgraph_root: int) -> UpdateStats:
         """Delete the subtree hanging off *subgraph_root*.
@@ -337,10 +381,23 @@ class SplitMergeMaintainer:
         then dropped wholesale, and a final merge sweep re-minimises the
         inodes whose parent sets changed when interior support vanished.
         """
+        obs = current_obs()
         index = self.index
         graph = self.graph
         doomed = set(graph.subgraph_from(subgraph_root).nodes())
         stats = UpdateStats()
+        with obs.span("one.delete_subgraph", nodes=len(doomed)) as span:
+            self._delete_subgraph(doomed, stats)
+            span.set(splits=stats.splits, merges=stats.merges)
+        if obs.enabled:
+            obs.add("one.subgraph_dels")
+            obs.set_max("one.peak_inodes", stats.peak_inodes)
+        return stats
+
+    def _delete_subgraph(self, doomed: set[int], stats: UpdateStats) -> None:
+        """Body of :meth:`delete_subgraph` (split out so it can be traced)."""
+        index = self.index
+        graph = self.graph
 
         boundary: list[tuple[int, int]] = []
         for w in doomed:
@@ -372,6 +429,7 @@ class SplitMergeMaintainer:
             index.drop_dnode(w)
             graph.remove_node(w)
         # Inodes that lost an index parent may now merge with lookalikes.
+        sweep_before = stats.merges
         queue: deque[int] = deque()
         for inode in touched:
             if not index.has_inode(inode):
@@ -385,8 +443,8 @@ class SplitMergeMaintainer:
             inode = queue.popleft()
             if index.has_inode(inode):
                 self._merge_successor_groups(inode, queue, stats)
+        current_obs().add("one.merges", stats.merges - sweep_before)
         stats.peak_inodes = max(stats.peak_inodes, index.num_inodes)
-        return stats
 
     # ------------------------------------------------------------------
     # Protocol

@@ -9,7 +9,7 @@ from repro.metrics.quality import (
     quality_from_sizes,
 )
 from repro.metrics.storage import UNIT_BYTES, StorageEstimate, estimate_storage
-from repro.metrics.timing import Stopwatch, mean_ms
+from repro.metrics.timing import Stopwatch, max_ms, mean_ms, p50_ms, p95_ms
 
 __all__ = [
     "quality_from_sizes",
@@ -23,4 +23,7 @@ __all__ = [
     "UNIT_BYTES",
     "Stopwatch",
     "mean_ms",
+    "p50_ms",
+    "p95_ms",
+    "max_ms",
 ]

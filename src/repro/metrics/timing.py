@@ -2,8 +2,9 @@
 
 The paper reports wall-clock milliseconds (Figure 11, Table 2); the
 harness accumulates per-update times with :class:`Stopwatch` and reports
-means with :func:`mean_ms`.  ``perf_counter`` is used throughout —
-monotonic and the highest resolution the platform offers.
+means with :func:`mean_ms` and tails with :func:`p50_ms`/:func:`p95_ms`/
+:func:`max_ms`.  ``perf_counter`` is used throughout — monotonic and the
+highest resolution the platform offers.
 """
 
 from __future__ import annotations
@@ -11,29 +12,47 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.obs.metrics import percentile
+
 
 @dataclass
 class Stopwatch:
-    """Accumulates durations of repeated timed sections."""
+    """Accumulates durations of repeated timed sections.
+
+    A lap is recorded only when the timed block exits cleanly: if the
+    block raises, the lap is discarded (a failing update must not
+    pollute ``total_seconds``/``laps``) and the exception propagates.
+    :meth:`discard` does the same for manually abandoned laps.
+    """
 
     total_seconds: float = 0.0
     laps: int = 0
     lap_seconds: list[float] = field(default_factory=list)
     keep_laps: bool = False
+    #: duration of the most recent completed lap (None before any lap)
+    last_seconds: float | None = None
     _started: float | None = None
 
     def __enter__(self) -> "Stopwatch":
         self._started = time.perf_counter()
         return self
 
-    def __exit__(self, *exc_info: object) -> None:
+    def __exit__(self, exc_type, exc, tb) -> None:
         assert self._started is not None, "stopwatch was not started"
+        if exc_type is not None:
+            self.discard()
+            return  # propagate the exception
         elapsed = time.perf_counter() - self._started
         self._started = None
         self.total_seconds += elapsed
         self.laps += 1
+        self.last_seconds = elapsed
         if self.keep_laps:
             self.lap_seconds.append(elapsed)
+
+    def discard(self) -> None:
+        """Abandon the running lap without recording anything."""
+        self._started = None
 
     @property
     def mean_seconds(self) -> float:
@@ -58,3 +77,20 @@ def mean_ms(seconds: list[float]) -> float:
     if not seconds:
         return 0.0
     return sum(seconds) / len(seconds) * 1000
+
+
+def p50_ms(seconds: list[float]) -> float:
+    """Median of a list of second-durations, in milliseconds."""
+    return percentile(seconds, 50) * 1000
+
+
+def p95_ms(seconds: list[float]) -> float:
+    """95th percentile of a list of second-durations, in milliseconds."""
+    return percentile(seconds, 95) * 1000
+
+
+def max_ms(seconds: list[float]) -> float:
+    """Maximum of a list of second-durations, in milliseconds (0.0 if empty)."""
+    if not seconds:
+        return 0.0
+    return max(seconds) * 1000

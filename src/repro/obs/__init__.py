@@ -1,0 +1,199 @@
+"""``repro.obs`` — structured tracing and metrics for index maintenance.
+
+The paper's evaluation is a story about *where time and quality go*
+during incremental maintenance — split vs. merge work, reconstruction
+triggers, worklist depths.  This package is the substrate that makes
+those breakdowns observable without changing what the algorithms
+compute:
+
+* a **tracer** of nestable spans with monotonic timestamps and
+  attributes (:mod:`repro.obs.tracer`);
+* a **metrics registry** of named counters/gauges/histograms
+  (:mod:`repro.obs.metrics`);
+* pluggable **sinks** — in-memory, JSONL file, human-readable summary
+  (:mod:`repro.obs.sinks`);
+* the :class:`Observer` facade that bundles the three and the
+  process-wide *current observer* the instrumented hot paths consult.
+
+Observability is **off by default**: :func:`current` returns a disabled
+observer whose ``span()`` hands back a shared no-op context manager and
+whose counter helpers return immediately, so the maintenance algorithms
+pay (almost) nothing when nobody is watching.  Turn it on around a
+region with::
+
+    from repro.obs import InMemorySink, observed
+
+    with observed(InMemorySink()) as obs:
+        maintainer.insert_edge(u, v)
+    print(obs.sinks[0].spans("one.split_phase"))
+
+or for a whole benchmark run from the CLI::
+
+    python -m repro.experiments --scale smoke --trace out.jsonl fig9
+
+Span/counter naming convention: ``one.*`` for 1-index maintenance,
+``ak.*`` for the A(k) family, ``construct.*`` for index construction,
+``run.*`` for the experiment runner's per-run registry.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, percentile
+from repro.obs.sinks import (
+    InMemorySink,
+    JsonlSink,
+    NullSink,
+    SummarySink,
+    TraceSink,
+    read_jsonl,
+    summarize,
+)
+from repro.obs.tracer import NULL_SPAN, NullTracer, Span, Tracer
+
+__all__ = [
+    "Observer",
+    "DISABLED",
+    "current",
+    "install",
+    "observed",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "percentile",
+    "Tracer",
+    "NullTracer",
+    "Span",
+    "NULL_SPAN",
+    "TraceSink",
+    "InMemorySink",
+    "JsonlSink",
+    "SummarySink",
+    "NullSink",
+    "read_jsonl",
+    "summarize",
+]
+
+
+class Observer:
+    """Tracer + metrics registry + sinks, as one handle.
+
+    Instrumented code talks to an observer, never to tracer or registry
+    directly, so a single ``enabled`` flag makes the whole layer a
+    no-op.  The convenience mutators (:meth:`add`, :meth:`observe`,
+    :meth:`set_max`) are themselves gated on ``enabled`` — call them
+    unconditionally from hot paths.
+    """
+
+    __slots__ = ("sinks", "metrics", "tracer", "enabled")
+
+    def __init__(
+        self,
+        *sinks: TraceSink,
+        metrics: Optional[MetricsRegistry] = None,
+        enabled: bool = True,
+    ):
+        self.sinks = list(sinks)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.enabled = enabled
+        self.tracer = Tracer(self.sinks) if enabled else NullTracer()
+
+    # -- tracing -------------------------------------------------------
+
+    def span(self, name: str, **attrs: object):
+        """A nestable timed section (no-op context manager if disabled)."""
+        if not self.enabled:
+            return NULL_SPAN
+        return self.tracer.span(name, **attrs)
+
+    def event(self, name: str, **attrs: object) -> None:
+        """An instant trace record (dropped if disabled)."""
+        if self.enabled:
+            self.tracer.event(name, **attrs)
+
+    # -- metrics -------------------------------------------------------
+
+    def add(self, counter: str, n: int = 1) -> None:
+        """Increment a named counter (no-op if disabled or n == 0)."""
+        if self.enabled and n:
+            self.metrics.counter(counter).value += n
+
+    def observe(self, histogram: str, value: float) -> None:
+        """Record a histogram observation (no-op if disabled)."""
+        if self.enabled:
+            self.metrics.histogram(histogram).observe(value)
+
+    def set_max(self, gauge: str, value: float) -> None:
+        """Raise a gauge's high-water mark (no-op if disabled)."""
+        if self.enabled:
+            self.metrics.gauge(gauge).set_max(value)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def emit_metrics(
+        self, registry: Optional[MetricsRegistry] = None, name: str = "metrics"
+    ) -> None:
+        """Write a metrics-snapshot record to the sinks.
+
+        Snapshots *registry* (default: this observer's own) so per-run
+        registries can be dropped into the same trace stream.
+        """
+        if not self.enabled:
+            return
+        record = {"type": "metrics", "name": name}
+        record.update((registry or self.metrics).snapshot())
+        self.tracer.emit(record)
+
+    def close(self) -> None:
+        """Close every sink (idempotent for the provided sinks)."""
+        for sink in self.sinks:
+            sink.close()
+
+
+#: The default, disabled observer — what :func:`current` returns until
+#: something is installed.  Shared and stateless-by-convention.
+DISABLED = Observer(enabled=False)
+
+_current: Observer = DISABLED
+
+
+def current() -> Observer:
+    """The process-wide observer the instrumented hot paths consult."""
+    return _current
+
+
+def install(observer: Optional[Observer]) -> Observer:
+    """Make *observer* current (``None`` restores the disabled default).
+
+    Returns the previously-current observer so callers can restore it.
+    """
+    global _current
+    previous = _current
+    _current = observer if observer is not None else DISABLED
+    return previous
+
+
+@contextmanager
+def observed(
+    *sinks: TraceSink, metrics: Optional[MetricsRegistry] = None
+) -> Iterator[Observer]:
+    """Enable observability within a ``with`` block.
+
+    Installs a fresh enabled :class:`Observer` over *sinks*, and on exit
+    emits a final snapshot of its metrics registry, closes the sinks and
+    restores the previously-current observer::
+
+        with observed(JsonlSink("out.jsonl")) as obs:
+            run_mixed_updates(...)
+    """
+    observer = Observer(*sinks, metrics=metrics)
+    previous = install(observer)
+    try:
+        yield observer
+    finally:
+        observer.emit_metrics()
+        observer.close()
+        install(previous)

@@ -1,0 +1,195 @@
+"""Named counters, gauges and histograms — the metrics half of ``repro.obs``.
+
+The registry is the single place maintenance code reports *what happened*
+(splits, merges, probes, moves) and *how big things got* (peak inodes,
+worklist depth).  Everything is plain Python, single-threaded like the
+rest of the library, and deliberately boring: a metric is a named slot
+with an ``inc``/``set``/``observe`` method, and :meth:`MetricsRegistry.snapshot`
+turns the whole registry into a JSON-able dict for the trace sinks.
+
+Histograms keep their raw observations (runs are at most a few thousand
+updates long), so exact percentiles are available — :func:`percentile`
+is the nearest-rank definition shared with ``repro.metrics.timing``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile of *values* (``p`` in [0, 100]).
+
+    Returns 0.0 for an empty sequence, the minimum for ``p=0`` and the
+    maximum for ``p=100``; values need not be sorted.
+    """
+    if not values:
+        return 0.0
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {p}")
+    ordered = sorted(values)
+    if p == 0.0:
+        return ordered[0]
+    rank = math.ceil(p / 100.0 * len(ordered))
+    return ordered[rank - 1]
+
+
+class Counter:
+    """A monotonically increasing tally."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add *n* (default 1) to the counter."""
+        self.value += n
+
+    add = inc  # alias: ``add(n)`` reads better for bulk increments
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Gauge:
+    """A last-value metric with a high-water mark."""
+
+    __slots__ = ("name", "value", "max_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+        self.max_value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value (and track the maximum seen)."""
+        self.value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    def set_max(self, value: float) -> None:
+        """Raise the gauge to *value* if it is a new high-water mark."""
+        if value > self.value:
+            self.value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name!r}, value={self.value}, max={self.max_value})"
+
+
+class Histogram:
+    """A distribution of observations with exact tail percentiles."""
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return sum(self.values)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self.values) if self.values else 0.0
+
+    @property
+    def min(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile of the observations."""
+        return percentile(self.values, p)
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    def summary(self) -> dict:
+        """JSON-able digest of the distribution."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.p50,
+            "p95": self.p95,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name!r}, count={self.count})"
+
+
+class MetricsRegistry:
+    """Create-on-demand store of named counters, gauges and histograms.
+
+    Asking for a metric twice returns the same object, so hot paths can
+    hoist ``registry.counter("run.splits")`` out of their loops and pay
+    one attribute access per increment.
+    """
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        metric = self.counters.get(name)
+        if metric is None:
+            metric = self.counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self.gauges.get(name)
+        if metric is None:
+            metric = self.gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self.histograms.get(name)
+        if metric is None:
+            metric = self.histograms[name] = Histogram(name)
+        return metric
+
+    def snapshot(self) -> dict:
+        """The whole registry as a JSON-able dict (sorted names)."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self.counters.items())},
+            "gauges": {
+                n: {"value": g.value, "max": g.max_value}
+                for n, g in sorted(self.gauges.items())
+            },
+            "histograms": {
+                n: h.summary() for n, h in sorted(self.histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Drop every metric (names included)."""
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()

@@ -1,0 +1,203 @@
+"""Trace sinks: where span/event/metrics records go.
+
+Three implementations cover the library's needs:
+
+* :class:`InMemorySink` — a list, for tests and programmatic inspection;
+* :class:`JsonlSink` — one JSON object per line, the offline-analysis
+  format the experiment CLI writes with ``--trace out.jsonl``;
+* :class:`SummarySink` — aggregates spans by name and renders a
+  human-readable table on :meth:`close` (also available standalone as
+  :func:`summarize`).
+
+A sink is anything with ``emit(record: dict)`` and ``close()``; records
+are plain dicts (see :meth:`repro.obs.tracer.Span.to_record`).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, Optional, Protocol, runtime_checkable
+
+from repro.obs.metrics import percentile
+
+
+@runtime_checkable
+class TraceSink(Protocol):
+    """Anything that can receive trace records."""
+
+    def emit(self, record: dict) -> None: ...
+
+    def close(self) -> None: ...
+
+
+class InMemorySink:
+    """Collects records in a list (the test/inspection sink)."""
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+        self.closed = False
+
+    def emit(self, record: dict) -> None:
+        self.records.append(record)
+
+    def close(self) -> None:
+        self.closed = True
+
+    # -- inspection helpers -------------------------------------------
+
+    def spans(self, name: Optional[str] = None) -> list[dict]:
+        """All span records, optionally filtered by name."""
+        return [
+            r
+            for r in self.records
+            if r["type"] == "span" and (name is None or r["name"] == name)
+        ]
+
+    def events(self, name: Optional[str] = None) -> list[dict]:
+        """All event records, optionally filtered by name."""
+        return [
+            r
+            for r in self.records
+            if r["type"] == "event" and (name is None or r["name"] == name)
+        ]
+
+    def metrics_records(self, name: Optional[str] = None) -> list[dict]:
+        """All metrics-snapshot records, optionally filtered by name."""
+        return [
+            r
+            for r in self.records
+            if r["type"] == "metrics" and (name is None or r.get("name") == name)
+        ]
+
+
+class JsonlSink:
+    """Writes one JSON object per record to a file (JSON Lines).
+
+    Accepts a path or an open text stream; owns (and closes) the file
+    only when given a path.  Non-JSON-able attribute values are
+    stringified rather than crashing the traced run.
+    """
+
+    def __init__(self, target: "str | IO[str]"):
+        if isinstance(target, (str, bytes)):
+            self._fh: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns = True
+        else:
+            self._fh = target
+            self._owns = False
+        self.emitted = 0
+        self.closed = False
+
+    def emit(self, record: dict) -> None:
+        self._fh.write(json.dumps(record, default=str) + "\n")
+        self.emitted += 1
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self._fh.flush()
+        if self._owns:
+            self._fh.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_jsonl(path: str) -> list[dict]:
+    """Load a JSONL trace file back into records (blank lines skipped)."""
+    records = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def summarize(records: Iterable[dict]) -> str:
+    """Human-readable digest of a record stream.
+
+    Spans are grouped by name with count/total/mean/p95/max duration;
+    the last metrics snapshot's counters and gauges are appended.
+    """
+    durations: dict[str, list[float]] = {}
+    event_counts: dict[str, int] = {}
+    last_metrics: Optional[dict] = None
+    for record in records:
+        kind = record.get("type")
+        if kind == "span":
+            durations.setdefault(record["name"], []).append(record["dur_ms"])
+        elif kind == "event":
+            event_counts[record["name"]] = event_counts.get(record["name"], 0) + 1
+        elif kind == "metrics":
+            last_metrics = record
+
+    lines = ["== trace summary =="]
+    if durations:
+        name_w = max(len(n) for n in durations)
+        lines.append(
+            f"{'span'.ljust(name_w)}  {'count':>7}  {'total ms':>10}  "
+            f"{'mean ms':>9}  {'p95 ms':>9}  {'max ms':>9}"
+        )
+        for name in sorted(durations):
+            ds = durations[name]
+            lines.append(
+                f"{name.ljust(name_w)}  {len(ds):>7}  {sum(ds):>10.2f}  "
+                f"{sum(ds) / len(ds):>9.3f}  {percentile(ds, 95):>9.3f}  "
+                f"{max(ds):>9.3f}"
+            )
+    else:
+        lines.append("(no spans)")
+    if event_counts:
+        lines.append("events: " + ", ".join(
+            f"{name}={count}" for name, count in sorted(event_counts.items())
+        ))
+    if last_metrics is not None:
+        counters = last_metrics.get("counters", {})
+        if counters:
+            lines.append("counters: " + ", ".join(
+                f"{name}={value}" for name, value in sorted(counters.items())
+            ))
+        gauges = last_metrics.get("gauges", {})
+        if gauges:
+            lines.append("gauges: " + ", ".join(
+                f"{name}={g['value']:g} (max {g['max']:g})"
+                for name, g in sorted(gauges.items())
+            ))
+    return "\n".join(lines)
+
+
+class SummarySink:
+    """Aggregates records and prints :func:`summarize` output on close."""
+
+    def __init__(self, stream: Optional[IO[str]] = None):
+        self.records: list[dict] = []
+        self._stream = stream
+        self.closed = False
+
+    def emit(self, record: dict) -> None:
+        self.records.append(record)
+
+    def render(self) -> str:
+        return summarize(self.records)
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        if self._stream is not None:
+            print(self.render(), file=self._stream)
+
+
+class NullSink:
+    """Swallows everything (for overhead benchmarking)."""
+
+    def emit(self, record: dict) -> None:
+        return None
+
+    def close(self) -> None:
+        return None

@@ -1,0 +1,166 @@
+"""Structured tracing — the span half of ``repro.obs``.
+
+A :class:`Tracer` produces **spans** (named, nestable timed sections with
+attributes) and **events** (instant records).  Timestamps come from
+``time.perf_counter`` — monotonic, so durations are meaningful even
+across clock adjustments; absolute times in a trace are therefore
+relative to process start, not wall-clock.
+
+Records are dicts pushed to sinks (:mod:`repro.obs.sinks`) the moment a
+span closes, so a trace file is complete even if the process dies
+mid-run; a span's children appear *before* it in the stream (they close
+first) and are stitched back together via ``parent`` ids.
+
+Like the rest of the library the tracer is single-threaded: nesting is a
+plain stack, which the ``with`` protocol keeps well-formed for free.
+When tracing is off the shared :data:`NULL_SPAN` makes every
+instrumentation point a no-op context manager with no allocation.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable, Optional
+
+
+class Span:
+    """One timed section; created by :meth:`Tracer.span`, used as a
+    context manager.  Attributes can be added mid-flight with
+    :meth:`set` (e.g. results known only at the end of the section)."""
+
+    __slots__ = ("_tracer", "name", "attrs", "span_id", "parent_id", "depth", "t0", "t1")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id: int = -1
+        self.parent_id: Optional[int] = None
+        self.depth: int = 0
+        self.t0: float = 0.0
+        self.t1: float = 0.0
+
+    def set(self, **attrs: object) -> "Span":
+        """Attach attributes to the span; chainable."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._tracer._open(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.attrs["error"] = repr(exc)
+        self._tracer._close(self)
+
+    def to_record(self) -> dict:
+        """The JSON-able trace record for this (closed) span."""
+        return {
+            "type": "span",
+            "name": self.name,
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "depth": self.depth,
+            "t0": self.t0,
+            "t1": self.t1,
+            "dur_ms": (self.t1 - self.t0) * 1000.0,
+            "attrs": self.attrs,
+        }
+
+
+class _NullSpan:
+    """Shared do-nothing span returned when tracing is disabled."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: object) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+#: The singleton no-op span: ``span() is NULL_SPAN`` when tracing is off.
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Emits span and event records to a list of sinks."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        sinks: Iterable = (),
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        self.sinks = list(sinks)
+        self.clock = clock
+        self._stack: list[Span] = []
+        self._next_id = 0
+
+    # -- producing -----------------------------------------------------
+
+    def span(self, name: str, **attrs: object) -> Span:
+        """A new span; enter it with ``with`` to start the clock."""
+        return Span(self, name, attrs)
+
+    def event(self, name: str, **attrs: object) -> None:
+        """Emit an instant record at the current nesting position."""
+        top = self._stack[-1] if self._stack else None
+        self.emit(
+            {
+                "type": "event",
+                "name": name,
+                "t": self.clock(),
+                "parent": top.span_id if top is not None else None,
+                "depth": len(self._stack),
+                "attrs": attrs,
+            }
+        )
+
+    def emit(self, record: dict) -> None:
+        """Push a raw record to every sink."""
+        for sink in self.sinks:
+            sink.emit(record)
+
+    # -- span lifecycle (called by Span) -------------------------------
+
+    def _open(self, span: Span) -> None:
+        span.span_id = self._next_id
+        self._next_id += 1
+        top = self._stack[-1] if self._stack else None
+        span.parent_id = top.span_id if top is not None else None
+        span.depth = len(self._stack)
+        self._stack.append(span)
+        span.t0 = self.clock()
+
+    def _close(self, span: Span) -> None:
+        span.t1 = self.clock()
+        # ``with`` discipline guarantees LIFO; tolerate a foreign top
+        # (manually mis-nested spans) by searching downward.
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:  # pragma: no cover - defensive
+            self._stack.remove(span)
+        self.emit(span.to_record())
+
+
+class NullTracer:
+    """Drop-in for :class:`Tracer` with every operation a no-op."""
+
+    enabled = False
+    sinks: list = []
+
+    def span(self, name: str, **attrs: object) -> _NullSpan:
+        return NULL_SPAN
+
+    def event(self, name: str, **attrs: object) -> None:
+        return None
+
+    def emit(self, record: dict) -> None:
+        return None

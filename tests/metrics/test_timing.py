@@ -6,7 +6,7 @@ import time
 
 import pytest
 
-from repro.metrics.timing import Stopwatch, mean_ms
+from repro.metrics.timing import Stopwatch, max_ms, mean_ms, p50_ms, p95_ms
 
 
 class TestStopwatch:
@@ -38,12 +38,38 @@ class TestStopwatch:
             pass
         assert watch.lap_seconds == []
 
-    def test_exception_still_records(self):
-        watch = Stopwatch()
+    def test_exception_discards_lap(self):
+        watch = Stopwatch(keep_laps=True)
         with pytest.raises(RuntimeError):
             with watch:
                 raise RuntimeError("boom")
+        assert watch.laps == 0
+        assert watch.total_seconds == 0.0
+        assert watch.lap_seconds == []
+
+    def test_exception_keeps_earlier_laps(self):
+        watch = Stopwatch()
+        with watch:
+            pass
+        with pytest.raises(ValueError):
+            with watch:
+                raise ValueError("boom")
         assert watch.laps == 1
+
+    def test_discard(self):
+        watch = Stopwatch()
+        watch.__enter__()
+        watch.discard()
+        assert watch.laps == 0
+        assert watch.total_seconds == 0.0
+
+    def test_last_seconds(self):
+        watch = Stopwatch()
+        assert watch.last_seconds is None
+        with watch:
+            pass
+        assert watch.last_seconds is not None
+        assert watch.last_seconds == pytest.approx(watch.total_seconds)
 
 
 class TestMeanMs:
@@ -52,3 +78,20 @@ class TestMeanMs:
 
     def test_empty(self):
         assert mean_ms([]) == 0.0
+
+
+class TestTails:
+    def test_p50(self):
+        assert p50_ms([0.001, 0.002, 0.003]) == pytest.approx(2.0)
+
+    def test_p95(self):
+        values = [0.001] * 19 + [0.1]
+        assert p95_ms(values) == pytest.approx(1.0)
+
+    def test_max(self):
+        assert max_ms([0.001, 0.005, 0.002]) == pytest.approx(5.0)
+
+    def test_empty(self):
+        assert p50_ms([]) == 0.0
+        assert p95_ms([]) == 0.0
+        assert max_ms([]) == 0.0

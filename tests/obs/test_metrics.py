@@ -1,0 +1,129 @@
+"""Unit tests for counters/gauges/histograms (repro.obs.metrics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    percentile,
+)
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert percentile([], 95) == 0.0
+
+    def test_single(self):
+        assert percentile([7.0], 50) == 7.0
+
+    def test_bounds(self):
+        values = [3.0, 1.0, 2.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 3.0
+
+    def test_median_odd(self):
+        assert percentile([1.0, 2.0, 3.0], 50) == 2.0
+
+    def test_nearest_rank(self):
+        values = list(range(1, 101))  # 1..100
+        assert percentile(values, 95) == 95
+        assert percentile(values, 95.5) == 96
+
+    def test_unsorted_input(self):
+        assert percentile([5.0, 1.0, 3.0], 100) == 5.0
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        c.add(5)
+        assert c.value == 10
+
+
+class TestGauge:
+    def test_set_tracks_max(self):
+        g = Gauge("x")
+        g.set(5)
+        g.set(2)
+        assert g.value == 2
+        assert g.max_value == 5
+
+    def test_set_max_only_raises(self):
+        g = Gauge("x")
+        g.set_max(3)
+        g.set_max(1)
+        assert g.value == 3
+        assert g.max_value == 3
+
+
+class TestHistogram:
+    def test_summary(self):
+        h = Histogram("x")
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            h.observe(v)
+        summary = h.summary()
+        assert summary["count"] == 4
+        assert summary["total"] == pytest.approx(10.0)
+        assert summary["mean"] == pytest.approx(2.5)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 4.0
+        assert summary["p50"] == 2.0
+
+    def test_empty(self):
+        h = Histogram("x")
+        assert h.summary() == {
+            "count": 0, "total": 0.0, "mean": 0.0,
+            "min": 0.0, "max": 0.0, "p50": 0.0, "p95": 0.0,
+        }
+
+
+class TestRegistry:
+    def test_create_on_demand_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_accumulation_across_repeated_use(self):
+        # The same named counter keeps its tally across any number of
+        # lookup/increment rounds — what instrumented loops rely on.
+        registry = MetricsRegistry()
+        for _ in range(100):
+            registry.counter("ops").inc()
+        assert registry.counter("ops").value == 100
+
+    def test_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("splits").add(3)
+        registry.gauge("inodes").set_max(42)
+        registry.histogram("lap").observe(0.5)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"splits": 3}
+        assert snap["gauges"] == {"inodes": {"value": 42, "max": 42}}
+        assert snap["histograms"]["lap"]["count"] == 1
+
+    def test_snapshot_sorted_names(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.counter("a")
+        assert list(registry.snapshot()["counters"]) == ["a", "b"]
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        registry.reset()
+        assert registry.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}
+        }

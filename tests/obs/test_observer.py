@@ -1,0 +1,99 @@
+"""Tests for the Observer facade and the current-observer lifecycle."""
+
+from __future__ import annotations
+
+from repro.obs import (
+    DISABLED,
+    InMemorySink,
+    MetricsRegistry,
+    Observer,
+    current,
+    install,
+    observed,
+)
+
+
+class TestObserver:
+    def test_mutators_hit_the_registry(self):
+        obs = Observer()
+        obs.add("splits", 3)
+        obs.add("splits")
+        obs.observe("lap", 0.5)
+        obs.set_max("inodes", 7)
+        obs.set_max("inodes", 4)
+        assert obs.metrics.counter("splits").value == 4
+        assert obs.metrics.histogram("lap").count == 1
+        assert obs.metrics.gauge("inodes").value == 7
+
+    def test_emit_metrics_snapshots_own_registry(self):
+        sink = InMemorySink()
+        obs = Observer(sink)
+        obs.add("splits", 2)
+        obs.emit_metrics()
+        (record,) = sink.metrics_records()
+        assert record["name"] == "metrics"
+        assert record["counters"] == {"splits": 2}
+
+    def test_emit_metrics_accepts_foreign_registry(self):
+        sink = InMemorySink()
+        obs = Observer(sink)
+        registry = MetricsRegistry()
+        registry.counter("run.updates").add(9)
+        obs.emit_metrics(registry, name="my-run")
+        (record,) = sink.metrics_records("my-run")
+        assert record["counters"] == {"run.updates": 9}
+
+    def test_close_closes_sinks(self):
+        sink = InMemorySink()
+        Observer(sink).close()
+        assert sink.closed
+
+
+class TestCurrentObserver:
+    def test_default_is_disabled(self):
+        assert current() is DISABLED
+        assert not current().enabled
+
+    def test_install_and_restore(self):
+        obs = Observer()
+        previous = install(obs)
+        try:
+            assert current() is obs
+        finally:
+            install(previous)
+        assert current() is DISABLED
+
+    def test_install_none_restores_disabled(self):
+        install(Observer())
+        install(None)
+        assert current() is DISABLED
+
+    def test_observed_installs_and_restores(self):
+        sink = InMemorySink()
+        assert current() is DISABLED
+        with observed(sink) as obs:
+            assert current() is obs
+            assert obs.enabled
+            with obs.span("work"):
+                pass
+        assert current() is DISABLED
+        assert sink.closed
+        # exit emitted a final metrics snapshot after the spans
+        assert sink.records[-1]["type"] == "metrics"
+        assert sink.spans("work")
+
+    def test_observed_restores_on_exception(self):
+        sink = InMemorySink()
+        try:
+            with observed(sink):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert current() is DISABLED
+        assert sink.closed
+
+    def test_observed_accepts_shared_registry(self):
+        registry = MetricsRegistry()
+        with observed(metrics=registry) as obs:
+            obs.add("x")
+        assert registry.counter("x").value == 1

@@ -1,0 +1,97 @@
+"""Unit tests for trace sinks (repro.obs.sinks)."""
+
+from __future__ import annotations
+
+import io
+
+from repro.obs import (
+    InMemorySink,
+    JsonlSink,
+    NullSink,
+    Observer,
+    SummarySink,
+    TraceSink,
+    read_jsonl,
+    summarize,
+)
+
+
+class TestProtocol:
+    def test_all_sinks_satisfy_protocol(self):
+        for sink in (InMemorySink(), JsonlSink(io.StringIO()),
+                     SummarySink(), NullSink()):
+            assert isinstance(sink, TraceSink)
+
+
+class TestJsonlSink:
+    def test_round_trip_via_file(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        sink = JsonlSink(path)
+        obs = Observer(sink)
+        with obs.span("outer", dataset="XMark") as span:
+            obs.event("tick", n=1)
+            span.set(splits=2)
+        obs.add("one.splits", 2)
+        obs.emit_metrics()
+        obs.close()
+
+        records = read_jsonl(path)
+        assert len(records) == sink.emitted == 3
+        event, span_rec, metrics = records
+        assert event["type"] == "event" and event["name"] == "tick"
+        assert span_rec["type"] == "span" and span_rec["name"] == "outer"
+        assert span_rec["attrs"] == {"dataset": "XMark", "splits": 2}
+        assert metrics["type"] == "metrics"
+        assert metrics["counters"] == {"one.splits": 2}
+
+    def test_non_jsonable_attrs_are_stringified(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with JsonlSink(path) as sink:
+            sink.emit({"type": "event", "name": "x", "attrs": {"s": {1, 2}}})
+        (record,) = read_jsonl(path)
+        assert isinstance(record["attrs"]["s"], str)
+
+    def test_stream_not_owned(self):
+        stream = io.StringIO()
+        sink = JsonlSink(stream)
+        sink.emit({"a": 1})
+        sink.close()
+        sink.close()  # idempotent
+        assert not stream.closed  # caller's stream stays open
+        assert stream.getvalue() == '{"a": 1}\n'
+
+    def test_read_jsonl_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"a": 1}\n\n{"b": 2}\n')
+        assert read_jsonl(str(path)) == [{"a": 1}, {"b": 2}]
+
+
+class TestSummarize:
+    def test_span_table_and_counters(self):
+        sink = InMemorySink()
+        obs = Observer(sink)
+        with obs.span("one.split_phase"):
+            pass
+        with obs.span("one.split_phase"):
+            pass
+        obs.event("run.update")
+        obs.add("one.splits", 7)
+        obs.set_max("one.peak_inodes", 42)
+        obs.emit_metrics()
+        text = summarize(sink.records)
+        assert "one.split_phase" in text
+        assert "events: run.update=1" in text
+        assert "one.splits=7" in text
+        assert "one.peak_inodes=42" in text
+
+    def test_no_spans(self):
+        assert "(no spans)" in summarize([])
+
+    def test_summary_sink_prints_on_close(self):
+        stream = io.StringIO()
+        sink = SummarySink(stream)
+        obs = Observer(sink)
+        with obs.span("work"):
+            pass
+        obs.close()
+        assert "work" in stream.getvalue()

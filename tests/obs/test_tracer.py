@@ -1,0 +1,123 @@
+"""Unit tests for the span tracer (repro.obs.tracer)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import InMemorySink, NullTracer, Observer, Tracer
+from repro.obs.tracer import NULL_SPAN
+
+
+def fake_clock(start: float = 0.0, step: float = 1.0):
+    """A deterministic clock: start, start+step, start+2*step, ..."""
+    state = {"t": start - step}
+
+    def tick() -> float:
+        state["t"] += step
+        return state["t"]
+
+    return tick
+
+
+class TestSpans:
+    def test_records_duration(self):
+        sink = InMemorySink()
+        tracer = Tracer([sink], clock=fake_clock())
+        with tracer.span("work"):
+            pass
+        (record,) = sink.spans("work")
+        assert record["type"] == "span"
+        assert record["t1"] > record["t0"]
+        assert record["dur_ms"] == pytest.approx((record["t1"] - record["t0"]) * 1000)
+
+    def test_nesting_parent_and_depth(self):
+        sink = InMemorySink()
+        tracer = Tracer([sink])
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        records = sink.spans()
+        # children close (and are emitted) before their parents
+        assert [r["name"] for r in records] == ["inner", "outer"]
+        by_name = {r["name"]: r for r in records}
+        assert by_name["inner"]["parent"] == by_name["outer"]["id"]
+        assert by_name["outer"]["parent"] is None
+        assert by_name["inner"]["depth"] == 1
+        assert by_name["outer"]["depth"] == 0
+
+    def test_sibling_spans_share_parent(self):
+        sink = InMemorySink()
+        tracer = Tracer([sink])
+        with tracer.span("outer") as outer:
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        a, b = sink.spans("a")[0], sink.spans("b")[0]
+        assert a["parent"] == b["parent"] == outer.span_id
+        assert a["id"] != b["id"]
+
+    def test_attrs_at_creation_and_set(self):
+        sink = InMemorySink()
+        tracer = Tracer([sink])
+        with tracer.span("work", phase="split") as span:
+            span.set(splits=3, merges=1)
+        (record,) = sink.spans("work")
+        assert record["attrs"] == {"phase": "split", "splits": 3, "merges": 1}
+
+    def test_exception_recorded_and_propagated(self):
+        sink = InMemorySink()
+        tracer = Tracer([sink])
+        with pytest.raises(RuntimeError):
+            with tracer.span("work"):
+                raise RuntimeError("boom")
+        (record,) = sink.spans("work")
+        assert "RuntimeError" in record["attrs"]["error"]
+
+    def test_events_carry_nesting_position(self):
+        sink = InMemorySink()
+        tracer = Tracer([sink])
+        with tracer.span("outer") as outer:
+            tracer.event("tick", n=1)
+        (event,) = sink.events("tick")
+        assert event["parent"] == outer.span_id
+        assert event["depth"] == 1
+        assert event["attrs"] == {"n": 1}
+
+    def test_event_outside_span(self):
+        sink = InMemorySink()
+        tracer = Tracer([sink])
+        tracer.event("tick")
+        (event,) = sink.events("tick")
+        assert event["parent"] is None
+        assert event["depth"] == 0
+
+
+class TestNullPaths:
+    def test_null_tracer_returns_shared_span(self):
+        tracer = NullTracer()
+        assert tracer.span("anything") is NULL_SPAN
+        assert tracer.span("other", a=1) is NULL_SPAN
+
+    def test_null_span_is_a_noop_context_manager(self):
+        with NULL_SPAN as span:
+            assert span.set(a=1) is NULL_SPAN
+
+    def test_disabled_observer_span_is_null(self):
+        obs = Observer(enabled=False)
+        assert obs.span("x") is NULL_SPAN
+
+    def test_disabled_observer_drops_everything(self):
+        sink = InMemorySink()
+        obs = Observer(sink, enabled=False)
+        with obs.span("x"):
+            obs.event("e")
+            obs.add("c")
+            obs.observe("h", 1.0)
+            obs.set_max("g", 5)
+        obs.emit_metrics()
+        assert sink.records == []
+        assert obs.metrics.counters == {}
+        assert obs.metrics.histograms == {}
+        assert obs.metrics.gauges == {}
