@@ -25,12 +25,22 @@ class NodeNotFoundError(GraphError, KeyError):
 
 
 class EdgeNotFoundError(GraphError, KeyError):
-    """An edge was referenced that does not exist in the graph."""
+    """An edge was referenced that does not exist in the graph.
 
-    def __init__(self, source: int, target: int):
-        super().__init__(f"edge ({source!r} -> {target!r}) does not exist")
+    *step*, when given, is the index of the workload operation that
+    referenced the edge — workloads validate operations at their
+    boundary so a desynchronised stream fails loudly instead of deep
+    inside a maintainer (see :mod:`repro.workload.updates`).
+    """
+
+    def __init__(self, source: int, target: int, step: int | None = None):
+        message = f"edge ({source!r} -> {target!r}) does not exist"
+        if step is not None:
+            message += f" (workload step {step})"
+        super().__init__(message)
         self.source = source
         self.target = target
+        self.step = step
 
 
 class DuplicateNodeError(GraphError, ValueError):
@@ -42,12 +52,20 @@ class DuplicateNodeError(GraphError, ValueError):
 
 
 class DuplicateEdgeError(GraphError, ValueError):
-    """An edge was added twice (the data model has no parallel edges)."""
+    """An edge was added twice (the data model has no parallel edges).
 
-    def __init__(self, source: int, target: int):
-        super().__init__(f"edge ({source!r} -> {target!r}) already exists")
+    *step* carries the workload operation index when the duplicate was
+    caught at the workload boundary (see :class:`EdgeNotFoundError`).
+    """
+
+    def __init__(self, source: int, target: int, step: int | None = None):
+        message = f"edge ({source!r} -> {target!r}) already exists"
+        if step is not None:
+            message += f" (workload step {step})"
+        super().__init__(message)
         self.source = source
         self.target = target
+        self.step = step
 
 
 class RootError(GraphError):
@@ -71,6 +89,46 @@ class InvalidIndexError(StructuralIndexError):
 
 class MaintenanceError(ReproError):
     """An incremental maintenance operation could not be applied."""
+
+
+class SerializationError(GraphError, ValueError):
+    """A persisted graph payload is malformed or inconsistent.
+
+    Raised by the loader in :mod:`repro.graph.serialize` instead of the
+    bare ``KeyError`` / ``TypeError`` / ``ValueError`` that malformed
+    input would otherwise surface (index payloads raise
+    :class:`InvalidIndexError` the same way).  Subclasses
+    :class:`GraphError` because a malformed payload cannot name a live
+    graph object — callers catching graph errors get these too.
+    """
+
+
+class ResilienceError(ReproError):
+    """Base class for the transactional-maintenance layer (``repro.resilience``)."""
+
+
+class InjectedFaultError(ResilienceError):
+    """The deterministic fault injector fired (chaos testing only)."""
+
+    def __init__(self, trigger: str, record_number: int):
+        super().__init__(
+            f"injected fault ({trigger}) at journal record {record_number}"
+        )
+        self.trigger = trigger
+        self.record_number = record_number
+
+
+class InvariantViolationError(ResilienceError):
+    """A guarded post-check found the graph or index in an invalid state."""
+
+
+class RollbackError(ResilienceError):
+    """A transaction rollback could not restore the pre-update state.
+
+    After this error the graph/index pair must be considered corrupt;
+    the only safe recovery is a from-scratch rebuild (the ``degrade``
+    policy) or abandoning the structures.
+    """
 
 
 class XmlFormatError(ReproError, ValueError):

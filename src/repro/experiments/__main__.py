@@ -9,6 +9,11 @@ Examples::
     # structured observability (repro.obs): JSONL trace and/or summary
     python -m repro.experiments --scale smoke --trace out.jsonl fig9
     python -m repro.experiments --scale smoke --trace-summary fig11
+
+    # transactional maintenance (repro.resilience): run the 1-index
+    # maintainers under a guard and see the overhead in the fig11 table
+    python -m repro.experiments --scale smoke --guard fig11
+    python -m repro.experiments --guard --guard-policy degrade --check-every 50 fig11
 """
 
 from __future__ import annotations
@@ -16,9 +21,11 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from dataclasses import replace
 
 from repro.experiments import EXPERIMENTS, scale_by_name
 from repro.obs import JsonlSink, Observer, SummarySink, observed
+from repro.resilience import POLICIES, GuardConfig
 
 
 def _run_experiments(chosen: list[str], scale, obs: Observer | None = None) -> None:
@@ -64,6 +71,27 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="enable repro.obs and print a per-span/counter summary at the end",
     )
+    parser.add_argument(
+        "--guard",
+        action="store_true",
+        help="run maintainers inside transactions (repro.resilience) so every "
+        "update is atomic; overhead shows up in the timing tables",
+    )
+    parser.add_argument(
+        "--guard-policy",
+        default="raise",
+        choices=POLICIES,
+        help="what a guarded run does after a rolled-back failure "
+        "(default: raise)",
+    )
+    parser.add_argument(
+        "--check-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="with --guard, verify graph/index invariants after every N-th "
+        "update (0 = never; checks are O(n + m))",
+    )
     args = parser.parse_args(argv)
 
     chosen = args.experiments or list(EXPERIMENTS)
@@ -72,6 +100,15 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"unknown experiment(s) {unknown}; choose from {list(EXPERIMENTS)}")
 
     scale = scale_by_name(args.scale)
+    if args.guard:
+        scale = replace(
+            scale,
+            guard=GuardConfig(
+                policy=args.guard_policy, check_every=args.check_every
+            ),
+        )
+    elif args.guard_policy != "raise" or args.check_every:
+        parser.error("--guard-policy/--check-every require --guard")
     sinks = []
     jsonl = None
     if args.trace:

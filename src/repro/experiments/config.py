@@ -17,7 +17,9 @@ the run.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
+from repro.resilience.guard import GuardConfig
 from repro.workload.imdb import IMDBConfig
 from repro.workload.xmark import XMarkConfig
 
@@ -44,6 +46,9 @@ class ExperimentScale:
     #: memoise the simple A(k) baseline's signature recursion (an
     #: ablation of its exponential-in-k cost; see ak_simple.py)
     simple_ak_memoize: bool = False
+    #: run maintainers under a transactional guard (``--guard`` on the
+    #: CLI); ``None`` = unguarded, the paper's configuration
+    guard: Optional[GuardConfig] = None
 
     def xmark_at(self, cyclicity: float) -> XMarkConfig:
         """The scale's XMark config with the given cyclicity."""

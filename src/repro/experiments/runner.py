@@ -185,7 +185,11 @@ def run_mixed_updates(
         policy.start(maintainer.index_size())
 
     with obs.span("run", run=name, num_pairs=num_pairs) as run_span:
-        for op_number, (op, source, target) in enumerate(workload.steps(num_pairs), 1):
+        # validate=True: the runner applies every operation as it is
+        # yielded, so a desynchronised stream fails at the workload
+        # boundary with the offending step index.
+        steps = workload.steps(num_pairs, validate=True)
+        for op_number, (op, source, target) in enumerate(steps, 1):
             with update_watch:
                 if op == "insert":
                     # workload edges come from the IDREF pool

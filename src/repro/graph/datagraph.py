@@ -87,6 +87,7 @@ class DataGraph:
         "_root",
         "_next_oid",
         "_num_edges",
+        "_journal",
     )
 
     def __init__(self) -> None:
@@ -98,6 +99,9 @@ class DataGraph:
         self._root: Optional[int] = None
         self._next_oid: int = 0
         self._num_edges: int = 0
+        #: undo-log hook: a :class:`repro.resilience.MutationJournal` while
+        #: a transaction is open, ``None`` (a no-op) otherwise.
+        self._journal = None
 
     # ------------------------------------------------------------------
     # Node operations
@@ -117,12 +121,15 @@ class DataGraph:
             raise DuplicateNodeError(oid)
         if not isinstance(label, str):
             raise TypeError(f"label must be a string, got {type(label).__name__}")
+        prev_next_oid = self._next_oid
         self._labels[oid] = label
         if value is not None:
             self._values[oid] = value
         self._succ[oid] = set()
         self._pred[oid] = set()
         self._next_oid = max(self._next_oid, oid + 1)
+        if self._journal is not None:
+            self._journal.record(self, "node_added", (oid, prev_next_oid))
         return oid
 
     def add_root(self, oid: Optional[int] = None) -> int:
@@ -134,6 +141,8 @@ class DataGraph:
             raise RootError("data graph already has a root node")
         root = self.add_node(ROOT_LABEL, oid=oid)
         self._root = root
+        if self._journal is not None:
+            self._journal.record(self, "root_set", (root,))
         return root
 
     def remove_node(self, oid: int) -> None:
@@ -143,12 +152,17 @@ class DataGraph:
             self.remove_edge(oid, target)
         for source in list(self._pred[oid]):
             self.remove_edge(source, oid)
+        label = self._labels[oid]
+        value = self._values.get(oid)
+        was_root = self._root == oid
         del self._labels[oid]
         self._values.pop(oid, None)
         del self._succ[oid]
         del self._pred[oid]
-        if self._root == oid:
+        if was_root:
             self._root = None
+        if self._journal is not None:
+            self._journal.record(self, "node_removed", (oid, label, value, was_root))
 
     def has_node(self, oid: int) -> bool:
         """Return whether *oid* names a node of the graph."""
@@ -167,10 +181,13 @@ class DataGraph:
     def set_value(self, oid: int, value: Any) -> None:
         """Set (or clear, with ``None``) the value of node *oid*."""
         self._require_node(oid)
+        old = self._values.get(oid)
         if value is None:
             self._values.pop(oid, None)
         else:
             self._values[oid] = value
+        if self._journal is not None:
+            self._journal.record(self, "value_set", (oid, old))
 
     def relabel_node(self, oid: int, label: str) -> None:
         """Change the label of node *oid*.
@@ -182,7 +199,10 @@ class DataGraph:
         self._require_node(oid)
         if oid == self._root and label != ROOT_LABEL:
             raise RootError("the root node must keep the ROOT label")
+        old = self._labels[oid]
         self._labels[oid] = label
+        if self._journal is not None:
+            self._journal.record(self, "relabeled", (oid, old))
 
     # ------------------------------------------------------------------
     # Edge operations
@@ -204,6 +224,8 @@ class DataGraph:
         self._pred[target].add(source)
         self._edge_kinds[(source, target)] = kind
         self._num_edges += 1
+        if self._journal is not None:
+            self._journal.record(self, "edge_added", (source, target))
 
     def remove_edge(self, source: int, target: int) -> None:
         """Remove the dedge ``source -> target``."""
@@ -211,10 +233,13 @@ class DataGraph:
         self._require_node(target)
         if target not in self._succ[source]:
             raise EdgeNotFoundError(source, target)
+        kind = self._edge_kinds[(source, target)]
         self._succ[source].discard(target)
         self._pred[target].discard(source)
         del self._edge_kinds[(source, target)]
         self._num_edges -= 1
+        if self._journal is not None:
+            self._journal.record(self, "edge_removed", (source, target, kind))
 
     def has_edge(self, source: int, target: int) -> bool:
         """Return whether the dedge ``source -> target`` exists."""
@@ -403,7 +428,12 @@ class DataGraph:
     def check_invariants(self) -> None:
         """Verify internal consistency; raise :class:`AssertionError` on bugs.
 
-        Intended for tests, not hot paths: O(n + m).
+        Beyond the partition bookkeeping this also verifies edge-kind
+        consistency: every adjacency pair has exactly one
+        :class:`EdgeKind` (and vice versa — no orphaned kind entries),
+        ``pred``/``succ`` mirror each other in *both* directions, and no
+        IDREF edge targets the root.  Intended for tests and guarded
+        maintenance post-checks, not hot paths: O(n + m).
         """
         assert set(self._succ) == set(self._labels), "succ keys out of sync"
         assert set(self._pred) == set(self._labels), "pred keys out of sync"
@@ -413,11 +443,75 @@ class DataGraph:
                 assert source in self._pred[target], f"pred missing for {source}->{target}"
                 assert (source, target) in self._edge_kinds, f"kind missing {source}->{target}"
                 edge_count += 1
+        for target, sources in self._pred.items():
+            for source in sources:
+                assert target in self._succ[source], f"succ missing for {source}->{target}"
         assert edge_count == self._num_edges, "edge counter out of sync"
         assert edge_count == len(self._edge_kinds), "edge kinds out of sync"
+        for (source, target), kind in self._edge_kinds.items():
+            assert isinstance(kind, EdgeKind), f"non-EdgeKind kind for {source}->{target}"
+            assert target in self._succ.get(source, ()), (
+                f"kind entry for non-edge {source}->{target}"
+            )
+            if kind is EdgeKind.IDREF:
+                assert target != self._root, f"IDREF edge {source}->{target} targets root"
         if self._root is not None:
             assert self._labels[self._root] == ROOT_LABEL, "root label corrupted"
             assert not self._pred[self._root], "root must have no incoming edges"
+
+    # ------------------------------------------------------------------
+    # Journal undo (repro.resilience)
+    # ------------------------------------------------------------------
+
+    def _undo_journal(self, op: str, payload: tuple) -> None:
+        """Apply the inverse of one journaled mutation.
+
+        Called by :meth:`repro.resilience.MutationJournal.rollback` with
+        records in reverse order; must never be called directly.  The
+        undo paths write the internal dicts directly (never the public
+        mutators) so a rollback is itself journal-free.
+        """
+        if op == "edge_added":
+            source, target = payload
+            self._succ[source].discard(target)
+            self._pred[target].discard(source)
+            del self._edge_kinds[(source, target)]
+            self._num_edges -= 1
+        elif op == "edge_removed":
+            source, target, kind = payload
+            self._succ[source].add(target)
+            self._pred[target].add(source)
+            self._edge_kinds[(source, target)] = kind
+            self._num_edges += 1
+        elif op == "node_added":
+            oid, prev_next_oid = payload
+            del self._labels[oid]
+            self._values.pop(oid, None)
+            del self._succ[oid]
+            del self._pred[oid]
+            self._next_oid = prev_next_oid
+        elif op == "node_removed":
+            oid, label, value, was_root = payload
+            self._labels[oid] = label
+            if value is not None:
+                self._values[oid] = value
+            self._succ[oid] = set()
+            self._pred[oid] = set()
+            if was_root:
+                self._root = oid
+        elif op == "root_set":
+            self._root = None
+        elif op == "relabeled":
+            oid, old = payload
+            self._labels[oid] = old
+        elif op == "value_set":
+            oid, old = payload
+            if old is None:
+                self._values.pop(oid, None)
+            else:
+                self._values[oid] = old
+        else:  # pragma: no cover - guards against journal format drift
+            raise ValueError(f"unknown graph journal op {op!r}")
 
     def _require_node(self, oid: int) -> None:
         if oid not in self._labels:

@@ -19,7 +19,7 @@ from __future__ import annotations
 import json
 from typing import Any, TextIO
 
-from repro.exceptions import GraphError
+from repro.exceptions import GraphError, SerializationError
 from repro.graph.datagraph import ROOT_LABEL, DataGraph, EdgeKind
 
 
@@ -38,23 +38,48 @@ def graph_to_dict(graph: DataGraph) -> dict[str, Any]:
 
 
 def graph_from_dict(data: dict[str, Any]) -> DataGraph:
-    """Rebuild a graph from :func:`graph_to_dict` output."""
+    """Rebuild a graph from :func:`graph_to_dict` output.
+
+    Malformed payloads — wrong shapes, duplicate oids, dangling edge
+    endpoints, unknown edge kinds, a missing root node — raise
+    :class:`SerializationError` (or another :class:`ReproError`
+    subclass) with a descriptive message, never a bare ``KeyError`` /
+    ``TypeError`` / ``ValueError``.
+    """
     graph = DataGraph()
     try:
         nodes = data["nodes"]
         edges = data["edges"]
         root = data.get("root")
     except (KeyError, TypeError) as exc:
-        raise GraphError(f"malformed graph payload: {exc}") from exc
-    for oid, label, value in nodes:
-        if root is not None and oid == root:
-            if label != ROOT_LABEL:
-                raise GraphError(f"root node {oid} must carry the ROOT label")
-            graph.add_root(oid=oid)
-        else:
-            graph.add_node(label, value, oid=oid)
-    for source, target, kind in edges:
-        graph.add_edge(source, target, EdgeKind(kind))
+        raise SerializationError(f"malformed graph payload: {exc!r}") from exc
+    for entry in nodes:
+        try:
+            oid, label, value = entry
+        except (ValueError, TypeError) as exc:
+            raise SerializationError(
+                f"malformed node entry {entry!r}: expected [oid, label, value]"
+            ) from exc
+        try:
+            if root is not None and oid == root:
+                if label != ROOT_LABEL:
+                    raise GraphError(f"root node {oid} must carry the ROOT label")
+                graph.add_root(oid=oid)
+            else:
+                graph.add_node(label, value, oid=oid)
+        except TypeError as exc:
+            raise SerializationError(f"malformed node entry {entry!r}: {exc}") from exc
+    if root is not None and not graph.has_root:
+        raise SerializationError(f"root oid {root!r} is not among the nodes")
+    for entry in edges:
+        try:
+            source, target, kind = entry
+            kind = EdgeKind(kind)
+        except (ValueError, TypeError) as exc:
+            raise SerializationError(
+                f"malformed edge entry {entry!r}: expected [source, target, kind]"
+            ) from exc
+        graph.add_edge(source, target, kind)
     return graph
 
 

@@ -90,6 +90,9 @@ class StructuralIndex:
         self._succ_support: dict[int, dict[int, int]] = {}
         self._pred_support: dict[int, dict[int, int]] = {}
         self._next_id = 0
+        #: undo-log hook: a :class:`repro.resilience.MutationJournal` while
+        #: a transaction is open, ``None`` (a no-op) otherwise.
+        self._journal = None
 
     # ------------------------------------------------------------------
     # Construction primitives
@@ -132,6 +135,8 @@ class StructuralIndex:
         self._label[inode] = label
         self._succ_support[inode] = {}
         self._pred_support[inode] = {}
+        if self._journal is not None:
+            self._journal.record(self, "inode_created", (inode,))
         return inode
 
     # ------------------------------------------------------------------
@@ -281,6 +286,8 @@ class StructuralIndex:
         self._extent[to_inode].add(dnode)
         self._inode_of[dnode] = to_inode
         self._attach(dnode)
+        if self._journal is not None:
+            self._journal.record(self, "dnode_moved", (dnode, source))
 
     def split_off(self, inode: int, members: Iterable[int]) -> int:
         """Split *members* out of *inode* into a fresh inode; return its id.
@@ -323,6 +330,21 @@ class StructuralIndex:
 
     def _fold_into(self, survivor: int, other: int) -> None:
         """Absorb *other* into *survivor* (extent, mapping, supports)."""
+        before = None
+        if self._journal is not None:
+            # Before-image for rollback: other's whole entry plus the
+            # survivor's support tables (third-party rows are derivable
+            # from other's tables — see _undo_journal's "merge_folded").
+            before = (
+                survivor,
+                other,
+                self._label[other],
+                frozenset(self._extent[other]),
+                dict(self._succ_support[other]),
+                dict(self._pred_support[other]),
+                dict(self._succ_support[survivor]),
+                dict(self._pred_support[survivor]),
+            )
         for w in self._extent[other]:
             self._inode_of[w] = survivor
         self._extent[survivor].update(self._extent[other])
@@ -367,6 +389,8 @@ class StructuralIndex:
         del self._label[other]
         del self._succ_support[other]
         del self._pred_support[other]
+        if before is not None:
+            self._journal.record(self, "merge_folded", before)
 
     def remove_if_empty(self, inode: int) -> bool:
         """Delete *inode* if its extent is empty.  Returns whether deleted."""
@@ -376,10 +400,13 @@ class StructuralIndex:
             raise StructuralIndexError(
                 f"empty inode {inode} still has iedges; supports corrupted"
             )
+        label = self._label[inode]
         del self._extent[inode]
         del self._label[inode]
         del self._succ_support[inode]
         del self._pred_support[inode]
+        if self._journal is not None:
+            self._journal.record(self, "inode_destroyed", (inode, label))
         return True
 
     def add_dnode(self, dnode: int, inode: Optional[int] = None) -> int:
@@ -402,6 +429,8 @@ class StructuralIndex:
         self._extent[inode].add(dnode)
         self._inode_of[dnode] = inode
         self._attach(dnode)
+        if self._journal is not None:
+            self._journal.record(self, "dnode_covered", (dnode, inode))
         return inode
 
     def absorb_blocks(self, blocks: Iterable[Iterable[int]]) -> list[int]:
@@ -429,21 +458,32 @@ class StructuralIndex:
                 self._inode_of[w] = inode
                 self._extent[inode].add(w)
                 new_nodes.add(w)
+        self._account_new_nodes(new_nodes, 1)
+        if self._journal is not None:
+            self._journal.record(self, "blocks_absorbed", (frozenset(new_nodes),))
+        return new_ids
+
+    def _account_new_nodes(self, new_nodes: set[int], sign: int) -> None:
+        """(Un)count the dedges incident to a batch of newly covered dnodes.
+
+        Shared by :meth:`absorb_blocks` (``sign=1``) and its journal undo
+        (``sign=-1``); both run against identical graph adjacency, so the
+        traversal — including the internal-edge dedup — cancels exactly.
+        """
         for w in new_nodes:
             wi = self._inode_of[w]
             for c in self.graph.iter_succ(w):
                 ci = self._inode_of.get(c)
                 if ci is not None:
-                    self._bump(self._succ_support[wi], ci, 1)
-                    self._bump(self._pred_support[ci], wi, 1)
+                    self._bump(self._succ_support[wi], ci, sign)
+                    self._bump(self._pred_support[ci], wi, sign)
             for p in self.graph.iter_pred(w):
                 if p in new_nodes or p == w:
                     continue  # internal edges were counted from the succ side
                 pi = self._inode_of.get(p)
                 if pi is not None:
-                    self._bump(self._succ_support[pi], wi, 1)
-                    self._bump(self._pred_support[wi], pi, 1)
-        return new_ids
+                    self._bump(self._succ_support[pi], wi, sign)
+                    self._bump(self._pred_support[wi], pi, sign)
 
     def drop_dnode(self, dnode: int) -> None:
         """Stop covering *dnode* (used when deleting nodes from the graph).
@@ -455,6 +495,8 @@ class StructuralIndex:
         self._detach(dnode)
         self._extent[inode].discard(dnode)
         del self._inode_of[dnode]
+        if self._journal is not None:
+            self._journal.record(self, "dnode_dropped", (dnode, inode))
         self.remove_if_empty(inode)
 
     # ------------------------------------------------------------------
@@ -467,6 +509,8 @@ class StructuralIndex:
         ti = self.inode_of(target)
         self._bump(self._succ_support[si], ti, 1)
         self._bump(self._pred_support[ti], si, 1)
+        if self._journal is not None:
+            self._journal.record(self, "support_bumped", (si, ti, 1))
 
     def note_edge_removed(self, source: int, target: int) -> None:
         """Account for a dedge that was just removed from the data graph."""
@@ -474,6 +518,8 @@ class StructuralIndex:
         ti = self.inode_of(target)
         self._bump(self._succ_support[si], ti, -1)
         self._bump(self._pred_support[ti], si, -1)
+        if self._journal is not None:
+            self._journal.record(self, "support_bumped", (si, ti, -1))
 
     # ------------------------------------------------------------------
     # Oracles / invariants
@@ -539,6 +585,100 @@ class StructuralIndex:
             assert self._pred_support[inode] == pred_oracle[inode], (
                 f"pred supports of inode {inode} drifted"
             )
+
+    # ------------------------------------------------------------------
+    # Journal undo (repro.resilience)
+    # ------------------------------------------------------------------
+
+    def _undo_journal(self, op: str, payload: tuple) -> None:
+        """Apply the inverse of one journaled mutation.
+
+        Called by :meth:`repro.resilience.MutationJournal.rollback` with
+        records in reverse order.  Undo paths may read graph adjacency
+        (via ``_detach``/``_attach``): the journal interleaves graph and
+        index records in one log, so by the time an index record is
+        undone every later graph mutation has already been reverted and
+        the adjacency matches what this record saw when it was written.
+        """
+        if op == "support_bumped":
+            si, ti, delta = payload
+            self._bump(self._succ_support[si], ti, -delta)
+            self._bump(self._pred_support[ti], si, -delta)
+        elif op == "dnode_moved":
+            dnode, from_inode = payload
+            to_inode = self._inode_of[dnode]
+            self._detach(dnode)
+            self._extent[to_inode].discard(dnode)
+            self._extent[from_inode].add(dnode)
+            self._inode_of[dnode] = from_inode
+            self._attach(dnode)
+        elif op == "dnode_covered":
+            dnode, inode = payload
+            self._detach(dnode)
+            self._extent[inode].discard(dnode)
+            del self._inode_of[dnode]
+        elif op == "dnode_dropped":
+            dnode, inode = payload
+            self._extent[inode].add(dnode)
+            self._inode_of[dnode] = inode
+            self._attach(dnode)
+        elif op == "inode_created":
+            (inode,) = payload
+            del self._extent[inode]
+            del self._label[inode]
+            del self._succ_support[inode]
+            del self._pred_support[inode]
+            self._next_id = inode
+        elif op == "inode_destroyed":
+            inode, label = payload
+            self._extent[inode] = set()
+            self._label[inode] = label
+            self._succ_support[inode] = {}
+            self._pred_support[inode] = {}
+        elif op == "merge_folded":
+            (
+                survivor,
+                other,
+                other_label,
+                other_extent,
+                other_succ,
+                other_pred,
+                surv_succ,
+                surv_pred,
+            ) = payload
+            # Resurrect other wholesale and give survivor its old tables.
+            self._extent[other] = set(other_extent)
+            self._label[other] = other_label
+            self._succ_support[other] = dict(other_succ)
+            self._pred_support[other] = dict(other_pred)
+            self._succ_support[survivor] = dict(surv_succ)
+            self._pred_support[survivor] = dict(surv_pred)
+            self._extent[survivor] -= other_extent
+            for w in other_extent:
+                self._inode_of[w] = other
+            # Third parties saw `other` popped and `survivor` bumped;
+            # reverse both using other's old tables as the ledger.
+            for target, count in other_succ.items():
+                if target in (survivor, other):
+                    continue
+                target_pred = self._pred_support[target]
+                self._bump(target_pred, survivor, -count)
+                self._bump(target_pred, other, count)
+            for origin, count in other_pred.items():
+                if origin in (survivor, other):
+                    continue
+                origin_succ = self._succ_support[origin]
+                self._bump(origin_succ, survivor, -count)
+                self._bump(origin_succ, other, count)
+        elif op == "blocks_absorbed":
+            (new_nodes,) = payload
+            members = set(new_nodes)
+            self._account_new_nodes(members, -1)
+            for w in members:
+                self._extent[self._inode_of[w]].discard(w)
+                del self._inode_of[w]
+        else:  # pragma: no cover - guards against journal format drift
+            raise ValueError(f"unknown index journal op {op!r}")
 
     # ------------------------------------------------------------------
     # Internals

@@ -47,13 +47,32 @@ def index_from_dict(
         inodes = data["inodes"]
         next_id = data["next_id"]
     except (KeyError, TypeError) as exc:
-        raise InvalidIndexError(f"malformed index payload: {exc}") from exc
+        raise InvalidIndexError(f"malformed index payload: {exc!r}") from exc
     index = cls(graph)
-    for inode_id, extent in inodes:
+    for entry in inodes:
+        try:
+            inode_id, extent = entry
+        except (ValueError, TypeError) as exc:
+            raise InvalidIndexError(
+                f"malformed inode entry {entry!r}: expected [id, extent]"
+            ) from exc
         if not extent:
             raise InvalidIndexError(f"inode {inode_id} has an empty extent")
+        try:
+            if inode_id in index._extent:
+                raise InvalidIndexError(f"inode id {inode_id} appears twice")
+        except TypeError as exc:
+            raise InvalidIndexError(f"inode id {inode_id!r} is not hashable") from exc
+        for dnode in extent:
+            if not graph.has_node(dnode):
+                raise InvalidIndexError(
+                    f"inode {inode_id} references dnode {dnode!r} not in the graph"
+                )
         label = graph.label(extent[0])
-        index._extent[inode_id] = set()
+        try:
+            index._extent[inode_id] = set()
+        except TypeError as exc:
+            raise InvalidIndexError(f"inode id {inode_id!r} is not hashable") from exc
         index._label[inode_id] = label
         index._succ_support[inode_id] = {}
         index._pred_support[inode_id] = {}
@@ -66,8 +85,13 @@ def index_from_dict(
             index._extent[inode_id].add(dnode)
     missing = set(graph.nodes()) - set(index._inode_of)
     if missing:
-        raise InvalidIndexError(f"index misses dnodes {sorted(missing)[:5]}")
-    index._next_id = max(next_id, max(index._extent, default=-1) + 1)
+        raise InvalidIndexError(
+            f"extents do not partition the graph: missing dnodes {sorted(missing)[:5]}"
+        )
+    try:
+        index._next_id = max(next_id, max(index._extent, default=-1) + 1)
+    except TypeError as exc:
+        raise InvalidIndexError(f"malformed next_id {next_id!r}") from exc
     index.rebuild_iedges()
     return index
 
@@ -93,19 +117,27 @@ def family_from_dict(graph: DataGraph, data: dict[str, Any]) -> AkIndexFamily:
     try:
         k = data["k"]
         levels = data["levels"]
-    except (KeyError, TypeError) as exc:
-        raise InvalidIndexError(f"malformed family payload: {exc}") from exc
-    if len(levels) != k + 1:
-        raise InvalidIndexError(f"expected {k + 1} levels, got {len(levels)}")
-    family = AkIndexFamily(graph, k)
-    for level_no, payload in enumerate(levels):
-        level = family.levels[level_no]
-        for token, extent in payload["extents"]:
-            level.extents[token] = set(extent)
-            for dnode in extent:
-                level.class_of[dnode] = token
-        level.parent = dict((int(a), int(b)) for a, b in payload["parent"])
-        level.next_token = payload["next_token"]
+        if not isinstance(k, int) or k < 0:
+            raise InvalidIndexError(f"malformed k {k!r}: expected a non-negative int")
+        if len(levels) != k + 1:
+            raise InvalidIndexError(f"expected {k + 1} levels, got {len(levels)}")
+        family = AkIndexFamily(graph, k)
+        for level_no, payload in enumerate(levels):
+            level = family.levels[level_no]
+            for token, extent in payload["extents"]:
+                if token in level.extents:
+                    raise InvalidIndexError(
+                        f"token {token} appears twice at level {level_no}"
+                    )
+                level.extents[token] = set(extent)
+                for dnode in extent:
+                    level.class_of[dnode] = token
+            level.parent = dict((int(a), int(b)) for a, b in payload["parent"])
+            level.next_token = payload["next_token"]
+    except InvalidIndexError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise InvalidIndexError(f"malformed family payload: {exc!r}") from exc
     for level_no in range(1, k + 1):
         level = family.levels[level_no]
         coarser = family.levels[level_no - 1]
@@ -118,7 +150,10 @@ def family_from_dict(graph: DataGraph, data: dict[str, Any]) -> AkIndexFamily:
         level = family.levels[level_no]
         for token in level.extents:
             level.children.setdefault(token, set())
-    family.check_invariants()
+    try:
+        family.check_invariants()
+    except AssertionError as exc:
+        raise InvalidIndexError(f"family payload violates invariants: {exc}") from exc
     return family
 
 

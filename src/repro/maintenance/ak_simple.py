@@ -79,6 +79,10 @@ class SimpleAkMaintainer:
         index._pred_support = fresh._pred_support
         index._next_id = fresh._next_id
 
+    #: guarded ``degrade`` fallback; the rebuild is the same operation the
+    #: 5 % reconstruction policy triggers.
+    rebuild_from_graph = reconstruct
+
     # ------------------------------------------------------------------
 
     def _repartition_affected(self, v: int) -> UpdateStats:

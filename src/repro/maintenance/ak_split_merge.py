@@ -78,6 +78,19 @@ class AkSplitMergeMaintainer:
         """Number of inodes of the A(k)-index (the leaf level)."""
         return self.family.num_inodes(self.family.k)
 
+    def rebuild_from_graph(self) -> None:
+        """Rebuild the whole family from the data graph (``degrade`` path).
+
+        Replaces every level with a fresh minimum construction and
+        refreshes the label-token cache — level-0 tokens are not preserved
+        across a rebuild.
+        """
+        fresh = AkIndexFamily.build(self.graph, self.family.k)
+        self.family.levels = fresh.levels
+        self._label_tokens = {}
+        for token, extent in self.family.levels[0].extents.items():
+            self._label_tokens[self.graph.label(next(iter(extent)))] = token
+
     # ------------------------------------------------------------------
     # Node insertion / deletion (composed from the edge machinery)
     # ------------------------------------------------------------------

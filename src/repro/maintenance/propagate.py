@@ -134,3 +134,13 @@ class PropagateMaintainer:
     def index_size(self) -> int:
         """Current number of inodes."""
         return self.index.num_inodes
+
+    def rebuild_from_graph(self) -> None:
+        """Rebuild the index from scratch (guarded ``degrade`` fallback).
+
+        Resets to the minimum 1-index — the same state the baseline's
+        periodic reconstruction produces.
+        """
+        from repro.maintenance.reconstruction import reconstruct_from_scratch
+
+        reconstruct_from_scratch(self.index)

@@ -453,3 +453,15 @@ class SplitMergeMaintainer:
     def index_size(self) -> int:
         """Current number of inodes."""
         return self.index.num_inodes
+
+    def rebuild_from_graph(self) -> None:
+        """Discard the partition and rebuild the minimum 1-index.
+
+        The guarded maintainer's ``degrade`` policy calls this after a
+        rolled-back failure: whatever state the incremental machinery got
+        wrong is replaced by a from-scratch construction over the (clean)
+        data graph, and maintenance continues incrementally from there.
+        """
+        from repro.maintenance.reconstruction import reconstruct_from_scratch
+
+        reconstruct_from_scratch(self.index)

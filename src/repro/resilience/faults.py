@@ -1,0 +1,100 @@
+"""Deterministic fault injection for the chaos tests.
+
+A :class:`FaultInjector` plugs into a transaction's journal as the
+``on_record`` callback, so it observes every mutation *after* it has been
+applied and journaled — raising from that point models a crash in the
+middle of a maintenance operation while keeping the undo log consistent
+(rollback always restores the exact pre-transaction state).
+
+Trigger modes, combinable:
+
+* ``at_record=M`` — fire when the journal reaches its M-th record; with
+  ``rearm=True`` the trigger is periodic (every M-th record), otherwise
+  it is one-shot — a retry of the same operation then succeeds;
+* ``at_phase="split"`` / ``"merge"`` — fire on the first record emitted
+  by the named maintenance phase (inode creation marks split work, inode
+  folding/destruction marks merge work);
+* ``rate=p, seed=s`` — fire each record independently with probability
+  *p* from a seeded stream; deterministic for a fixed seed.
+
+Every firing raises :class:`repro.exceptions.InjectedFaultError`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.exceptions import InjectedFaultError
+
+#: journal record kinds emitted by each named maintenance phase
+PHASE_KINDS: dict[str, frozenset[str]] = {
+    # split work creates inodes and moves dnodes between them
+    "split": frozenset({"inode_created", "dnode_moved"}),
+    # merge work folds inodes together and destroys emptied ones
+    "merge": frozenset({"merge_folded", "inode_destroyed"}),
+}
+
+
+class FaultInjector:
+    """A seeded, deterministic journal-record trigger.
+
+    One injector may outlive many transactions (the record count keeps
+    running across them), which is how a chaos run injects faults at
+    arbitrary points of a long workload.  :attr:`fired` counts the faults
+    raised; :attr:`seen` the records observed.
+    """
+
+    def __init__(
+        self,
+        at_record: Optional[int] = None,
+        at_phase: Optional[str] = None,
+        rate: float = 0.0,
+        seed: int = 0,
+        rearm: bool = False,
+    ):
+        if at_record is not None and at_record < 1:
+            raise ValueError("at_record must be >= 1")
+        if at_phase is not None and at_phase not in PHASE_KINDS:
+            raise ValueError(f"unknown phase {at_phase!r}; choose from {sorted(PHASE_KINDS)}")
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must lie in [0, 1]")
+        self.at_record = at_record
+        self.at_phase = at_phase
+        self.rate = rate
+        self.rearm = rearm
+        self.seen = 0
+        self.fired = 0
+        self._armed = True
+        self._rng = random.Random(seed)
+
+    def __call__(self, op: str, record_number: int) -> None:
+        """The journal's ``on_record`` hook; raises when a trigger matches."""
+        del record_number  # position within one journal; we count globally
+        self.seen += 1
+        if not self._armed:
+            return
+        trigger = None
+        if self.at_record is not None:
+            if self.rearm:
+                if self.seen % self.at_record == 0:
+                    trigger = f"record %{self.at_record}"
+            elif self.seen == self.at_record:
+                trigger = f"record {self.at_record}"
+        if trigger is None and self.at_phase is not None:
+            if op in PHASE_KINDS[self.at_phase]:
+                trigger = f"phase {self.at_phase} ({op})"
+        if trigger is None and self.rate > 0.0:
+            if self._rng.random() < self.rate:
+                trigger = f"rate {self.rate}"
+        if trigger is None:
+            return
+        if not self.rearm:
+            self._armed = False
+        self.fired += 1
+        raise InjectedFaultError(trigger, self.seen)
+
+    def reset(self) -> None:
+        """Re-arm a one-shot injector and restart the record count."""
+        self.seen = 0
+        self._armed = True

@@ -1,0 +1,281 @@
+"""Transactional execution of maintenance operations with failure policies.
+
+:class:`GuardedMaintainer` wraps any maintainer (1-index split/merge or
+propagate, A(k) split/merge or simple) and runs each public mutation —
+``insert_edge`` / ``delete_edge`` / ``insert_node`` / ``delete_node`` /
+``add_subgraph`` / ``delete_subgraph`` — inside a
+:class:`~repro.resilience.journal.Transaction`.  Any exception raised
+mid-operation (a maintainer bug, corrupted state detected by a support
+counter, an injected fault) or a failed post-check rolls the graph *and*
+index back to the exact pre-call state, after which the configured
+policy decides what happens next:
+
+* ``raise``   — re-raise; the caller sees a clean failure on clean state;
+* ``retry``   — re-run the operation in a fresh transaction up to
+  ``max_retries`` times (transient faults clear; deterministic ones fall
+  through to ``raise``);
+* ``degrade`` — rebuild the index from the rolled-back graph (the
+  reconstruction discipline of Section 7 / Blume et al.), re-apply the
+  operation incrementally, and if even that fails, apply the raw graph
+  mutation and rebuild once more — the update always lands, at
+  reconstruction cost instead of incremental cost.
+
+Observability: every attempt runs in a ``txn`` span and the counters
+``resilience.txns`` / ``.faults`` / ``.rollbacks`` / ``.retries`` /
+``.degradations`` / ``.checks`` tally the guard's work, so a traced
+guarded run (``--guard --trace``) shows exactly where resilience cost
+went.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.exceptions import RollbackError
+from repro.graph.datagraph import DataGraph, EdgeKind
+from repro.maintenance.base import UpdateStats
+from repro.obs import current as current_obs
+from repro.resilience.faults import FaultInjector
+from repro.resilience.invariants import InvariantGuard
+from repro.resilience.journal import Transaction
+
+POLICIES = ("raise", "retry", "degrade")
+
+
+@dataclass(frozen=True)
+class GuardConfig:
+    """How a :class:`GuardedMaintainer` reacts to failures."""
+
+    #: what to do after a rollback: ``raise`` / ``retry`` / ``degrade``
+    policy: str = "raise"
+    #: invariant depth: ``basic`` / ``valid`` / ``minimal``
+    check_level: str = "valid"
+    #: post-check every N-th update (0 disables checks)
+    check_every: int = 1
+    #: instead of a fixed cadence, check a sampled fraction of updates
+    sample_rate: Optional[float] = None
+    #: attempts after the first failure under the ``retry`` policy
+    max_retries: int = 2
+    #: seed for sampled cadence
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICIES:
+            raise ValueError(f"unknown policy {self.policy!r}; choose from {POLICIES}")
+
+
+@dataclass
+class GuardStats:
+    """Tally of a guarded maintainer's lifetime (mirrors the obs counters)."""
+
+    commits: int = 0
+    faults: int = 0
+    rollbacks: int = 0
+    retries: int = 0
+    degradations: int = 0
+    raw_fallbacks: int = 0
+    checks: int = 0
+    check_failures: int = 0
+    last_errors: list[str] = field(default_factory=list)
+
+
+class GuardedMaintainer:
+    """Run a maintainer's mutations transactionally with a failure policy.
+
+    Satisfies the same protocol as the wrapped maintainer (``graph``,
+    ``insert_edge``, ``delete_edge``, ``index_size``, …) so the
+    experiment runner can use it as a drop-in replacement.  The wrapped
+    maintainer stays fully owned by the guard: mutating through it
+    directly while a guard is in use defeats the journal.
+
+    *fault_injector* threads a :class:`FaultInjector` into every
+    transaction (chaos testing); production use leaves it ``None``.
+    """
+
+    def __init__(
+        self,
+        maintainer: Any,
+        config: Optional[GuardConfig] = None,
+        fault_injector: Optional[FaultInjector] = None,
+    ):
+        self.maintainer = maintainer
+        self.graph: DataGraph = maintainer.graph
+        self.config = config if config is not None else GuardConfig()
+        self.fault_injector = fault_injector
+        self.stats = GuardStats()
+        #: 1-index maintainers expose ``.index``; A(k) maintainers ``.family``
+        self.index = getattr(maintainer, "index", None)
+        self.family = getattr(maintainer, "family", None)
+        self.invariants = InvariantGuard(
+            level=self.config.check_level,
+            check_every=self.config.check_every,
+            sample_rate=self.config.sample_rate,
+            seed=self.config.seed,
+        )
+
+    # ------------------------------------------------------------------
+    # The guarded mutation surface
+    # ------------------------------------------------------------------
+
+    def insert_edge(
+        self, source: int, target: int, kind: EdgeKind = EdgeKind.TREE
+    ) -> UpdateStats:
+        """Insert a dedge transactionally."""
+        return self._execute(
+            "insert_edge",
+            (source, target, kind),
+            raw=lambda: self.graph.add_edge(source, target, kind) or UpdateStats(),
+        )
+
+    def delete_edge(self, source: int, target: int) -> UpdateStats:
+        """Delete a dedge transactionally."""
+        return self._execute(
+            "delete_edge",
+            (source, target),
+            raw=lambda: self.graph.remove_edge(source, target) or UpdateStats(),
+        )
+
+    def insert_node(
+        self, parent: int, label: str, value: object = None
+    ) -> tuple[int, UpdateStats]:
+        """Create a dnode under *parent* transactionally."""
+
+        def raw() -> tuple[int, UpdateStats]:
+            oid = self.graph.add_node(label, value)
+            self.graph.add_edge(parent, oid)
+            return oid, UpdateStats()
+
+        return self._execute("insert_node", (parent, label, value), raw=raw)
+
+    def delete_node(self, dnode: int) -> UpdateStats:
+        """Delete a dnode and its incident dedges transactionally."""
+        return self._execute(
+            "delete_node",
+            (dnode,),
+            raw=lambda: self.graph.remove_node(dnode) or UpdateStats(),
+        )
+
+    def add_subgraph(
+        self,
+        subgraph: DataGraph,
+        subgraph_root: int,
+        cross_edges: tuple = (),
+    ) -> tuple[dict[int, int], UpdateStats]:
+        """Add a rooted subgraph transactionally."""
+        cross_edges = tuple(cross_edges)
+
+        def raw() -> tuple[dict[int, int], UpdateStats]:
+            from repro.maintenance.split_merge import _normalise_cross_edges
+
+            mapping = self.graph.add_subgraph(subgraph)
+            for a, b, kind in _normalise_cross_edges(cross_edges):
+                self.graph.add_edge(mapping.get(a, a), mapping.get(b, b), kind)
+            return mapping, UpdateStats()
+
+        return self._execute(
+            "add_subgraph", (subgraph, subgraph_root, cross_edges), raw=raw
+        )
+
+    def delete_subgraph(self, subgraph_root: int) -> UpdateStats:
+        """Delete the subtree rooted at *subgraph_root* transactionally."""
+
+        def raw() -> UpdateStats:
+            self.graph.remove_nodes(self.graph.subgraph_from(subgraph_root).nodes())
+            return UpdateStats()
+
+        return self._execute("delete_subgraph", (subgraph_root,), raw=raw)
+
+    def index_size(self) -> int:
+        """Current index size (protocol passthrough)."""
+        return self.maintainer.index_size()
+
+    # ------------------------------------------------------------------
+    # Transaction engine
+    # ------------------------------------------------------------------
+
+    def _execute(self, method: str, args: tuple, raw: Callable[[], Any]) -> Any:
+        """Run one maintainer method under the configured policy."""
+        obs = current_obs()
+        policy = self.config.policy
+        attempts = 1 + (self.config.max_retries if policy == "retry" else 0)
+        with obs.span("txn", op=method, policy=policy):
+            last_error: Optional[BaseException] = None
+            for attempt in range(attempts):
+                try:
+                    return self._attempt(method, args, obs)
+                except RollbackError:
+                    raise  # state is lost; no policy can help
+                except Exception as exc:  # noqa: BLE001 - policy boundary
+                    last_error = exc
+                    self._note_failure(exc, obs)
+                    if policy == "retry" and attempt < attempts - 1:
+                        self.stats.retries += 1
+                        obs.add("resilience.retries")
+                        continue
+                    break
+            assert last_error is not None
+            if policy == "degrade":
+                return self._degrade(method, args, raw, obs)
+            raise last_error
+
+    def _attempt(self, method: str, args: tuple, obs) -> Any:
+        """One transactional attempt: mutate, post-check, commit."""
+        txn = Transaction(
+            self.graph,
+            index=self.index,
+            family=self.family,
+            on_record=self.fault_injector,
+        )
+        txn.begin()
+        obs.add("resilience.txns")
+        try:
+            result = getattr(self.maintainer, method)(*args)
+            if self.invariants.due():
+                self.stats.checks += 1
+                obs.add("resilience.checks")
+                self.invariants.check(self.graph, index=self.index, family=self.family)
+        except BaseException:
+            txn.rollback()
+            self.stats.rollbacks += 1
+            obs.add("resilience.rollbacks")
+            raise
+        txn.commit()
+        self.stats.commits += 1
+        return result
+
+    def _degrade(self, method: str, args: tuple, raw: Callable[[], Any], obs) -> Any:
+        """Rebuild from the rolled-back graph, then get the update applied.
+
+        First preference: re-apply the operation incrementally on the
+        freshly rebuilt index (it may have failed due to state the
+        rebuild cleared).  Last resort: apply the raw graph mutation
+        journal-free and rebuild once more — this cannot fail on account
+        of index state, so the guard always makes progress.
+        """
+        self.stats.degradations += 1
+        obs.add("resilience.degradations")
+        self.maintainer.rebuild_from_graph()
+        try:
+            return self._attempt(method, args, obs)
+        except RollbackError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - last-resort boundary
+            self._note_failure(exc, obs)
+            self.stats.raw_fallbacks += 1
+            obs.add("resilience.raw_fallbacks")
+            result = raw()
+            self.maintainer.rebuild_from_graph()
+            return result
+
+    def _note_failure(self, exc: BaseException, obs) -> None:
+        from repro.exceptions import InjectedFaultError, InvariantViolationError
+
+        if isinstance(exc, InjectedFaultError):
+            self.stats.faults += 1
+            obs.add("resilience.faults")
+        if isinstance(exc, InvariantViolationError):
+            self.stats.check_failures += 1
+            obs.add("resilience.check_failures")
+        self.stats.last_errors.append(f"{type(exc).__name__}: {exc}")
+        del self.stats.last_errors[:-8]

@@ -1,0 +1,99 @@
+"""Post-transaction invariant checking with configurable cadence.
+
+The guard reuses the library's existing oracles instead of reimplementing
+checks: :meth:`DataGraph.check_invariants` and
+:meth:`StructuralIndex.check_invariants` for structural consistency,
+:func:`repro.index.stability.is_valid_1index` /
+:func:`is_minimal_1index` for the 1-index, and
+:meth:`AkIndexFamily.check_invariants` / :meth:`is_minimum` for the
+family (minimal and minimum coincide for A(k), Lemma 6).
+
+Checks are O(n + m) or worse, so the cadence is configurable: every
+update, every N-th update, or an independently sampled fraction (seeded,
+deterministic).  A failed check raises
+:class:`repro.exceptions.InvariantViolationError`, which the
+:class:`~repro.resilience.guard.GuardedMaintainer` treats exactly like a
+mid-operation exception — roll back, then apply the failure policy.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.exceptions import InvariantViolationError
+from repro.graph.datagraph import DataGraph
+from repro.index.akindex import AkIndexFamily
+from repro.index.base import StructuralIndex
+from repro.index.stability import is_minimal_1index, is_valid_1index
+
+#: check depths, each including the previous: structural bookkeeping only,
+#: + validity (stability), + minimality.
+LEVELS = ("basic", "valid", "minimal")
+
+
+class InvariantGuard:
+    """Cadenced invariant checks over a graph and its index or family."""
+
+    def __init__(
+        self,
+        level: str = "valid",
+        check_every: int = 1,
+        sample_rate: Optional[float] = None,
+        seed: int = 0,
+    ):
+        if level not in LEVELS:
+            raise ValueError(f"unknown level {level!r}; choose from {LEVELS}")
+        if sample_rate is not None and not 0.0 <= sample_rate <= 1.0:
+            raise ValueError("sample_rate must lie in [0, 1]")
+        self.level = level
+        self.check_every = check_every
+        self.sample_rate = sample_rate
+        self._rng = random.Random(seed)
+        self._since_check = 0
+        self.checks_run = 0
+
+    def due(self) -> bool:
+        """Advance the cadence by one update; report whether to check now."""
+        if self.sample_rate is not None:
+            return self._rng.random() < self.sample_rate
+        if self.check_every <= 0:
+            return False
+        self._since_check += 1
+        if self._since_check >= self.check_every:
+            self._since_check = 0
+            return True
+        return False
+
+    def check(
+        self,
+        graph: DataGraph,
+        index: Optional[StructuralIndex] = None,
+        family: Optional[AkIndexFamily] = None,
+    ) -> None:
+        """Run the configured checks; raise :class:`InvariantViolationError`."""
+        self.checks_run += 1
+        try:
+            graph.check_invariants()
+            if index is not None:
+                self._check_index(index)
+            if family is not None:
+                self._check_family(family)
+        except InvariantViolationError:
+            raise
+        except AssertionError as exc:
+            raise InvariantViolationError(f"structural invariant broken: {exc}") from exc
+
+    def _check_index(self, index: StructuralIndex) -> None:
+        if self.level == "basic":
+            index.check_invariants()
+            return
+        if not is_valid_1index(index):
+            raise InvariantViolationError("index is no longer a valid 1-index")
+        if self.level == "minimal" and not is_minimal_1index(index):
+            raise InvariantViolationError("index is valid but no longer minimal")
+
+    def _check_family(self, family: AkIndexFamily) -> None:
+        family.check_invariants()
+        if self.level == "minimal" and not family.is_minimum():
+            raise InvariantViolationError("A(k) family drifted from the minimum")

@@ -1,0 +1,165 @@
+"""The mutation journal and transaction scope for atomic maintenance.
+
+Every public mutator of :class:`~repro.graph.datagraph.DataGraph` and
+:class:`~repro.index.base.StructuralIndex` carries a journal hook::
+
+    if self._journal is not None:
+        self._journal.record(self, op, payload)
+
+``_journal`` is ``None`` outside a transaction, so the hook costs one
+attribute load and an ``is not None`` test — the zero-overhead contract
+``benchmarks/bench_guard_overhead.py`` enforces.  Inside a transaction
+the hook appends an undo record *after* the mutation has been applied;
+:meth:`MutationJournal.rollback` replays the records in reverse,
+dispatching each to its target's ``_undo_journal``.
+
+Graph and index records interleave in **one** shared log.  That ordering
+is what makes rollback correct: index undo paths read graph adjacency
+(``_detach``/``_attach``), and reverse-order replay guarantees the graph
+looks exactly as it did when the index record was written.
+
+The :class:`AkIndexFamily` is the one structure rolled back by snapshot
+instead of journaling: its maintainer rewrites per-level dicts directly
+rather than going through narrow mutation primitives, so a before-copy
+(cost O(k·n), taken only when a transaction opens) is both simpler and
+cheaper than journaling every dict write.  The graph side of an A(k)
+update is still journaled.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.exceptions import RollbackError
+from repro.graph.datagraph import DataGraph
+from repro.index.akindex import AkIndexFamily
+from repro.index.base import StructuralIndex
+
+#: one undo record: (target structure, operation name, inverse payload)
+JournalRecord = tuple[Any, str, tuple]
+
+
+class MutationJournal:
+    """An undo log shared by all structures enlisted in one transaction.
+
+    *on_record*, when given, is invoked as ``on_record(op, count)`` after
+    every append — the fault injector's hook point.  Because records are
+    appended *after* their mutation applies, an exception raised from
+    *on_record* leaves the log consistent: rollback undoes everything,
+    including the mutation whose record triggered the fault.
+    """
+
+    __slots__ = ("records", "on_record")
+
+    def __init__(self, on_record: Optional[Callable[[str, int], None]] = None):
+        self.records: list[JournalRecord] = []
+        self.on_record = on_record
+
+    def record(self, target: Any, op: str, payload: tuple) -> None:
+        """Append one undo record (called from the structures' hooks)."""
+        self.records.append((target, op, payload))
+        if self.on_record is not None:
+            self.on_record(op, len(self.records))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def rollback(self) -> None:
+        """Undo every recorded mutation, newest first.
+
+        Raises :class:`RollbackError` if an undo step itself fails — the
+        structures must then be considered corrupt.
+        """
+        records = self.records
+        while records:
+            target, op, payload = records.pop()
+            try:
+                target._undo_journal(op, payload)
+            except Exception as exc:  # noqa: BLE001 - wrapped, state is lost
+                records.clear()
+                raise RollbackError(
+                    f"undo of {op!r} on {type(target).__name__} failed: {exc}"
+                ) from exc
+
+    def clear(self) -> None:
+        """Forget all records (commit)."""
+        self.records.clear()
+
+
+class Transaction:
+    """Journal-attach/detach scope around one maintenance operation.
+
+    Enlists a graph, optionally a :class:`StructuralIndex` (journaled)
+    and/or an :class:`AkIndexFamily` (snapshot), then either
+    :meth:`commit` (drop the log) or :meth:`rollback` (restore the exact
+    pre-transaction state).  Usable as a context manager: an exception
+    escaping the ``with`` block triggers rollback, normal exit commits.
+
+    Transactions do not nest — the journal hooks hold a single slot.
+    """
+
+    def __init__(
+        self,
+        graph: DataGraph,
+        index: Optional[StructuralIndex] = None,
+        family: Optional[AkIndexFamily] = None,
+        on_record: Optional[Callable[[str, int], None]] = None,
+    ):
+        self.graph = graph
+        self.index = index
+        self.family = family
+        self.journal = MutationJournal(on_record)
+        self._family_backup: Optional[AkIndexFamily] = None
+        self._active = False
+
+    def begin(self) -> "Transaction":
+        """Attach the journal to every enlisted structure."""
+        if self._active:
+            raise RollbackError("transaction is already active")
+        if self.graph._journal is not None or (
+            self.index is not None and self.index._journal is not None
+        ):
+            raise RollbackError("structure is already enlisted in a transaction")
+        self.graph._journal = self.journal
+        if self.index is not None:
+            self.index._journal = self.journal
+        if self.family is not None:
+            self._family_backup = self.family.copy()
+        self._active = True
+        return self
+
+    def commit(self) -> None:
+        """Detach the journal and keep all mutations."""
+        self._detach()
+        self.journal.clear()
+        self._family_backup = None
+
+    def rollback(self) -> None:
+        """Detach the journal and restore the pre-transaction state."""
+        self._detach()
+        try:
+            self.journal.rollback()
+        finally:
+            if self._family_backup is not None:
+                self.family.levels = self._family_backup.levels
+                self._family_backup = None
+
+    def _detach(self) -> None:
+        # Detach before touching state so the undo paths (which write the
+        # internal dicts directly) can never re-enter the journal.
+        if not self._active:
+            raise RollbackError("transaction is not active")
+        self._active = False
+        self.graph._journal = None
+        if self.index is not None:
+            self.index._journal = None
+
+    def __enter__(self) -> "Transaction":
+        return self.begin()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            self.commit()
+        else:
+            self.rollback()
+        return False

@@ -21,7 +21,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Iterator, Literal
 
-from repro.exceptions import GraphError
+from repro.exceptions import DuplicateEdgeError, EdgeNotFoundError, GraphError
 from repro.graph.datagraph import DataGraph, EdgeKind
 
 Operation = tuple[Literal["insert", "delete"], int, int]
@@ -72,26 +72,43 @@ class MixedUpdateWorkload:
             graph.remove_edge(source, target)
         return cls(graph=graph, rng=rng, pool=pool, in_graph=in_graph)
 
-    def steps(self, num_pairs: int) -> Iterator[Operation]:
+    def steps(self, num_pairs: int, validate: bool = False) -> Iterator[Operation]:
         """Yield ``2 * num_pairs`` operations: insert, delete, insert, ...
 
         The workload is *stateful*: each yielded operation assumes the
         previous ones were applied to the graph (by a maintainer).  The
         sequence is deterministic for a fixed seed.
+
+        With ``validate=True`` each operation is checked against the live
+        graph before it is yielded: an insert whose edge is already
+        present raises :class:`DuplicateEdgeError` and a delete whose
+        edge is missing raises :class:`EdgeNotFoundError`, both carrying
+        the offending step index — a desynchronised consumer (one that
+        skipped, reordered, or double-applied operations) fails loudly at
+        the workload boundary instead of corrupting state deep inside a
+        maintainer.  Leave it off for dry iteration (materialising the
+        sequence without applying it), where the graph never advances.
         """
+        step = 0
         for _ in range(num_pairs):
             if not self.pool:
                 break
             index = self.rng.randrange(len(self.pool))
             edge = self.pool.pop(index)
+            if validate and self.graph.has_edge(*edge):
+                raise DuplicateEdgeError(edge[0], edge[1], step=step)
             self.in_graph.append(edge)
             yield ("insert", edge[0], edge[1])
+            step += 1
             if not self.in_graph:
                 break
             index = self.rng.randrange(len(self.in_graph))
             edge = self.in_graph.pop(index)
+            if validate and not self.graph.has_edge(*edge):
+                raise EdgeNotFoundError(edge[0], edge[1], step=step)
             self.pool.append(edge)
             yield ("delete", edge[0], edge[1])
+            step += 1
 
     def remaining_pairs(self) -> int:
         """How many insert/delete pairs the pool can still supply."""

@@ -135,6 +135,100 @@ class TestIndexRoundtrip:
         assert fresh not in set(index.inodes())
 
 
+class TestIndexCorruptPayloads:
+    """The hardened loader rejects corrupt payloads with InvalidIndexError."""
+
+    @pytest.fixture
+    def payload(self, figure2_graph) -> dict:
+        return index_to_dict(OneIndex.build(figure2_graph))
+
+    def test_missing_sections(self, figure2_graph):
+        for broken in ({}, {"inodes": []}, None, 7):
+            with pytest.raises(InvalidIndexError):
+                index_from_dict(figure2_graph, broken)
+
+    def test_malformed_inode_entry(self, figure2_graph, payload):
+        payload["inodes"][0] = [1, [0], "extra"]
+        with pytest.raises(InvalidIndexError, match="inode entry"):
+            index_from_dict(figure2_graph, payload)
+
+    def test_empty_extent_rejected(self, figure2_graph, payload):
+        payload["inodes"][0] = [payload["inodes"][0][0], []]
+        with pytest.raises(InvalidIndexError, match="empty extent"):
+            index_from_dict(figure2_graph, payload)
+
+    def test_duplicate_inode_id(self, figure2_graph, payload):
+        (a_id, a_extent), (_, b_extent) = payload["inodes"][0], payload["inodes"][1]
+        payload["inodes"][1] = [a_id, b_extent]
+        with pytest.raises(InvalidIndexError, match="twice"):
+            index_from_dict(figure2_graph, payload)
+
+    def test_dangling_dnode(self, figure2_graph, payload):
+        payload["inodes"][0][1].append(999)
+        with pytest.raises(InvalidIndexError, match="not in the graph"):
+            index_from_dict(figure2_graph, payload)
+
+    def test_dnode_in_two_inodes(self, figure2_graph, payload):
+        shared = payload["inodes"][1][1][0]
+        other = payload["inodes"][2]
+        if figure2_graph.label(shared) == figure2_graph.label(other[1][0]):
+            other[1].append(shared)
+            with pytest.raises(InvalidIndexError, match="two inodes"):
+                index_from_dict(figure2_graph, payload)
+        else:
+            other[1].append(shared)
+            with pytest.raises(InvalidIndexError):
+                index_from_dict(figure2_graph, payload)
+
+    def test_unhashable_inode_id(self, figure2_graph, payload):
+        first = payload["inodes"][0]
+        payload["inodes"][0] = [[1, 2], first[1]]
+        with pytest.raises(InvalidIndexError):
+            index_from_dict(figure2_graph, payload)
+
+    def test_malformed_next_id(self, figure2_graph, payload):
+        payload["next_id"] = "soon"
+        with pytest.raises(InvalidIndexError, match="next_id"):
+            index_from_dict(figure2_graph, payload)
+
+    def test_partition_gap_names_missing_dnodes(self, figure2_graph, payload):
+        payload["inodes"] = payload["inodes"][1:]
+        with pytest.raises(InvalidIndexError, match="partition"):
+            index_from_dict(figure2_graph, payload)
+
+
+class TestFamilyCorruptPayloads:
+    @pytest.fixture
+    def payload(self, figure2_graph) -> dict:
+        return family_to_dict(AkIndexFamily.build(figure2_graph, 2))
+
+    def test_missing_sections(self, figure2_graph):
+        for broken in ({}, {"k": 2}, {"levels": []}, None):
+            with pytest.raises(InvalidIndexError):
+                family_from_dict(figure2_graph, broken)
+
+    def test_bad_k(self, figure2_graph, payload):
+        for bad in (-1, "two", None):
+            payload["k"] = bad
+            with pytest.raises(InvalidIndexError):
+                family_from_dict(figure2_graph, payload)
+
+    def test_duplicate_token(self, figure2_graph, payload):
+        extents = payload["levels"][0]["extents"]
+        extents.append([extents[0][0], extents[1][1]])
+        with pytest.raises(InvalidIndexError, match="twice"):
+            family_from_dict(figure2_graph, payload)
+
+    def test_invariant_violation_wrapped(self, figure2_graph, payload):
+        # drop one dnode from a level-1 extent: no longer a partition —
+        # check_invariants' AssertionError must surface as InvalidIndexError
+        extents = payload["levels"][1]["extents"]
+        victim = next(e for e in extents if len(e[1]) > 1)
+        victim[1].pop()
+        with pytest.raises(InvalidIndexError):
+            family_from_dict(figure2_graph, payload)
+
+
 class TestFamilyRoundtrip:
     def test_roundtrip(self, figure2_graph):
         family = AkIndexFamily.build(figure2_graph, 3)

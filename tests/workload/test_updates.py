@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.exceptions import GraphError
+from repro.exceptions import DuplicateEdgeError, EdgeNotFoundError, GraphError
 from repro.graph.datagraph import EdgeKind
 from repro.workload.updates import (
     MixedUpdateWorkload,
@@ -93,6 +93,52 @@ class TestMixedWorkload:
         dataset = generate_xmark(CONFIG)
         workload = MixedUpdateWorkload.prepare(dataset.graph)
         assert workload.remaining_pairs() == len(workload.pool)
+
+
+class TestBoundaryValidation:
+    """steps(validate=True) fails loudly on a desynchronised consumer."""
+
+    def test_applied_stream_validates_cleanly(self):
+        dataset = generate_xmark(CONFIG)
+        graph = dataset.graph
+        workload = MixedUpdateWorkload.prepare(graph)
+        for op, u, v in workload.steps(10, validate=True):
+            if op == "insert":
+                graph.add_edge(u, v, EdgeKind.IDREF)
+            else:
+                graph.remove_edge(u, v)
+
+    def test_skipped_consumer_raises_with_step_index(self):
+        # a consumer that applies nothing desynchronises immediately; the
+        # validation trips as soon as the rng touches a stale edge —
+        # either as a duplicate insert or as a missing delete
+        dataset = generate_xmark(CONFIG)
+        workload = MixedUpdateWorkload.prepare(dataset.graph)
+        with pytest.raises((DuplicateEdgeError, EdgeNotFoundError)) as excinfo:
+            for _ in workload.steps(200, validate=True):
+                pass  # apply nothing
+        assert excinfo.value.step is not None
+        assert f"workload step {excinfo.value.step}" in str(excinfo.value)
+
+    def test_double_applied_insert_raises_duplicate(self):
+        # a consumer that applies the insert *before* the workload checks
+        # (simulated by pre-adding the pooled edge) trips the insert guard
+        dataset = generate_xmark(CONFIG)
+        graph = dataset.graph
+        workload = MixedUpdateWorkload.prepare(graph)
+        for edge in workload.pool:
+            graph.add_edge(*edge, EdgeKind.IDREF)  # desync: pool re-applied
+        with pytest.raises(DuplicateEdgeError) as excinfo:
+            next(iter(workload.steps(1, validate=True)))
+        assert excinfo.value.step == 0
+        assert "workload step 0" in str(excinfo.value)
+
+    def test_dry_iteration_stays_unvalidated_by_default(self):
+        # materialising without applying is a supported pattern (used by
+        # the overhead benchmarks); default steps() must not validate
+        dataset = generate_xmark(CONFIG)
+        workload = MixedUpdateWorkload.prepare(dataset.graph)
+        assert len(list(workload.steps(25))) == 50
 
 
 class TestSubgraphExtraction:
