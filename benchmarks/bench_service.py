@@ -1,0 +1,113 @@
+"""Serving-layer benchmark: throughput, commit latency, staleness.
+
+Runs the closed-loop serve session (``repro.experiments.serve``) and the
+two targeted A/Bs (``repro.experiments.bench_serve``) at the session's
+scale, asserting the qualitative claims DESIGN.md §6 makes:
+
+* coalescing: a batch of N cancelling insert/delete pairs commits
+  measurably faster than the same stream applied unbatched;
+* snapshot reads: queries are answered while updates commit, and every
+  answer names the version that produced it;
+* the ``compile_path`` LRU: repeated query texts hit the cache.
+
+Also runnable directly for CI smoke::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --smoke
+
+which executes both experiments at smoke scale inside a
+:mod:`repro.obs` observer and prints the summary table (the
+``service.*`` and ``bench.serve.*`` metrics) alongside the reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import bench_serve, serve
+from repro.query.automaton import path_cache_info
+
+
+def test_serve_closed_loop(run_once, benchmark, scale):
+    result = run_once(lambda: serve.run(scale))
+    print()
+    print(serve.report(result))
+
+    for family, rep in result.reports.items():
+        # the loop ran to completion and committed its updates
+        assert rep.steps == serve.steps_for(scale)
+        assert rep.queries > 0 and rep.updates_submitted > 0
+        assert rep.batches > 0 and rep.batch_failures == 0
+        # every batch published a version; staleness accounting covers
+        # all retired versions
+        assert rep.versions_published == rep.batches
+        assert len(rep.queries_per_version) == rep.versions_published
+        assert result.final_versions[family] == rep.batches
+        benchmark.extra_info[f"{family}_qps"] = round(rep.queries_per_second)
+        benchmark.extra_info[f"{family}_commit_p95_ms"] = round(rep.commit_p95_ms, 2)
+        benchmark.extra_info[f"{family}_stale_mean"] = round(
+            rep.mean_queries_per_version, 1
+        )
+
+
+def test_coalescing_beats_unbatched(run_once, benchmark, scale):
+    measured = run_once(lambda: bench_serve.run_coalescing_ab(scale))
+    (
+        num_pairs,
+        unbatched_seconds,
+        unbatched_commits,
+        batched_seconds,
+        batched_applied,
+        coalesced_away,
+    ) = measured
+    # every pair annihilated: nothing reached the maintainer
+    assert coalesced_away == 2 * num_pairs
+    assert batched_applied == 0
+    assert unbatched_commits == 2 * num_pairs
+    # the acceptance bar: "measurably faster" — unbatched pays a full
+    # maintenance + publish cycle per op, batched pays ~one publish
+    assert batched_seconds < unbatched_seconds / 2
+    benchmark.extra_info["speedup"] = round(unbatched_seconds / batched_seconds, 1)
+
+
+def test_path_cache_warm_sweep(run_once, benchmark, scale):
+    measured = run_once(lambda: bench_serve.run_cache_ab(scale))
+    num_queries, cold_seconds, warm_seconds, hits, misses = measured
+    assert num_queries > 0 and cold_seconds > 0 and warm_seconds > 0
+    # warm sweeps re-evaluate the same texts: all compile hits, no misses
+    assert hits > 0
+    assert misses <= 32  # at most one compile per distinct expression
+    info = path_cache_info()
+    assert info.currsize <= 512
+    benchmark.extra_info["cache_hits"] = hits
+    benchmark.extra_info["cache_misses"] = misses
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CI entry point: run both serving experiments, print obs summary."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run at smoke scale (seconds); default is small scale",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.experiments import scale_by_name
+    from repro.obs import SummarySink, observed
+
+    scale = scale_by_name("smoke" if args.smoke else "small")
+    with observed(SummarySink(sys.stdout)) as obs:
+        with obs.span("bench.service", scale=scale.name):
+            print(serve.report(serve.run(scale)))
+            print()
+            result = bench_serve.run(scale)
+            print(bench_serve.report(result))
+    if not result.coalescing_speedup > 2:
+        print("FAIL: coalesced batch not measurably faster than unbatched")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -131,6 +131,47 @@ class RollbackError(ResilienceError):
     """
 
 
+class WorkloadError(ReproError):
+    """A workload generator was driven outside its prepared envelope."""
+
+
+class WorkloadExhaustedError(WorkloadError):
+    """A workload was asked for more operations than it prepared.
+
+    Carries both sides of the mismatch so the caller can resize the run
+    (or the pool) instead of silently replaying a truncated sequence.
+    """
+
+    def __init__(self, requested_pairs: int, supplied_pairs: int, prepared: int):
+        super().__init__(
+            f"workload exhausted after {supplied_pairs} of {requested_pairs} "
+            f"requested pairs ({prepared} prepared)"
+        )
+        self.requested_pairs = requested_pairs
+        self.supplied_pairs = supplied_pairs
+        self.prepared = prepared
+
+
+class ServiceError(ReproError):
+    """Base class for the index serving layer (``repro.service``)."""
+
+
+class QueueFullError(ServiceError):
+    """An update was rejected because the admission queue is at capacity.
+
+    Only raised under the ``shed`` admission policy; ``block`` and
+    ``flush`` make room instead of rejecting.
+    """
+
+    def __init__(self, capacity: int):
+        super().__init__(f"update queue is full (capacity {capacity})")
+        self.capacity = capacity
+
+
+class ServiceClosedError(ServiceError):
+    """An operation was submitted to a service that has been closed."""
+
+
 class XmlFormatError(ReproError, ValueError):
     """Malformed XML input or unresolvable IDREF."""
 

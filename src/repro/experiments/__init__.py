@@ -12,11 +12,13 @@ or programmatically::
 
 from repro.experiments import (
     ablation_worstcase,
+    bench_serve,
     fig09_imdb_quality,
     fig10_xmark_quality,
     fig11_running_times,
     fig12_subgraph,
     fig13_ak_quality,
+    serve,
     tab1_reconstruction_frequency,
     tab2_ak_times,
     tab3_storage,
@@ -34,6 +36,8 @@ EXPERIMENTS = {
     "tab2": tab2_ak_times,
     "tab3": tab3_storage,
     "ablation": ablation_worstcase,
+    "serve": serve,
+    "bench-serve": bench_serve,
 }
 
 __all__ = [

@@ -1,0 +1,236 @@
+"""``bench-serve``: targeted A/B measurements of the serving layer.
+
+Two claims get numbers here:
+
+1. **Coalescing wins.**  A stream of N *cancelling* insert/delete pairs
+   (insert an IDREF dedge, delete it again) is the serving layer's best
+   case: batched with coalescing on, every pair annihilates before the
+   maintainer ever sees it and the commit is (near-)trivial; applied
+   unbatched, every operation pays a full split/merge + publish cycle.
+   The experiment runs the *same* operation stream both ways — both
+   runs end on an identical graph — and reports the wall-clock ratio.
+
+2. **Path-compile caching wins.**  Query texts repeat in a hot serving
+   mix, and :func:`repro.query.automaton.as_nfa` memoises text →
+   automaton compilation in a bounded LRU.  The experiment evaluates a
+   :class:`~repro.workload.queries.QueryWorkload` against one snapshot
+   with a cold cache and again warm, and reports both times plus the
+   cache counters.
+
+All numbers are also recorded through :mod:`repro.obs` (``bench.serve.*``
+histograms), so ``--trace-summary`` shows them in the summary table.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from repro.experiments.config import ExperimentScale
+from repro.experiments.reporting import format_table
+from repro.graph.datagraph import EdgeKind
+from repro.obs import current as current_obs
+from repro.query.automaton import clear_path_cache, path_cache_info
+from repro.service import IndexService, ServiceConfig, Update
+from repro.workload.queries import QueryWorkload
+from repro.workload.random_graphs import candidate_edges
+from repro.workload.xmark import generate_xmark
+
+
+@dataclass
+class BenchServeResult:
+    """Both A/B measurements at one scale."""
+
+    num_pairs: int
+    unbatched_seconds: float
+    unbatched_commits: int
+    batched_seconds: float
+    batched_applied: int
+    coalesced_away: int
+    num_queries: int
+    cold_seconds: float
+    warm_seconds: float
+    cache_hits: int
+    cache_misses: int
+
+    @property
+    def coalescing_speedup(self) -> float:
+        """Unbatched / batched wall-clock for the same cancelling stream."""
+        if self.batched_seconds <= 0:
+            return float("inf")
+        return self.unbatched_seconds / self.batched_seconds
+
+    @property
+    def cache_speedup(self) -> float:
+        """Cold / warm wall-clock for the same query sweep."""
+        if self.warm_seconds <= 0:
+            return float("inf")
+        return self.cold_seconds / self.warm_seconds
+
+
+def pairs_for(scale: ExperimentScale) -> int:
+    """Cancelling pairs for a scale (a slice of the 1-index pair budget)."""
+    return max(16, scale.pairs_1index // 4)
+
+
+def _cancelling_stream(graph, num_pairs: int, seed: int) -> list[Update]:
+    """N insert/delete pairs over currently-absent IDREF dedges."""
+    rng = random.Random(seed)
+    pairs = candidate_edges(graph, rng, num_pairs, acyclic=False)
+    stream: list[Update] = []
+    for source, target in pairs:
+        stream.append(Update.insert_edge(source, target, EdgeKind.IDREF))
+        stream.append(Update.delete_edge(source, target))
+    return stream
+
+
+def run_coalescing_ab(
+    scale: ExperimentScale, seed: int = 31
+) -> tuple[int, float, int, float, int, int]:
+    """Commit the same cancelling stream unbatched, then batched+coalesced."""
+    obs = current_obs()
+    num_pairs = pairs_for(scale)
+
+    # A: one commit (and one published version) per operation
+    graph = generate_xmark(scale.xmark).graph
+    stream = _cancelling_stream(graph, num_pairs, seed)
+    service = IndexService(
+        graph, ServiceConfig(batch_max_ops=1, queue_capacity=0, coalesce=False)
+    )
+    started = time.perf_counter()
+    for update in stream:
+        service.submit_nowait(update)
+        service.flush()
+    unbatched_seconds = time.perf_counter() - started
+    unbatched_commits = service.stats.batches
+    service.close()
+    obs.observe("bench.serve.unbatched_seconds", unbatched_seconds)
+
+    # B: the same stream as one coalesced batch (same generator seed, so
+    # the op sequence is identical down to the edge endpoints)
+    graph = generate_xmark(scale.xmark).graph
+    stream = _cancelling_stream(graph, num_pairs, seed)
+    service = IndexService(
+        graph,
+        ServiceConfig(batch_max_ops=len(stream), queue_capacity=0, coalesce=True),
+    )
+    for update in stream:
+        service.submit_nowait(update)
+    started = time.perf_counter()
+    service.flush()
+    batched_seconds = time.perf_counter() - started
+    batched_applied = service.stats.applied_ops
+    coalesced_away = service.stats.coalescing.removed
+    service.close()
+    obs.observe("bench.serve.batched_seconds", batched_seconds)
+    obs.add("bench.serve.coalesced_away", coalesced_away)
+
+    return (
+        num_pairs,
+        unbatched_seconds,
+        unbatched_commits,
+        batched_seconds,
+        batched_applied,
+        coalesced_away,
+    )
+
+
+def run_cache_ab(
+    scale: ExperimentScale, seed: int = 41, sweeps: int = 3
+) -> tuple[int, float, float, int, int]:
+    """Evaluate one query pool cold, then warm, against one snapshot."""
+    obs = current_obs()
+    graph = generate_xmark(scale.xmark).graph
+    service = IndexService(graph, ServiceConfig(family="one"))
+    queries = QueryWorkload.generate(graph, count=32, seed=seed)
+
+    clear_path_cache()
+    started = time.perf_counter()
+    for expression in queries:
+        service.query(expression)
+    cold_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    for _ in range(sweeps):
+        for expression in queries:
+            service.query(expression)
+    warm_seconds = (time.perf_counter() - started) / sweeps
+    info = path_cache_info()
+    service.close()
+    obs.observe("bench.serve.cache_cold_seconds", cold_seconds)
+    obs.observe("bench.serve.cache_warm_seconds", warm_seconds)
+    return len(queries) * (sweeps + 1), cold_seconds, warm_seconds, info.hits, info.misses
+
+
+def run(scale: ExperimentScale) -> BenchServeResult:
+    """Run both A/Bs at the given scale."""
+    (
+        num_pairs,
+        unbatched_seconds,
+        unbatched_commits,
+        batched_seconds,
+        batched_applied,
+        coalesced_away,
+    ) = run_coalescing_ab(scale)
+    num_queries, cold_seconds, warm_seconds, hits, misses = run_cache_ab(scale)
+    return BenchServeResult(
+        num_pairs=num_pairs,
+        unbatched_seconds=unbatched_seconds,
+        unbatched_commits=unbatched_commits,
+        batched_seconds=batched_seconds,
+        batched_applied=batched_applied,
+        coalesced_away=coalesced_away,
+        num_queries=num_queries,
+        cold_seconds=cold_seconds,
+        warm_seconds=warm_seconds,
+        cache_hits=hits,
+        cache_misses=misses,
+    )
+
+
+def report(result: BenchServeResult) -> str:
+    """Render both A/B tables."""
+    coalescing = format_table(
+        ["mode", "commits", "applied ops", "seconds", "speedup"],
+        [
+            [
+                "unbatched",
+                result.unbatched_commits,
+                2 * result.num_pairs,
+                f"{result.unbatched_seconds:.3f}",
+                "1.0x",
+            ],
+            [
+                "batched+coalesced",
+                1,
+                result.batched_applied,
+                f"{result.batched_seconds:.3f}",
+                f"{result.coalescing_speedup:.1f}x",
+            ],
+        ],
+    )
+    cache = format_table(
+        ["cache", "sweep seconds", "speedup", "hits", "misses"],
+        [
+            ["cold", f"{result.cold_seconds:.4f}", "1.0x", "-", "-"],
+            [
+                "warm",
+                f"{result.warm_seconds:.4f}",
+                f"{result.cache_speedup:.1f}x",
+                result.cache_hits,
+                result.cache_misses,
+            ],
+        ],
+    )
+    header = (
+        f"{result.num_pairs} cancelling insert/delete pairs "
+        f"({result.coalesced_away} ops coalesced away); "
+        f"{result.num_queries} snapshot queries"
+    )
+    return f"{header}\n\n{coalescing}\n\n{cache}"
+
+
+def main(scale: ExperimentScale) -> str:
+    """CLI entry point."""
+    return report(run(scale))

@@ -1,0 +1,125 @@
+"""``serve``: a seeded closed-loop serving run per index family.
+
+Not a paper figure — the serving layer is this reproduction's extension
+toward the ROADMAP north star — but it follows the experiment protocol:
+one XMark dataset at the chosen scale, the Section 7 mixed update
+workload, a :class:`~repro.workload.queries.QueryWorkload` drawn from
+the live label paths, and a fixed session roster (3 query : 1 update)
+driven closed-loop through an :class:`~repro.service.IndexService`.
+
+Reported per family (1-index and A(k)): sustained queries/sec, commit
+latency p50/p95, coalescing savings, and the staleness profile (queries
+answered per published index version).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.config import ExperimentScale
+from repro.experiments.reporting import format_table
+from repro.service import IndexService, ServiceConfig
+from repro.workload.queries import QueryWorkload
+from repro.workload.sessions import ClosedLoopDriver, DriverReport, SessionMix
+from repro.workload.updates import MixedUpdateWorkload
+from repro.workload.xmark import generate_xmark
+
+#: session roster of the standard serve run
+QUERY_SESSIONS = 3
+UPDATE_SESSIONS = 1
+
+
+@dataclass
+class ServeResult:
+    """One driver report per served family."""
+
+    reports: dict[str, DriverReport]
+    final_versions: dict[str, int]
+    final_inodes: dict[str, int]
+
+
+def steps_for(scale: ExperimentScale) -> int:
+    """Closed-loop steps for a scale (sized off the 1-index pair budget)."""
+    return max(200, 4 * scale.pairs_1index)
+
+
+def run(
+    scale: ExperimentScale,
+    batch_max_ops: int = 32,
+    queue_capacity: int = 128,
+    seed: int = 23,
+) -> ServeResult:
+    """Run the standard closed-loop serve session for both families."""
+    reports: dict[str, DriverReport] = {}
+    final_versions: dict[str, int] = {}
+    final_inodes: dict[str, int] = {}
+    for family in ("one", "ak"):
+        graph = generate_xmark(scale.xmark).graph
+        updates = MixedUpdateWorkload.prepare(graph, seed=seed)
+        service = IndexService(
+            graph,
+            ServiceConfig(
+                family=family,
+                k=min(scale.ks),
+                batch_max_ops=batch_max_ops,
+                queue_capacity=queue_capacity,
+                guard=scale.guard if scale.guard is not None else ServiceConfig().guard,
+            ),
+        )
+        queries = QueryWorkload.generate(graph, count=48, seed=seed + 1)
+        driver = ClosedLoopDriver(
+            service,
+            updates,
+            queries,
+            SessionMix(
+                steps=steps_for(scale),
+                query_sessions=QUERY_SESSIONS,
+                update_sessions=UPDATE_SESSIONS,
+                seed=seed + 2,
+            ),
+        )
+        reports[family] = driver.run()
+        final_versions[family] = service.version
+        final_inodes[family] = service.snapshot.num_inodes
+        service.close()
+    return ServeResult(
+        reports=reports, final_versions=final_versions, final_inodes=final_inodes
+    )
+
+
+def report(result: ServeResult) -> str:
+    """Render the serve table."""
+    headers = [
+        "family",
+        "queries/s",
+        "updates/s",
+        "query p50/p95 ms",
+        "commit p50/p95 ms",
+        "batches",
+        "coalesced",
+        "stale mean/max",
+        "versions",
+        "inodes",
+    ]
+    rows = []
+    for family, rep in result.reports.items():
+        rows.append(
+            [
+                family,
+                f"{rep.queries_per_second:.0f}",
+                f"{rep.updates_per_second:.0f}",
+                f"{rep.query_p50_ms:.2f}/{rep.query_p95_ms:.2f}",
+                f"{rep.commit_p50_ms:.2f}/{rep.commit_p95_ms:.2f}",
+                rep.batches,
+                rep.coalesced_away,
+                f"{rep.mean_queries_per_version:.1f}/{rep.max_queries_per_version}",
+                result.final_versions[family],
+                result.final_inodes[family],
+            ]
+        )
+    return format_table(headers, rows)
+
+
+def main(scale: ExperimentScale) -> str:
+    """CLI entry point."""
+    return report(run(scale))

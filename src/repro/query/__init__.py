@@ -1,6 +1,13 @@
 """Path-expression queries over data graphs and structural indexes."""
 
-from repro.query.automaton import PathNfa, compile_path
+from repro.query.automaton import (
+    PATH_CACHE_SIZE,
+    PathNfa,
+    as_nfa,
+    clear_path_cache,
+    compile_path,
+    path_cache_info,
+)
 from repro.query.evaluator import (
     EvaluationReport,
     ancestors_of,
@@ -21,6 +28,10 @@ __all__ = [
     "parse_path",
     "PathNfa",
     "compile_path",
+    "as_nfa",
+    "path_cache_info",
+    "clear_path_cache",
+    "PATH_CACHE_SIZE",
     "EvaluationReport",
     "evaluate_on_graph",
     "evaluate_on_subgraph",

@@ -9,13 +9,24 @@ States are ``0 .. n`` where ``n = len(steps)``; state ``i`` means "the
 first i steps have matched".  A child step is a single transition; a
 descendant step additionally lets the automaton idle in its source state
 across any label (``//a`` = "any path, then an ``a`` child").
+
+Compilation is cheap but not free (a parse plus a tuple build), and the
+serving layer evaluates the *same* expression strings in a hot loop, so
+:func:`as_nfa` — the coercion every evaluator entry point uses — routes
+string queries through a bounded LRU keyed by the expression text.
+Compiled automata are immutable, so sharing them is safe.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.query.path_expression import WILDCARD, PathExpression
+
+#: Bound on the compiled-expression LRU: large enough for any realistic
+#: query mix, small enough that an adversarial stream cannot hoard memory.
+PATH_CACHE_SIZE = 512
 
 
 @dataclass(frozen=True)
@@ -65,3 +76,39 @@ def compile_path(expression: PathExpression) -> PathNfa:
         i for i, step in enumerate(expression.steps) if step.axis == "descendant"
     )
     return PathNfa(expression, advance, loops)
+
+
+@lru_cache(maxsize=PATH_CACHE_SIZE)
+def _compile_text(text: str) -> PathNfa:
+    """Parse + compile one expression string (the LRU-cached slow path)."""
+    from repro.query.path_expression import parse_path
+
+    return compile_path(parse_path(text))
+
+
+def as_nfa(query: "str | PathExpression | PathNfa") -> PathNfa:
+    """Coerce any query form to a compiled automaton.
+
+    Strings hit the bounded LRU (`PATH_CACHE_SIZE` entries keyed by the
+    exact expression text); already-parsed or already-compiled queries
+    pass through untouched, so callers that pre-compile keep full
+    control.  A syntactically invalid string raises
+    :class:`~repro.exceptions.PathSyntaxError` exactly as
+    :func:`~repro.query.path_expression.parse_path` would — failed
+    parses are not cached.
+    """
+    if isinstance(query, PathNfa):
+        return query
+    if isinstance(query, PathExpression):
+        return compile_path(query)
+    return _compile_text(query)
+
+
+def path_cache_info():
+    """Hit/miss statistics of the compiled-expression LRU."""
+    return _compile_text.cache_info()
+
+
+def clear_path_cache() -> None:
+    """Drop every cached automaton (benchmark A/B runs, tests)."""
+    _compile_text.cache_clear()

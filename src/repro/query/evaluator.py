@@ -16,8 +16,8 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.graph.datagraph import DataGraph
-from repro.query.automaton import PathNfa, compile_path
-from repro.query.path_expression import PathExpression, parse_path
+from repro.query.automaton import PathNfa, as_nfa
+from repro.query.path_expression import PathExpression
 
 
 @dataclass
@@ -33,12 +33,10 @@ class EvaluationReport:
     extra: dict[str, int] = field(default_factory=dict)
 
 
-def _as_nfa(query: str | PathExpression | PathNfa) -> PathNfa:
-    if isinstance(query, PathNfa):
-        return query
-    if isinstance(query, PathExpression):
-        return compile_path(query)
-    return compile_path(parse_path(query))
+#: String queries are compiled through the bounded LRU in
+#: :mod:`repro.query.automaton`, so hot loops re-evaluating the same
+#: expression text skip the parse.
+_as_nfa = as_nfa
 
 
 def evaluate_on_graph(graph: DataGraph, query: str | PathExpression | PathNfa) -> EvaluationReport:

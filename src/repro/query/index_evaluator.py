@@ -22,21 +22,16 @@ from collections import deque
 from repro.graph.datagraph import ROOT_LABEL
 from repro.index.akindex import AkIndexFamily
 from repro.index.base import StructuralIndex
-from repro.query.automaton import PathNfa, compile_path
+from repro.query.automaton import PathNfa, as_nfa
 from repro.query.evaluator import (
     EvaluationReport,
     ancestors_of,
     evaluate_on_subgraph,
 )
-from repro.query.path_expression import PathExpression, parse_path
+from repro.query.path_expression import PathExpression
 
-
-def _as_nfa(query: str | PathExpression | PathNfa) -> PathNfa:
-    if isinstance(query, PathNfa):
-        return query
-    if isinstance(query, PathExpression):
-        return compile_path(query)
-    return compile_path(parse_path(query))
+#: shared coercion with the LRU-cached string path (see repro.query.automaton)
+_as_nfa = as_nfa
 
 
 def evaluate_on_index(

@@ -4,7 +4,9 @@
 propagate, A(k) split/merge or simple) and runs each public mutation —
 ``insert_edge`` / ``delete_edge`` / ``insert_node`` / ``delete_node`` /
 ``add_subgraph`` / ``delete_subgraph`` — inside a
-:class:`~repro.resilience.journal.Transaction`.  Any exception raised
+:class:`~repro.resilience.journal.Transaction`, and :meth:`~GuardedMaintainer.apply_batch`
+runs a whole sequence of such operations in a *single* transaction (the
+serving layer's unit of commit — see :mod:`repro.service`).  Any exception raised
 mid-operation (a maintainer bug, corrupted state detected by a support
 counter, an injected fault) or a failed post-check rolls the graph *and*
 index back to the exact pre-call state, after which the configured
@@ -30,9 +32,9 @@ went.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Sequence
 
-from repro.exceptions import RollbackError
+from repro.exceptions import MaintenanceError, RollbackError
 from repro.graph.datagraph import DataGraph, EdgeKind
 from repro.maintenance.base import UpdateStats
 from repro.obs import current as current_obs
@@ -41,6 +43,17 @@ from repro.resilience.invariants import InvariantGuard
 from repro.resilience.journal import Transaction
 
 POLICIES = ("raise", "retry", "degrade")
+
+
+def _stats_of(result: Any) -> UpdateStats:
+    """Extract the UpdateStats from a maintainer-method return value.
+
+    ``insert_node`` / ``add_subgraph`` return ``(payload, stats)`` pairs;
+    everything else returns the stats directly.
+    """
+    if isinstance(result, UpdateStats):
+        return result
+    return result[1]
 
 
 @dataclass(frozen=True)
@@ -122,39 +135,21 @@ class GuardedMaintainer:
         self, source: int, target: int, kind: EdgeKind = EdgeKind.TREE
     ) -> UpdateStats:
         """Insert a dedge transactionally."""
-        return self._execute(
-            "insert_edge",
-            (source, target, kind),
-            raw=lambda: self.graph.add_edge(source, target, kind) or UpdateStats(),
-        )
+        return self._call("insert_edge", (source, target, kind))
 
     def delete_edge(self, source: int, target: int) -> UpdateStats:
         """Delete a dedge transactionally."""
-        return self._execute(
-            "delete_edge",
-            (source, target),
-            raw=lambda: self.graph.remove_edge(source, target) or UpdateStats(),
-        )
+        return self._call("delete_edge", (source, target))
 
     def insert_node(
         self, parent: int, label: str, value: object = None
     ) -> tuple[int, UpdateStats]:
         """Create a dnode under *parent* transactionally."""
-
-        def raw() -> tuple[int, UpdateStats]:
-            oid = self.graph.add_node(label, value)
-            self.graph.add_edge(parent, oid)
-            return oid, UpdateStats()
-
-        return self._execute("insert_node", (parent, label, value), raw=raw)
+        return self._call("insert_node", (parent, label, value))
 
     def delete_node(self, dnode: int) -> UpdateStats:
         """Delete a dnode and its incident dedges transactionally."""
-        return self._execute(
-            "delete_node",
-            (dnode,),
-            raw=lambda: self.graph.remove_node(dnode) or UpdateStats(),
-        )
+        return self._call("delete_node", (dnode,))
 
     def add_subgraph(
         self,
@@ -163,28 +158,44 @@ class GuardedMaintainer:
         cross_edges: tuple = (),
     ) -> tuple[dict[int, int], UpdateStats]:
         """Add a rooted subgraph transactionally."""
-        cross_edges = tuple(cross_edges)
-
-        def raw() -> tuple[dict[int, int], UpdateStats]:
-            from repro.maintenance.split_merge import _normalise_cross_edges
-
-            mapping = self.graph.add_subgraph(subgraph)
-            for a, b, kind in _normalise_cross_edges(cross_edges):
-                self.graph.add_edge(mapping.get(a, a), mapping.get(b, b), kind)
-            return mapping, UpdateStats()
-
-        return self._execute(
-            "add_subgraph", (subgraph, subgraph_root, cross_edges), raw=raw
-        )
+        return self._call("add_subgraph", (subgraph, subgraph_root, tuple(cross_edges)))
 
     def delete_subgraph(self, subgraph_root: int) -> UpdateStats:
         """Delete the subtree rooted at *subgraph_root* transactionally."""
+        return self._call("delete_subgraph", (subgraph_root,))
 
-        def raw() -> UpdateStats:
-            self.graph.remove_nodes(self.graph.subgraph_from(subgraph_root).nodes())
+    def apply_batch(self, operations: Sequence[tuple[str, tuple]]) -> UpdateStats:
+        """Apply a whole sequence of mutations in **one** transaction.
+
+        *operations* is a list of ``(method, args)`` pairs naming this
+        guard's public mutation methods.  The batch is atomic: a failure
+        anywhere rolls back every operation already applied, then the
+        configured policy takes over exactly as for a single operation —
+        ``retry`` re-runs the whole batch, ``degrade`` rebuilds and
+        re-applies it (falling back to raw graph mutations plus one final
+        rebuild).  Invariant post-checks run once per *batch*, not once
+        per operation, which is one of the reasons batching is cheaper
+        than an equivalent stream of single-operation transactions.
+
+        Returns the accumulated :class:`UpdateStats` of the batch.  An
+        empty batch is a no-op (no transaction is opened).
+        """
+        ops = [(method, tuple(args)) for method, args in operations]
+        if not ops:
+            return UpdateStats(trivial=True)
+
+        def apply_fn() -> UpdateStats:
+            total = UpdateStats(trivial=True)
+            for method, args in ops:
+                total.absorb(_stats_of(getattr(self.maintainer, method)(*args)))
+            return total
+
+        def raw_fn() -> UpdateStats:
+            for method, args in ops:
+                self._raw_for(method, args)()
             return UpdateStats()
 
-        return self._execute("delete_subgraph", (subgraph_root,), raw=raw)
+        return self._execute("batch", apply_fn, raw_fn, num_ops=len(ops))
 
     def index_size(self) -> int:
         """Current index size (protocol passthrough)."""
@@ -194,16 +205,89 @@ class GuardedMaintainer:
     # Transaction engine
     # ------------------------------------------------------------------
 
-    def _execute(self, method: str, args: tuple, raw: Callable[[], Any]) -> Any:
+    def _call(self, method: str, args: tuple) -> Any:
         """Run one maintainer method under the configured policy."""
+        return self._execute(
+            method,
+            lambda: getattr(self.maintainer, method)(*args),
+            self._raw_for(method, args),
+        )
+
+    def _raw_for(self, method: str, args: tuple) -> Callable[[], Any]:
+        """The index-free graph mutation equivalent to a maintainer call.
+
+        Used by the ``degrade`` policy's last resort: apply the bare
+        graph change journal-free, then rebuild the index — this cannot
+        fail on account of index state, so the guard always makes
+        progress.
+        """
+        if method == "insert_edge":
+            source, target, kind = args
+
+            def raw() -> UpdateStats:
+                self.graph.add_edge(source, target, kind)
+                return UpdateStats()
+
+        elif method == "delete_edge":
+            source, target = args
+
+            def raw() -> UpdateStats:
+                self.graph.remove_edge(source, target)
+                return UpdateStats()
+
+        elif method == "insert_node":
+            parent, label, value = args
+
+            def raw() -> tuple[int, UpdateStats]:
+                oid = self.graph.add_node(label, value)
+                self.graph.add_edge(parent, oid)
+                return oid, UpdateStats()
+
+        elif method == "delete_node":
+            (dnode,) = args
+
+            def raw() -> UpdateStats:
+                self.graph.remove_node(dnode)
+                return UpdateStats()
+
+        elif method == "add_subgraph":
+            subgraph, _subgraph_root, cross_edges = args
+
+            def raw() -> tuple[dict[int, int], UpdateStats]:
+                from repro.maintenance.split_merge import _normalise_cross_edges
+
+                mapping = self.graph.add_subgraph(subgraph)
+                for a, b, kind in _normalise_cross_edges(cross_edges):
+                    self.graph.add_edge(mapping.get(a, a), mapping.get(b, b), kind)
+                return mapping, UpdateStats()
+
+        elif method == "delete_subgraph":
+            (subgraph_root,) = args
+
+            def raw() -> UpdateStats:
+                self.graph.remove_nodes(self.graph.subgraph_from(subgraph_root).nodes())
+                return UpdateStats()
+
+        else:
+            raise MaintenanceError(f"unknown guarded method {method!r}")
+        return raw
+
+    def _execute(
+        self,
+        label: str,
+        apply_fn: Callable[[], Any],
+        raw_fn: Callable[[], Any],
+        num_ops: int = 1,
+    ) -> Any:
+        """Run *apply_fn* transactionally under the configured policy."""
         obs = current_obs()
         policy = self.config.policy
         attempts = 1 + (self.config.max_retries if policy == "retry" else 0)
-        with obs.span("txn", op=method, policy=policy):
+        with obs.span("txn", op=label, policy=policy, ops=num_ops):
             last_error: Optional[BaseException] = None
             for attempt in range(attempts):
                 try:
-                    return self._attempt(method, args, obs)
+                    return self._attempt(apply_fn, obs)
                 except RollbackError:
                     raise  # state is lost; no policy can help
                 except Exception as exc:  # noqa: BLE001 - policy boundary
@@ -216,10 +300,10 @@ class GuardedMaintainer:
                     break
             assert last_error is not None
             if policy == "degrade":
-                return self._degrade(method, args, raw, obs)
+                return self._degrade(apply_fn, raw_fn, obs)
             raise last_error
 
-    def _attempt(self, method: str, args: tuple, obs) -> Any:
+    def _attempt(self, apply_fn: Callable[[], Any], obs) -> Any:
         """One transactional attempt: mutate, post-check, commit."""
         txn = Transaction(
             self.graph,
@@ -230,7 +314,7 @@ class GuardedMaintainer:
         txn.begin()
         obs.add("resilience.txns")
         try:
-            result = getattr(self.maintainer, method)(*args)
+            result = apply_fn()
             if self.invariants.due():
                 self.stats.checks += 1
                 obs.add("resilience.checks")
@@ -244,7 +328,9 @@ class GuardedMaintainer:
         self.stats.commits += 1
         return result
 
-    def _degrade(self, method: str, args: tuple, raw: Callable[[], Any], obs) -> Any:
+    def _degrade(
+        self, apply_fn: Callable[[], Any], raw_fn: Callable[[], Any], obs
+    ) -> Any:
         """Rebuild from the rolled-back graph, then get the update applied.
 
         First preference: re-apply the operation incrementally on the
@@ -257,14 +343,14 @@ class GuardedMaintainer:
         obs.add("resilience.degradations")
         self.maintainer.rebuild_from_graph()
         try:
-            return self._attempt(method, args, obs)
+            return self._attempt(apply_fn, obs)
         except RollbackError:
             raise
         except Exception as exc:  # noqa: BLE001 - last-resort boundary
             self._note_failure(exc, obs)
             self.stats.raw_fallbacks += 1
             obs.add("resilience.raw_fallbacks")
-            result = raw()
+            result = raw_fn()
             self.maintainer.rebuild_from_graph()
             return result
 

@@ -1,0 +1,59 @@
+"""``repro.service`` — concurrent index serving with snapshot reads.
+
+The first layer where everything below composes: a runnable service
+that owns a :class:`~repro.graph.datagraph.DataGraph` plus a 1-index or
+A(k) family, answers path queries from **immutable published snapshots**
+(swap-on-commit, so readers never see a half-applied update), and
+drains a bounded update queue in **batched, coalesced, transactionally
+guarded** commits (:mod:`repro.resilience`), all metered through
+:mod:`repro.obs`.
+
+Quickstart::
+
+    from repro.service import IndexService, ServiceConfig, Update
+
+    service = IndexService(graph, ServiceConfig(family="one"))
+    service.submit(Update.insert_edge(u, v))
+    service.flush()                       # commit + publish version 1
+    answer = service.query("//person/name")
+    answer.matches, answer.version
+
+Drive it under load with :class:`repro.workload.sessions.ClosedLoopDriver`
+or from the CLI: ``python -m repro.experiments serve``.
+"""
+
+from repro.service.queue import (
+    ALL_OPS,
+    BoundedQueue,
+    CoalesceStats,
+    Update,
+    coalesce,
+)
+from repro.service.service import (
+    ADMISSION_POLICIES,
+    FAMILIES,
+    BatchResult,
+    IndexService,
+    ServedQuery,
+    ServiceConfig,
+    ServiceStats,
+)
+from repro.service.snapshot import FrozenGraph, FrozenIndex, IndexSnapshot
+
+__all__ = [
+    "IndexService",
+    "ServiceConfig",
+    "ServiceStats",
+    "ServedQuery",
+    "BatchResult",
+    "FAMILIES",
+    "ADMISSION_POLICIES",
+    "Update",
+    "BoundedQueue",
+    "coalesce",
+    "CoalesceStats",
+    "ALL_OPS",
+    "IndexSnapshot",
+    "FrozenGraph",
+    "FrozenIndex",
+]

@@ -1,0 +1,405 @@
+"""`IndexService` — the library run as a concurrent index server.
+
+This is the layer the ROADMAP's "serve heavy traffic" north star asks
+for, and the setting Blume et al. (batched/parallel incremental
+summarization) and Munro et al. (dynamic data structures under
+interleaved queries and updates) study: one evolving graph + structural
+index, queries and updates arriving together.
+
+Discipline: **single writer, many readers, snapshot isolation.**
+
+* Readers call :meth:`IndexService.query`.  A query grabs the current
+  :class:`~repro.service.snapshot.IndexSnapshot` reference once and
+  evaluates entirely against that immutable version — it never blocks
+  on the writer and never observes a half-applied batch.
+* Writers call :meth:`IndexService.submit`, which only enqueues.  The
+  single writer — either an explicit :meth:`flush` caller or the
+  background thread started by :meth:`start` — drains the queue in
+  arrival order, coalesces the batch (:func:`repro.service.queue.coalesce`),
+  applies the survivors through ``GuardedMaintainer.apply_batch`` (one
+  transaction: a mid-batch failure rolls the whole batch back, so the
+  served snapshot never points at corrupt state), and publishes a fresh
+  snapshot.
+
+Admission control (``ServiceConfig.admission``) decides what a full
+queue means: ``block`` waits for capacity (applying inline when no
+writer thread runs), ``shed`` rejects the update and counts it,
+``flush`` forces an immediate synchronous commit to make room.
+
+Everything the service does is tallied both in :class:`ServiceStats`
+and through the process-wide :mod:`repro.obs` observer (``service.*``
+counters/histograms), so a traced serve run shows queue pressure,
+coalescing wins, commit latency and staleness side by side with the
+maintenance spans underneath.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.exceptions import QueueFullError, ServiceClosedError, ServiceError
+from repro.graph.datagraph import DataGraph
+from repro.index.akindex import AkIndexFamily
+from repro.index.oneindex import OneIndex
+from repro.maintenance.ak_split_merge import AkSplitMergeMaintainer
+from repro.maintenance.split_merge import SplitMergeMaintainer
+from repro.obs import current as current_obs
+from repro.query.automaton import PathNfa
+from repro.query.evaluator import EvaluationReport
+from repro.query.path_expression import PathExpression
+from repro.resilience.faults import FaultInjector
+from repro.resilience.guard import GuardConfig, GuardedMaintainer
+from repro.service.queue import BoundedQueue, CoalesceStats, Update, coalesce
+from repro.service.snapshot import IndexSnapshot
+
+FAMILIES = ("one", "ak")
+ADMISSION_POLICIES = ("block", "shed", "flush")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """How an :class:`IndexService` batches, admits and guards updates."""
+
+    #: which index family serves queries: ``one`` (1-index) or ``ak``
+    family: str = "one"
+    #: leaf level for the ``ak`` family (ignored for ``one``)
+    k: int = 2
+    #: most operations drained into one batch (the commit unit)
+    batch_max_ops: int = 64
+    #: queue capacity before admission control engages (0 = unbounded)
+    queue_capacity: int = 256
+    #: full-queue policy: ``block`` / ``shed`` / ``flush``
+    admission: str = "block"
+    #: cancel/dedup batch operations before applying them
+    coalesce: bool = True
+    #: failure policy for batch transactions (``degrade`` keeps serving
+    #: through faults at reconstruction cost; see repro.resilience)
+    guard: GuardConfig = field(default_factory=lambda: GuardConfig(policy="degrade"))
+    #: background-writer poll interval while the queue is empty (seconds)
+    writer_idle_wait: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.family not in FAMILIES:
+            raise ServiceError(f"unknown family {self.family!r}; choose from {FAMILIES}")
+        if self.admission not in ADMISSION_POLICIES:
+            raise ServiceError(
+                f"unknown admission policy {self.admission!r}; "
+                f"choose from {ADMISSION_POLICIES}"
+            )
+        if self.batch_max_ops < 1:
+            raise ServiceError("batch_max_ops must be >= 1")
+
+
+@dataclass
+class ServiceStats:
+    """Lifetime tallies of one service (mirrors the ``service.*`` metrics)."""
+
+    queries: int = 0
+    submitted: int = 0
+    shed: int = 0
+    forced_flushes: int = 0
+    batches: int = 0
+    batch_failures: int = 0
+    applied_ops: int = 0
+    versions_published: int = 0
+    coalescing: CoalesceStats = field(default_factory=CoalesceStats)
+    #: per-batch commit wall-clock (seconds), for p50/p95 reporting
+    commit_seconds: list[float] = field(default_factory=list)
+    #: per-query wall-clock (seconds)
+    query_seconds: list[float] = field(default_factory=list)
+    #: queries served by each retired version (staleness distribution)
+    queries_per_version: list[int] = field(default_factory=list)
+
+
+@dataclass
+class ServedQuery:
+    """A query answer plus the version that produced it."""
+
+    report: EvaluationReport
+    version: int
+
+    @property
+    def matches(self) -> frozenset[int]:
+        """The dnode result set."""
+        return self.report.matches
+
+
+@dataclass
+class BatchResult:
+    """What one writer flush committed."""
+
+    version: int
+    drained: int
+    applied: int
+    coalesced_away: int
+    seconds: float
+    failed: bool = False
+
+
+class IndexService:
+    """One data graph + structural index, served behind snapshots.
+
+    The service **owns** its graph and maintainer: mutate only through
+    :meth:`submit` / :meth:`flush`.  Construction builds the configured
+    index from the graph's current state and publishes version 0.
+
+    *fault_injector* is threaded into every batch transaction (soak
+    testing); production leaves it ``None``.
+    """
+
+    def __init__(
+        self,
+        graph: DataGraph,
+        config: Optional[ServiceConfig] = None,
+        fault_injector: Optional[FaultInjector] = None,
+    ):
+        self.config = config if config is not None else ServiceConfig()
+        self.graph = graph
+        if self.config.family == "one":
+            index = OneIndex.build(graph)
+            maintainer = SplitMergeMaintainer(index)
+        else:
+            family = AkIndexFamily.build(graph, self.config.k)
+            maintainer = AkSplitMergeMaintainer(family)
+        self.guarded = GuardedMaintainer(maintainer, self.config.guard, fault_injector)
+        self.queue = BoundedQueue(self.config.queue_capacity)
+        self.stats = ServiceStats()
+        self._writer_lock = threading.Lock()  # the single-writer discipline
+        self._queries_this_version = 0
+        self._query_count_lock = threading.Lock()
+        self._closed = False
+        self._writer_thread: Optional[threading.Thread] = None
+        self._writer_stop = threading.Event()
+        self._snapshot = self._capture(version=0)
+        self.stats.versions_published = 1
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+
+    @property
+    def snapshot(self) -> IndexSnapshot:
+        """The currently published version (atomic reference read)."""
+        return self._snapshot
+
+    @property
+    def version(self) -> int:
+        """Version number of the currently published snapshot."""
+        return self._snapshot.version
+
+    def query(self, query: "str | PathExpression | PathNfa") -> ServedQuery:
+        """Answer a path expression from the current snapshot.
+
+        Never blocks on the writer; the answer is exact for the version
+        it names (1-index precision, or A(k) + validation against the
+        snapshot's own frozen graph).
+        """
+        snapshot = self._snapshot  # one atomic grab; evaluate only this
+        started = time.perf_counter()
+        report = snapshot.evaluate(query)
+        elapsed = time.perf_counter() - started
+        obs = current_obs()
+        self.stats.queries += 1
+        self.stats.query_seconds.append(elapsed)
+        with self._query_count_lock:
+            if snapshot.version == self._snapshot.version:
+                self._queries_this_version += 1
+            # else: served a just-retired version; its count was already
+            # rolled into queries_per_version by the publisher
+        obs.add("service.queries")
+        obs.observe("service.query_seconds", elapsed)
+        return ServedQuery(report=report, version=snapshot.version)
+
+    # ------------------------------------------------------------------
+    # Write side
+    # ------------------------------------------------------------------
+
+    def submit(self, update: Update) -> bool:
+        """Enqueue one update under the configured admission policy.
+
+        Returns whether the update was admitted (``shed`` is the only
+        policy that can return ``False``).
+        """
+        if self._closed:
+            raise ServiceClosedError("service is closed")
+        obs = current_obs()
+        while not self.queue.offer(update):
+            policy = self.config.admission
+            if policy == "shed":
+                self.stats.shed += 1
+                obs.add("service.shed")
+                return False
+            if policy == "flush" or self._writer_thread is None:
+                # force-flush — or block with nobody else to drain: the
+                # submitter becomes the writer for one synchronous batch
+                self.stats.forced_flushes += 1
+                obs.add("service.forced_flushes")
+                self.flush()
+            else:
+                self.queue.wait_not_full(timeout=self.config.writer_idle_wait)
+        self.stats.submitted += 1
+        obs.add("service.submitted")
+        obs.set_max("service.queue_peak", len(self.queue))
+        return True
+
+    def submit_nowait(self, update: Update) -> None:
+        """Enqueue or raise :class:`QueueFullError` (no policy applied)."""
+        if self._closed:
+            raise ServiceClosedError("service is closed")
+        if not self.queue.offer(update):
+            raise QueueFullError(self.queue.capacity)
+        self.stats.submitted += 1
+
+    def flush(self) -> Optional[BatchResult]:
+        """Drain, coalesce, apply and publish one batch synchronously.
+
+        Returns ``None`` when the queue was empty.  A batch whose
+        transaction fails terminally (policy ``raise``, or ``retry``
+        exhausted) re-raises after rollback — the published snapshot is
+        untouched either way.
+        """
+        with self._writer_lock:
+            batch = self.queue.drain(self.config.batch_max_ops)
+            if not batch:
+                return None
+            return self._commit(batch)
+
+    def drain(self) -> list[BatchResult]:
+        """Flush until the queue is empty; returns every batch committed."""
+        results = []
+        while True:
+            result = self.flush()
+            if result is None:
+                return results
+            results.append(result)
+
+    def _commit(self, batch: list[Update]) -> BatchResult:
+        """Apply one drained batch and publish the next version."""
+        obs = current_obs()
+        if self.config.coalesce:
+            survivors, pass_stats = coalesce(batch, self.graph)
+            self.stats.coalescing.merge(pass_stats)
+            obs.add("service.coalesced_away", pass_stats.removed)
+        else:
+            survivors = batch
+        started = time.perf_counter()
+        with obs.span(
+            "service.commit", drained=len(batch), applied=len(survivors)
+        ):
+            try:
+                if survivors:
+                    self.guarded.apply_batch([u.as_call() for u in survivors])
+            except Exception:
+                # rolled back: graph/index/snapshot all still consistent,
+                # but the batch's effects are lost — surface that loudly
+                self.stats.batch_failures += 1
+                obs.add("service.batch_failures")
+                raise
+            snapshot = self._capture(version=self._snapshot.version + 1)
+            self._publish(snapshot)
+        elapsed = time.perf_counter() - started
+        self.stats.batches += 1
+        self.stats.applied_ops += len(survivors)
+        self.stats.commit_seconds.append(elapsed)
+        obs.add("service.batches")
+        obs.add("service.applied_ops", len(survivors))
+        obs.observe("service.batch_ops", len(survivors))
+        obs.observe("service.batch_commit_seconds", elapsed)
+        return BatchResult(
+            version=snapshot.version,
+            drained=len(batch),
+            applied=len(survivors),
+            coalesced_away=len(batch) - len(survivors),
+            seconds=elapsed,
+        )
+
+    def _capture(self, version: int) -> IndexSnapshot:
+        """Freeze the live structures into a publishable version."""
+        if self.config.family == "one":
+            return IndexSnapshot.capture(version, self.graph, index=self.guarded.index)
+        return IndexSnapshot.capture(version, self.graph, family=self.guarded.family)
+
+    def _publish(self, snapshot: IndexSnapshot) -> None:
+        """Swap the served version and retire the old one's staleness count."""
+        obs = current_obs()
+        with self._query_count_lock:
+            retired = self._queries_this_version
+            self._queries_this_version = 0
+            self._snapshot = snapshot
+        self.stats.queries_per_version.append(retired)
+        self.stats.versions_published += 1
+        obs.observe("service.queries_per_version", retired)
+        obs.add("service.versions")
+
+    # ------------------------------------------------------------------
+    # Background writer
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the background writer thread (idempotent)."""
+        if self._closed:
+            raise ServiceClosedError("service is closed")
+        if self._writer_thread is not None:
+            return
+        self._writer_stop.clear()
+        self._writer_thread = threading.Thread(
+            target=self._writer_loop, name="repro-index-writer", daemon=True
+        )
+        self._writer_thread.start()
+
+    def stop(self) -> None:
+        """Stop the writer thread and drain whatever is still queued."""
+        thread = self._writer_thread
+        if thread is None:
+            return
+        self._writer_stop.set()
+        thread.join()
+        self._writer_thread = None
+        self.drain()
+
+    def close(self) -> None:
+        """Stop serving: drain outstanding work, reject new submissions."""
+        self.stop()
+        self.drain()
+        self._closed = True
+
+    def _writer_loop(self) -> None:
+        """The background single writer: batch up, commit, repeat."""
+        while not self._writer_stop.is_set():
+            if len(self.queue) == 0:
+                self.queue.wait_not_empty(timeout=self.config.writer_idle_wait)
+                continue
+            self.flush()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def check(self) -> None:
+        """Assert the live graph/index pair is internally consistent.
+
+        Runs the library's full oracles (graph invariants + index
+        support-counter check against from-scratch derivation).  The
+        soak suite calls this after fault-injected runs to prove the
+        service never served from, nor left behind, corrupt state.
+        """
+        self.graph.check_invariants()
+        if self.guarded.index is not None:
+            self.guarded.index.check_invariants()
+        if self.guarded.family is not None:
+            # materialising a level re-derives the partition's iedges and
+            # validates extents against the graph
+            self.guarded.family.level_index(self.config.k).check_invariants()
+
+    def queue_depth(self) -> int:
+        """Updates currently waiting for the writer."""
+        return len(self.queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<IndexService family={self.config.family!r} v{self.version} "
+            f"queued={len(self.queue)} inodes={self._snapshot.num_inodes}>"
+        )

@@ -1,0 +1,259 @@
+"""Immutable published index versions (the read side of the service).
+
+The serving discipline of :class:`~repro.service.service.IndexService`
+is single-writer / multi-reader: queries never touch the live graph or
+the live index the writer is mutating.  Instead, after every committed
+batch the writer *publishes* an :class:`IndexSnapshot` — a frozen copy
+of the index graph (extents, labels, iedges) plus a frozen copy of the
+data graph — and swaps it in atomically (one reference assignment).
+Readers grab the current snapshot reference once per query and evaluate
+entirely against it, so a query sees one consistent version end to end
+no matter how many batches commit underneath it.
+
+Freezing costs O(|G| + |I|) per publish; the batching writer amortises
+that across every operation in the batch, which is one of the two
+reasons batches beat per-update commits (the other is the per-batch
+invariant check — see :meth:`GuardedMaintainer.apply_batch`).
+
+Both frozen views duck-type exactly the surface the evaluators in
+:mod:`repro.query` consume, so ``evaluate_on_graph(snapshot.graph, q)``
+and ``snapshot.evaluate(q)`` run unchanged — the differential serving
+tests lean on that to byte-compare index-served answers against
+from-scratch graph evaluation *of the same version*.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.exceptions import GraphError, StructuralIndexError
+from repro.graph.datagraph import DataGraph
+from repro.index.akindex import AkIndexFamily
+from repro.index.base import StructuralIndex
+from repro.query.automaton import PathNfa
+from repro.query.evaluator import EvaluationReport
+from repro.query.index_evaluator import evaluate_on_ak, evaluate_on_index
+from repro.query.path_expression import PathExpression
+
+
+class FrozenGraph:
+    """A read-only adjacency copy of a :class:`DataGraph` at one version.
+
+    Exposes the evaluation surface (``root`` / ``iter_succ`` /
+    ``iter_pred`` / ``label``) the query engine walks, nothing that
+    mutates.  Adjacency is stored as tuples, so even a caller holding a
+    reference cannot perturb a published version.
+    """
+
+    __slots__ = ("_succ", "_pred", "_label", "_root")
+
+    def __init__(
+        self,
+        succ: dict[int, tuple[int, ...]],
+        pred: dict[int, tuple[int, ...]],
+        label: dict[int, str],
+        root: Optional[int],
+    ):
+        self._succ = succ
+        self._pred = pred
+        self._label = label
+        self._root = root
+
+    @classmethod
+    def capture(cls, graph: DataGraph) -> "FrozenGraph":
+        """Freeze the graph's current nodes, labels and adjacency."""
+        succ = {w: tuple(graph.iter_succ(w)) for w in graph.nodes()}
+        pred = {w: tuple(graph.iter_pred(w)) for w in graph.nodes()}
+        label = {w: graph.label(w) for w in graph.nodes()}
+        root = graph.root if graph.has_root else None
+        return cls(succ, pred, label, root)
+
+    # -- the evaluation surface of DataGraph ---------------------------
+
+    @property
+    def has_root(self) -> bool:
+        """Whether the captured graph had a ROOT node."""
+        return self._root is not None
+
+    @property
+    def root(self) -> int:
+        """The ROOT node's oid."""
+        if self._root is None:
+            raise GraphError("frozen graph has no root")
+        return self._root
+
+    def iter_succ(self, oid: int) -> Iterator[int]:
+        """Successors of *oid* at capture time."""
+        return iter(self._succ[oid])
+
+    def iter_pred(self, oid: int) -> Iterator[int]:
+        """Predecessors of *oid* at capture time."""
+        return iter(self._pred[oid])
+
+    def label(self, oid: int) -> str:
+        """Label of *oid* at capture time."""
+        return self._label[oid]
+
+    def nodes(self) -> Iterator[int]:
+        """Iterate over the captured node ids."""
+        return iter(self._label)
+
+    def has_node(self, oid: int) -> bool:
+        """Whether *oid* existed at capture time."""
+        return oid in self._label
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of captured dnodes."""
+        return len(self._label)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of captured dedges."""
+        return sum(len(targets) for targets in self._succ.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FrozenGraph nodes={self.num_nodes} edges={self.num_edges}>"
+
+
+class FrozenIndex:
+    """A read-only extent/iedge copy of a :class:`StructuralIndex`.
+
+    Duck-types the surface :func:`repro.query.evaluate_on_index` and
+    :func:`repro.query.evaluate_on_ak` consume (``inodes`` / ``label_of``
+    / ``isucc`` / ``extent`` / ``.graph``); the attached graph is the
+    :class:`FrozenGraph` of the same version, so A(k) validation walks
+    the matching data, never the writer's live copy.
+    """
+
+    __slots__ = ("graph", "_extent", "_label", "_isucc")
+
+    def __init__(
+        self,
+        graph: FrozenGraph,
+        extent: dict[int, frozenset[int]],
+        label: dict[int, str],
+        isucc: dict[int, tuple[int, ...]],
+    ):
+        self.graph = graph
+        self._extent = extent
+        self._label = label
+        self._isucc = isucc
+
+    @classmethod
+    def capture(cls, index: StructuralIndex, graph: FrozenGraph) -> "FrozenIndex":
+        """Freeze an index's partition and iedges against *graph*."""
+        extent = {i: frozenset(index.extent(i)) for i in index.inodes()}
+        label = {i: index.label_of(i) for i in index.inodes()}
+        isucc = {i: tuple(index.isucc(i)) for i in index.inodes()}
+        return cls(graph, extent, label, isucc)
+
+    # -- the evaluation surface of StructuralIndex ---------------------
+
+    def inodes(self) -> Iterator[int]:
+        """Iterate over the captured inode ids."""
+        return iter(self._extent)
+
+    def label_of(self, inode: int) -> str:
+        """The label shared by the extent of *inode*."""
+        self._require(inode)
+        return self._label[inode]
+
+    def extent(self, inode: int) -> frozenset[int]:
+        """The captured extent of *inode*."""
+        self._require(inode)
+        return self._extent[inode]
+
+    def isucc(self, inode: int) -> Iterator[int]:
+        """Captured index successors of *inode*."""
+        self._require(inode)
+        return iter(self._isucc[inode])
+
+    @property
+    def num_inodes(self) -> int:
+        """Number of captured inodes."""
+        return len(self._extent)
+
+    def _require(self, inode: int) -> None:
+        if inode not in self._extent:
+            raise StructuralIndexError(f"inode {inode} does not exist")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FrozenIndex inodes={self.num_inodes}>"
+
+
+class IndexSnapshot:
+    """One published, immutable index version.
+
+    ``version`` counts committed batches (version 0 is the freshly built
+    index before any update).  ``kind`` records which family produced it:
+    ``"one"`` evaluates precisely on the index graph alone; ``"ak"``
+    evaluates on the materialised leaf level and validates long or
+    descendant-axis expressions against the snapshot's own frozen data
+    graph (Section 3's validation, version-consistently).
+    """
+
+    __slots__ = ("version", "kind", "k", "graph", "index")
+
+    def __init__(
+        self,
+        version: int,
+        kind: str,
+        k: int,
+        graph: FrozenGraph,
+        index: FrozenIndex,
+    ):
+        if kind not in ("one", "ak"):
+            raise ValueError(f"unknown snapshot kind {kind!r}")
+        self.version = version
+        self.kind = kind
+        self.k = k
+        self.graph = graph
+        self.index = index
+
+    @classmethod
+    def capture(
+        cls,
+        version: int,
+        graph: DataGraph,
+        index: Optional[StructuralIndex] = None,
+        family: Optional[AkIndexFamily] = None,
+    ) -> "IndexSnapshot":
+        """Freeze the writer's live structures into one version.
+
+        Exactly one of *index* (1-index service) and *family* (A(k)
+        service, materialised at its leaf level) must be given.
+        """
+        if (index is None) == (family is None):
+            raise ValueError("capture needs exactly one of index= or family=")
+        frozen_graph = FrozenGraph.capture(graph)
+        if index is not None:
+            return cls(
+                version, "one", 0, frozen_graph, FrozenIndex.capture(index, frozen_graph)
+            )
+        leaf = family.level_index(family.k)
+        return cls(
+            version, "ak", family.k, frozen_graph, FrozenIndex.capture(leaf, frozen_graph)
+        )
+
+    def evaluate(self, query: "str | PathExpression | PathNfa") -> EvaluationReport:
+        """Answer a path expression from this version, exactly.
+
+        1-index snapshots are precise by construction; A(k) snapshots
+        run the validation pass when the expression needs it, against
+        this snapshot's frozen graph.
+        """
+        if self.kind == "one":
+            return evaluate_on_index(self.index, query)
+        return evaluate_on_ak(self.index, self.k, query)
+
+    @property
+    def num_inodes(self) -> int:
+        """Index size of this version."""
+        return self.index.num_inodes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<IndexSnapshot v{self.version} kind={self.kind!r} "
+            f"inodes={self.num_inodes} nodes={self.graph.num_nodes}>"
+        )

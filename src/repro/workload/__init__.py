@@ -9,6 +9,8 @@ from repro.workload.random_graphs import (
     random_tree,
     worst_case_gadget,
 )
+from repro.workload.queries import QueryWorkload
+from repro.workload.sessions import ClosedLoopDriver, DriverReport, SessionMix
 from repro.workload.updates import (
     ExtractedSubgraph,
     MixedUpdateWorkload,
@@ -34,6 +36,10 @@ __all__ = [
     "WorstCaseGadget",
     "worst_case_gadget",
     "MixedUpdateWorkload",
+    "QueryWorkload",
+    "ClosedLoopDriver",
+    "SessionMix",
+    "DriverReport",
     "ExtractedSubgraph",
     "extract_subgraphs",
     "remove_subgraph_raw",

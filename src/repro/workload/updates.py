@@ -21,7 +21,12 @@ import random
 from dataclasses import dataclass, field
 from typing import Iterator, Literal
 
-from repro.exceptions import DuplicateEdgeError, EdgeNotFoundError, GraphError
+from repro.exceptions import (
+    DuplicateEdgeError,
+    EdgeNotFoundError,
+    GraphError,
+    WorkloadExhaustedError,
+)
 from repro.graph.datagraph import DataGraph, EdgeKind
 
 Operation = tuple[Literal["insert", "delete"], int, int]
@@ -88,11 +93,21 @@ class MixedUpdateWorkload:
         the workload boundary instead of corrupting state deep inside a
         maintainer.  Leave it off for dry iteration (materialising the
         sequence without applying it), where the graph never advances.
+
+        Asking for more pairs than the pool can supply raises
+        :class:`~repro.exceptions.WorkloadExhaustedError` (with the
+        prepared and requested counts) at the step where the sequence
+        would otherwise silently truncate — a run sized larger than its
+        workload is a configuration error, not a shorter run.
         """
         step = 0
-        for _ in range(num_pairs):
+        for pair in range(num_pairs):
             if not self.pool:
-                break
+                raise WorkloadExhaustedError(
+                    requested_pairs=num_pairs,
+                    supplied_pairs=pair,
+                    prepared=self.remaining_pairs(),
+                )
             index = self.rng.randrange(len(self.pool))
             edge = self.pool.pop(index)
             if validate and self.graph.has_edge(*edge):
@@ -101,7 +116,11 @@ class MixedUpdateWorkload:
             yield ("insert", edge[0], edge[1])
             step += 1
             if not self.in_graph:
-                break
+                raise WorkloadExhaustedError(
+                    requested_pairs=num_pairs,
+                    supplied_pairs=pair,
+                    prepared=self.remaining_pairs(),
+                )
             index = self.rng.randrange(len(self.in_graph))
             edge = self.in_graph.pop(index)
             if validate and not self.graph.has_edge(*edge):

@@ -56,3 +56,66 @@ class TestStep:
         nfa = compile_path(parse_path("/a"))
         accepting = nfa.step(frozenset({0}), "a")
         assert nfa.step(accepting, "a") == frozenset()
+
+
+class TestPathCache:
+    """The bounded LRU over text -> compiled NFA (as_nfa)."""
+
+    def setup_method(self):
+        from repro.query.automaton import clear_path_cache
+
+        clear_path_cache()
+
+    def test_string_compilation_is_cached(self):
+        from repro.query.automaton import as_nfa, path_cache_info
+
+        first = as_nfa("/a/b")
+        again = as_nfa("/a/b")
+        assert first is again  # same cached automaton object
+        info = path_cache_info()
+        assert info.hits == 1 and info.misses == 1
+
+    def test_cached_nfa_equals_fresh_compilation(self):
+        from repro.query.automaton import as_nfa
+
+        for text in ("/a/b", "//c", "/a//b", "/*"):
+            cached = as_nfa(text)
+            fresh = compile_path(parse_path(text))
+            assert cached.start == fresh.start
+            assert cached.accept == fresh.accept
+            assert cached.loops == fresh.loops
+
+    def test_non_string_inputs_bypass_the_cache(self):
+        from repro.query.automaton import as_nfa, path_cache_info
+
+        expression = parse_path("/a/b")
+        nfa = as_nfa(expression)
+        assert as_nfa(nfa) is nfa  # PathNfa passthrough
+        info = path_cache_info()
+        assert info.hits == 0 and info.misses == 0
+
+    def test_clear_resets_counters(self):
+        from repro.query.automaton import as_nfa, clear_path_cache, path_cache_info
+
+        as_nfa("/a")
+        as_nfa("/a")
+        clear_path_cache()
+        info = path_cache_info()
+        assert info.hits == 0 and info.misses == 0 and info.currsize == 0
+
+    def test_cache_is_bounded(self):
+        from repro.query.automaton import PATH_CACHE_SIZE, as_nfa, path_cache_info
+
+        for i in range(PATH_CACHE_SIZE + 10):
+            as_nfa(f"/label{i}")
+        assert path_cache_info().currsize == PATH_CACHE_SIZE
+
+    def test_syntax_errors_are_not_cached(self):
+        import pytest
+
+        from repro.exceptions import PathSyntaxError
+        from repro.query.automaton import as_nfa, path_cache_info
+
+        with pytest.raises(PathSyntaxError):
+            as_nfa("///")
+        assert path_cache_info().currsize == 0

@@ -1,0 +1,96 @@
+"""Unit tests for immutable published versions (repro.service.snapshot)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError, StructuralIndexError
+from repro.graph.datagraph import DataGraph, EdgeKind
+from repro.index.akindex import AkIndexFamily
+from repro.index.oneindex import OneIndex
+from repro.query.evaluator import evaluate_on_graph
+from repro.service.snapshot import FrozenGraph, FrozenIndex, IndexSnapshot
+
+
+class TestFrozenGraph:
+    def test_capture_matches_live_graph(self, xmark_graph):
+        frozen = FrozenGraph.capture(xmark_graph)
+        assert frozen.num_nodes == xmark_graph.num_nodes
+        assert frozen.num_edges == xmark_graph.num_edges
+        assert frozen.root == xmark_graph.root
+        for oid in xmark_graph.nodes():
+            assert frozen.label(oid) == xmark_graph.label(oid)
+            assert set(frozen.iter_succ(oid)) == set(xmark_graph.iter_succ(oid))
+            assert set(frozen.iter_pred(oid)) == set(xmark_graph.iter_pred(oid))
+
+    def test_capture_is_isolated_from_later_mutation(self, tiny_graph):
+        frozen = FrozenGraph.capture(tiny_graph)
+        (b,) = tiny_graph.nodes_with_label("b")
+        (c,) = tiny_graph.nodes_with_label("c")
+        before = set(frozen.iter_succ(b))
+        tiny_graph.add_edge(b, c, EdgeKind.IDREF)
+        tiny_graph.add_node("d")
+        assert set(frozen.iter_succ(b)) == before
+        assert frozen.num_nodes == tiny_graph.num_nodes - 1
+
+    def test_rootless_graph(self):
+        graph = DataGraph()
+        graph.add_node("orphan")
+        frozen = FrozenGraph.capture(graph)
+        assert not frozen.has_root
+        with pytest.raises(GraphError):
+            frozen.root
+
+    def test_evaluation_agrees_with_live_graph(self, xmark_graph):
+        frozen = FrozenGraph.capture(xmark_graph)
+        for expression in ("//person", "/site/people/person/name", "//item//name"):
+            live = evaluate_on_graph(xmark_graph, expression).matches
+            assert evaluate_on_graph(frozen, expression).matches == live
+
+
+class TestFrozenIndex:
+    def test_capture_matches_live_index(self, xmark_graph):
+        index = OneIndex.build(xmark_graph)
+        frozen = FrozenIndex.capture(index, FrozenGraph.capture(xmark_graph))
+        assert frozen.num_inodes == index.num_inodes
+        for inode in index.inodes():
+            assert frozen.label_of(inode) == index.label_of(inode)
+            assert frozen.extent(inode) == frozenset(index.extent(inode))
+            assert set(frozen.isucc(inode)) == set(index.isucc(inode))
+
+    def test_unknown_inode_raises(self, tiny_graph):
+        index = OneIndex.build(tiny_graph)
+        frozen = FrozenIndex.capture(index, FrozenGraph.capture(tiny_graph))
+        with pytest.raises(StructuralIndexError):
+            frozen.extent(10_000)
+
+
+class TestIndexSnapshot:
+    def test_capture_needs_exactly_one_source(self, tiny_graph):
+        index = OneIndex.build(tiny_graph)
+        family = AkIndexFamily.build(tiny_graph, 2)
+        with pytest.raises(ValueError):
+            IndexSnapshot.capture(0, tiny_graph)
+        with pytest.raises(ValueError):
+            IndexSnapshot.capture(0, tiny_graph, index=index, family=family)
+
+    def test_rejects_unknown_kind(self, tiny_graph):
+        frozen = FrozenGraph.capture(tiny_graph)
+        index = FrozenIndex.capture(OneIndex.build(tiny_graph), frozen)
+        with pytest.raises(ValueError):
+            IndexSnapshot(0, "two", 0, frozen, index)
+
+    @pytest.mark.parametrize("kind", ["one", "ak"])
+    def test_evaluate_agrees_with_graph_evaluation(self, xmark_graph, kind):
+        if kind == "one":
+            snapshot = IndexSnapshot.capture(
+                0, xmark_graph, index=OneIndex.build(xmark_graph)
+            )
+        else:
+            snapshot = IndexSnapshot.capture(
+                0, xmark_graph, family=AkIndexFamily.build(xmark_graph, 2)
+            )
+        assert snapshot.kind == kind and snapshot.version == 0
+        for expression in ("//person", "/site/people/person", "//open_auction//person"):
+            expected = evaluate_on_graph(xmark_graph, expression).matches
+            assert snapshot.evaluate(expression).matches == expected

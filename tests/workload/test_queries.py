@@ -1,0 +1,81 @@
+"""Unit tests for the seeded query workload (repro.workload.queries)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.datagraph import DataGraph
+from repro.query.evaluator import evaluate_on_graph
+from repro.query.path_expression import parse_path
+from repro.workload.queries import QueryWorkload
+from repro.workload.xmark import XMarkConfig, generate_xmark
+
+CONFIG = XMarkConfig(
+    num_items=30, num_persons=40, num_open_auctions=25,
+    num_closed_auctions=15, num_categories=8,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generate_xmark(CONFIG).graph
+
+
+class TestGenerate:
+    def test_pool_size_and_parseability(self, graph):
+        workload = QueryWorkload.generate(graph, count=30, seed=5)
+        assert len(workload) == 30
+        for expression in workload:
+            parse_path(expression)  # every expression is syntactically valid
+
+    def test_deterministic_for_a_seed(self, graph):
+        a = QueryWorkload.generate(graph, count=25, seed=9)
+        b = QueryWorkload.generate(graph, count=25, seed=9)
+        assert a.expressions == b.expressions
+        assert [a.sample() for _ in range(10)] == [b.sample() for _ in range(10)]
+
+    def test_different_seeds_differ(self, graph):
+        a = QueryWorkload.generate(graph, count=25, seed=1)
+        b = QueryWorkload.generate(graph, count=25, seed=2)
+        assert a.expressions != b.expressions
+
+    def test_child_only_expressions_are_live_paths(self, graph):
+        # walks follow real edges, so child-only expressions must match
+        workload = QueryWorkload.generate(
+            graph, count=20, seed=3, descendant_fraction=0.0
+        )
+        for expression in workload:
+            assert "//" not in expression
+            assert evaluate_on_graph(graph, expression).matches
+
+    def test_descendant_fraction_produces_descendant_axes(self, graph):
+        workload = QueryWorkload.generate(
+            graph, count=40, seed=7, descendant_fraction=1.0, max_depth=4
+        )
+        assert any("//" in expression for expression in workload)
+
+    def test_rejects_rootless_graph(self):
+        orphan = DataGraph()
+        orphan.add_node("x")
+        with pytest.raises(GraphError):
+            QueryWorkload.generate(orphan)
+
+    def test_rejects_non_positive_count(self, graph):
+        with pytest.raises(ValueError):
+            QueryWorkload.generate(graph, count=0)
+
+
+class TestAnswerableByAk:
+    def test_filters_to_short_child_only(self, graph):
+        workload = QueryWorkload.generate(graph, count=40, seed=11, max_depth=5)
+        exact = workload.answerable_by_ak(2)
+        assert exact  # short child-only paths exist in any mixed pool
+        for expression in exact:
+            assert "//" not in expression
+            assert expression.count("/") <= 2
+
+    def test_sampling_stays_inside_the_pool(self, graph):
+        workload = QueryWorkload.generate(graph, count=15, seed=13)
+        pool = set(workload.expressions)
+        assert all(workload.sample() in pool for _ in range(50))

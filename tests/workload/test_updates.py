@@ -141,6 +141,56 @@ class TestBoundaryValidation:
         assert len(list(workload.steps(25))) == 50
 
 
+class TestExhaustion:
+    """steps() raises instead of silently truncating the sequence."""
+
+    def test_empty_pool_raises_with_counts(self):
+        import random
+
+        from repro.exceptions import WorkloadExhaustedError
+
+        dataset = generate_xmark(CONFIG)
+        workload = MixedUpdateWorkload(
+            graph=dataset.graph, rng=random.Random(0), pool=[], in_graph=[(1, 2)]
+        )
+        with pytest.raises(WorkloadExhaustedError) as excinfo:
+            list(workload.steps(3))
+        error = excinfo.value
+        assert error.requested_pairs == 3
+        assert error.supplied_pairs == 0
+        assert error.prepared == 0
+        assert "0 of 3" in str(error)
+
+    def test_raises_mid_sequence_after_pool_drains(self):
+        import random
+
+        from repro.exceptions import WorkloadExhaustedError
+
+        dataset = generate_xmark(CONFIG)
+        graph = dataset.graph
+        workload = MixedUpdateWorkload.prepare(graph, seed=3)
+        # drain the pool from under the generator: the very next pair
+        # start must fail loudly, reporting the pairs already supplied
+        ops = workload.steps(5)
+        next(ops)  # insert of pair 0
+        next(ops)  # delete of pair 0
+        workload.pool.clear()
+        with pytest.raises(WorkloadExhaustedError) as excinfo:
+            next(ops)
+        assert excinfo.value.supplied_pairs == 1
+        assert excinfo.value.requested_pairs == 5
+
+    def test_prepared_pool_never_exhausts_naturally(self):
+        # each completed pair returns one edge to the pool, so a prepared
+        # workload supplies arbitrarily many pairs — guaranteed by the
+        # pool-size invariant the exhaustion error protects
+        dataset = generate_xmark(CONFIG)
+        workload = MixedUpdateWorkload.prepare(dataset.graph, seed=5)
+        pool_size = len(workload.pool)
+        assert len(list(workload.steps(3 * pool_size))) == 6 * pool_size
+        assert len(workload.pool) == pool_size
+
+
 class TestSubgraphExtraction:
     def test_extracts_disjoint_auction_subtrees(self):
         dataset = generate_xmark(CONFIG)
