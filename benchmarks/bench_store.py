@@ -1,0 +1,96 @@
+"""Durable-store benchmark: fsync policies and recovery vs rebuild.
+
+Runs the two ``repro.experiments.bench_store`` A/Bs at the session's
+scale, asserting the qualitative claims DESIGN.md §7 makes:
+
+* fsync policy only changes *when* the log reaches the platter, never
+  what is in it: the three policies write byte-identical WALs, and
+  ``always`` is the only one paying one fsync per commit;
+* recovering a crashed store from checkpoint + log lands on exactly the
+  graph the rebuild baseline derives, and does so faster — checkpoint
+  parsing plus localised split/merge replay beats global partition
+  refinement.
+
+Also runnable directly for CI smoke::
+
+    PYTHONPATH=src python benchmarks/bench_store.py --smoke
+
+which executes both A/Bs at smoke scale inside a :mod:`repro.obs`
+observer, prints the summary table (``store.*`` and ``bench.store.*``
+metrics), and fails if recovery does not beat the rebuild baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import bench_store
+
+
+def test_fsync_policy_ab(run_once, benchmark, scale):
+    measurements = run_once(lambda: bench_store.run_fsync_ab(scale))
+    print()
+    by_policy = {m.policy: m for m in measurements}
+    assert set(by_policy) == {"off", "batch", "always"}
+    commits = {m.commits for m in measurements}
+    assert len(commits) == 1, "same workload must commit the same batches"
+    # identical log content, different sync cadence
+    assert len({m.wal_bytes for m in measurements}) == 1
+    assert by_policy["off"].fsyncs == 0
+    assert by_policy["always"].fsyncs == by_policy["always"].commits
+    assert 0 < by_policy["batch"].fsyncs or by_policy["batch"].commits < 8
+    for m in measurements:
+        benchmark.extra_info[f"fsync_{m.policy}_s"] = round(m.seconds, 3)
+
+
+def test_recovery_beats_rebuild(run_once, benchmark, scale):
+    measurements = run_once(
+        lambda: [bench_store.run_recovery_ab(scale, family) for family in ("one", "ak")]
+    )
+    print()
+    for m in measurements:
+        # both arms replayed the same tail onto the same checkpoint
+        assert m.states_match, f"{m.family}: recovered graph != rebuilt graph"
+        assert m.replayed_records > 0, "the crashed store must leave a tail"
+        benchmark.extra_info[f"{m.family}_speedup"] = round(m.speedup, 1)
+    by_family = {m.family: m for m in measurements}
+    # the acceptance bar: checkpoint + log measurably faster than
+    # reconstruction (1-index; the A(k) family build is cheaper, so its
+    # margin is thinner and only the ordering is asserted)
+    assert by_family["one"].recover_seconds < by_family["one"].rebuild_seconds
+    assert by_family["ak"].recover_seconds < 2 * by_family["ak"].rebuild_seconds
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CI entry point: run both store A/Bs, print obs summary, gate."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run at smoke scale (seconds); default is small scale",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.experiments import scale_by_name
+    from repro.obs import SummarySink, observed
+
+    scale = scale_by_name("smoke" if args.smoke else "small")
+    with observed(SummarySink(sys.stdout)) as obs:
+        with obs.span("bench.store", scale=scale.name):
+            result = bench_store.run(scale)
+            print(bench_store.report(result))
+    failed = False
+    for m in result.recovery:
+        if not m.states_match:
+            print(f"FAIL: {m.family} recovered state differs from rebuild")
+            failed = True
+    one = next(m for m in result.recovery if m.family == "one")
+    if not one.recover_seconds < one.rebuild_seconds:
+        print("FAIL: checkpoint+log recovery not faster than rebuild (1-index)")
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

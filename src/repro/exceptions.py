@@ -131,6 +131,36 @@ class RollbackError(ResilienceError):
     """
 
 
+class StoreError(ReproError):
+    """Base class for the durable persistence layer (``repro.store``)."""
+
+
+class WalCorruptionError(StoreError):
+    """A write-ahead-log segment is corrupt beyond torn-tail repair.
+
+    A torn *tail* (a crash mid-append) is expected and silently truncated
+    by the reader; this error means a record **before** the tail failed
+    its CRC or LSN check — i.e. the log was damaged after it was written,
+    which replay must not paper over.
+    """
+
+    def __init__(self, segment: str, offset: int, reason: str):
+        super().__init__(
+            f"WAL segment {segment!r} corrupt at byte {offset}: {reason}"
+        )
+        self.segment = segment
+        self.offset = offset
+        self.reason = reason
+
+
+class CheckpointError(StoreError):
+    """A checkpoint file is malformed, truncated, or from a future format."""
+
+
+class RecoveryError(StoreError):
+    """A store directory could not be recovered into a consistent state."""
+
+
 class WorkloadError(ReproError):
     """A workload generator was driven outside its prepared envelope."""
 

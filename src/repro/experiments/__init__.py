@@ -13,11 +13,14 @@ or programmatically::
 from repro.experiments import (
     ablation_worstcase,
     bench_serve,
+    bench_store,
     fig09_imdb_quality,
     fig10_xmark_quality,
     fig11_running_times,
     fig12_subgraph,
     fig13_ak_quality,
+    persist,
+    recover,
     serve,
     tab1_reconstruction_frequency,
     tab2_ak_times,
@@ -38,6 +41,9 @@ EXPERIMENTS = {
     "ablation": ablation_worstcase,
     "serve": serve,
     "bench-serve": bench_serve,
+    "persist": persist,
+    "recover": recover,
+    "bench-store": bench_store,
 }
 
 __all__ = [

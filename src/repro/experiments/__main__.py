@@ -72,6 +72,13 @@ def main(argv: list[str] | None = None) -> int:
         help="enable repro.obs and print a per-span/counter summary at the end",
     )
     parser.add_argument(
+        "--store-dir",
+        metavar="DIR",
+        default=None,
+        help="directory for the durable-store experiments (persist writes a "
+        "store there; recover reopens it); default: a temporary directory",
+    )
+    parser.add_argument(
         "--guard",
         action="store_true",
         help="run maintainers inside transactions (repro.resilience) so every "
@@ -100,6 +107,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"unknown experiment(s) {unknown}; choose from {list(EXPERIMENTS)}")
 
     scale = scale_by_name(args.scale)
+    if args.store_dir:
+        scale = replace(scale, store_dir=args.store_dir)
     if args.guard:
         scale = replace(
             scale,

@@ -1,0 +1,240 @@
+"""``bench-store``: targeted A/B measurements of the durable store.
+
+Two claims get numbers here:
+
+1. **fsync policy is the durability/throughput dial.**  The same
+   fig-11 workload is committed durably three times, identical except
+   for :class:`~repro.store.StoreConfig`'s ``fsync`` policy: ``always``
+   (one fsync per commit — group-commit durability), ``batch`` (one per
+   ``sync_every`` commits) and ``off`` (page-cache only).  The experiment
+   reports wall-clock and fsync counts per policy; the log contents are
+   byte-identical across the three.
+
+2. **Checkpoint + log beats rebuild.**  A crashed store (checkpoint at
+   ~90 % of the run, unreplayed tail) is recovered two ways over the
+   same bytes: (A) :func:`repro.store.recover` — checkpoint load + tail
+   replay through the maintainer; (B) the reconstruction baseline the
+   paper's Table 1 prices — load the checkpoint's *graph*, re-apply the
+   tail to the graph alone (:func:`repro.store.apply_ops_raw`), then
+   ``build`` the index from scratch.  Both paths end on the same graph;
+   (A) must win, because it replaces global partition refinement with a
+   checkpoint parse plus localised split/merge work.  Invariant
+   post-checks are skipped in both arms (timed elsewhere) so the A/B
+   isolates recovery itself.
+
+All numbers are recorded through :mod:`repro.obs` (``bench.store.*``),
+so ``--trace-summary`` shows them next to the ``store.*`` counters.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass
+
+from repro.experiments.config import ExperimentScale
+from repro.experiments.recover import CHECKPOINT_AT, make_crashed_store, pairs_for
+from repro.experiments.reporting import format_table
+from repro.graph.datagraph import EdgeKind
+from repro.graph.serialize import graph_from_dict, graph_to_dict
+from repro.index.akindex import AkIndexFamily
+from repro.index.oneindex import OneIndex
+from repro.obs import current as current_obs
+from repro.resilience.wire import batch_from_wire
+from repro.service import ServiceConfig, Update
+from repro.store import (
+    DurableIndexService,
+    StoreConfig,
+    apply_ops_raw,
+    latest_checkpoint,
+    read_records,
+    recover,
+)
+from repro.workload.updates import MixedUpdateWorkload
+from repro.workload.xmark import generate_xmark
+
+
+@dataclass
+class FsyncMeasurement:
+    """One fsync policy's durable commit run."""
+
+    policy: str
+    commits: int
+    seconds: float
+    fsyncs: int
+    wal_bytes: int
+
+
+@dataclass
+class RecoveryMeasurement:
+    """The recovery-vs-rebuild A/B for one family."""
+
+    family: str
+    replayed_records: int
+    replayed_ops: int
+    recover_seconds: float
+    rebuild_seconds: float
+    states_match: bool
+
+    @property
+    def speedup(self) -> float:
+        """Rebuild / recover wall-clock."""
+        if self.recover_seconds <= 0:
+            return float("inf")
+        return self.rebuild_seconds / self.recover_seconds
+
+
+@dataclass
+class BenchStoreResult:
+    """Both A/Bs at one scale."""
+
+    fsync: list[FsyncMeasurement]
+    recovery: list[RecoveryMeasurement]
+
+
+def run_fsync_ab(
+    scale: ExperimentScale, batch_max_ops: int = 8, seed: int = 53
+) -> list[FsyncMeasurement]:
+    """Commit the same workload under each fsync policy."""
+    obs = current_obs()
+    measurements = []
+    for policy in ("off", "batch", "always"):
+        graph = generate_xmark(scale.xmark).graph
+        updates = MixedUpdateWorkload.prepare(graph, seed=seed)
+        directory = tempfile.mkdtemp(prefix=f"repro-bench-fsync-{policy}-")
+        try:
+            service = DurableIndexService(
+                graph,
+                directory,
+                config=ServiceConfig(batch_max_ops=batch_max_ops, queue_capacity=0),
+                store_config=StoreConfig(fsync=policy, checkpoint_every_records=0),
+            )
+            operations = list(updates.steps(pairs_for(scale)))
+            started = time.perf_counter()
+            for op, source, target in operations:
+                if op == "insert":
+                    service.submit_nowait(
+                        Update.insert_edge(source, target, EdgeKind.IDREF)
+                    )
+                else:
+                    service.submit_nowait(Update.delete_edge(source, target))
+                if service.queue_depth() >= batch_max_ops:
+                    service.flush()
+            service.drain()
+            seconds = time.perf_counter() - started
+            measurements.append(
+                FsyncMeasurement(
+                    policy=policy,
+                    commits=service.stats.batches,
+                    seconds=seconds,
+                    fsyncs=service.wal.fsyncs_performed,
+                    wal_bytes=service.wal.appended_bytes,
+                )
+            )
+            service.close(checkpoint=False)
+            obs.observe(f"bench.store.fsync_{policy}_seconds", seconds)
+        finally:
+            shutil.rmtree(directory, ignore_errors=True)
+    return measurements
+
+
+def _fingerprint_graph(graph) -> str:
+    return json.dumps(graph_to_dict(graph), sort_keys=True)
+
+
+def run_recovery_ab(
+    scale: ExperimentScale, family: str = "one", seed: int = 53
+) -> RecoveryMeasurement:
+    """Recover a crashed store via checkpoint+log, and via rebuild."""
+    obs = current_obs()
+    directory = tempfile.mkdtemp(prefix="repro-bench-recover-")
+    try:
+        make_crashed_store(scale, family, directory, seed=seed)
+
+        # A: checkpoint load + tail replay through the maintainer
+        started = time.perf_counter()
+        recovered = recover(directory, check_level="")
+        recover_seconds = time.perf_counter() - started
+
+        # B: reconstruction baseline — checkpoint graph, raw tail, build
+        started = time.perf_counter()
+        ckpt = latest_checkpoint(directory)
+        graph = graph_from_dict(ckpt.graph_dict)
+        for record in read_records(directory):
+            if record.lsn <= ckpt.wal_lsn:
+                continue
+            apply_ops_raw(graph, batch_from_wire(record.ops))
+        if family == "one":
+            OneIndex.build(graph)
+        else:
+            AkIndexFamily.build(graph, min(scale.ks))
+        rebuild_seconds = time.perf_counter() - started
+
+        measurement = RecoveryMeasurement(
+            family=family,
+            replayed_records=recovered.replayed_records,
+            replayed_ops=recovered.replayed_ops,
+            recover_seconds=recover_seconds,
+            rebuild_seconds=rebuild_seconds,
+            states_match=_fingerprint_graph(recovered.graph)
+            == _fingerprint_graph(graph),
+        )
+        obs.observe("bench.store.recover_seconds", recover_seconds)
+        obs.observe("bench.store.rebuild_seconds", rebuild_seconds)
+        return measurement
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+
+def run(scale: ExperimentScale) -> BenchStoreResult:
+    """Run both A/Bs at the given scale."""
+    return BenchStoreResult(
+        fsync=run_fsync_ab(scale),
+        recovery=[run_recovery_ab(scale, family) for family in ("one", "ak")],
+    )
+
+
+def report(result: BenchStoreResult) -> str:
+    """Render both A/B tables."""
+    baseline = next(m for m in result.fsync if m.policy == "off")
+    fsync_table = format_table(
+        ["fsync policy", "commits", "fsyncs", "wal KiB", "seconds", "vs off"],
+        [
+            [
+                m.policy,
+                m.commits,
+                m.fsyncs,
+                f"{m.wal_bytes / 1024:.1f}",
+                f"{m.seconds:.3f}",
+                f"{m.seconds / baseline.seconds:.2f}x" if baseline.seconds > 0 else "-",
+            ]
+            for m in result.fsync
+        ],
+    )
+    recovery_table = format_table(
+        ["family", "replayed recs/ops", "recover ms", "rebuild ms", "speedup", "match"],
+        [
+            [
+                m.family,
+                f"{m.replayed_records}/{m.replayed_ops}",
+                f"{m.recover_seconds * 1000:.1f}",
+                f"{m.rebuild_seconds * 1000:.1f}",
+                f"{m.speedup:.1f}x",
+                "yes" if m.states_match else "NO",
+            ]
+            for m in result.recovery
+        ],
+    )
+    note = (
+        f"recovery A/B: crashed store, checkpoint at {CHECKPOINT_AT:.0%} of the "
+        "workload; rebuild = checkpoint graph + raw tail + from-scratch build"
+    )
+    return f"{fsync_table}\n\n{recovery_table}\n\n{note}"
+
+
+def main(scale: ExperimentScale) -> str:
+    """CLI entry point."""
+    return report(run(scale))

@@ -49,6 +49,9 @@ class ExperimentScale:
     #: run maintainers under a transactional guard (``--guard`` on the
     #: CLI); ``None`` = unguarded, the paper's configuration
     guard: Optional[GuardConfig] = None
+    #: directory for the durable-store experiments (``--store-dir`` on
+    #: the CLI); ``None`` = a throwaway temporary directory per run
+    store_dir: Optional[str] = None
 
     def xmark_at(self, cyclicity: float) -> XMarkConfig:
         """The scale's XMark config with the given cyclicity."""

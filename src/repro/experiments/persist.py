@@ -1,0 +1,171 @@
+"""``persist``: the serve workload committed through a durable store.
+
+Not a paper figure — durability is this reproduction's extension toward
+operating the maintained index as a system — but it follows the
+experiment protocol: one XMark dataset at the chosen scale, the Section
+7 mixed IDREF workload, committed through a
+:class:`~repro.store.DurableIndexService` so every batch is logged
+before it is published and checkpoints fire on their cadence.
+
+Reported per family (1-index and A(k)): commits, WAL records/bytes,
+fsyncs, checkpoints written, on-disk store size, and the final version.
+With ``--store-dir`` the store survives the run (one subdirectory per
+family) and ``recover`` can reopen it; without, it lives in a temporary
+directory that is deleted at the end.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+
+from repro.experiments.config import ExperimentScale
+from repro.experiments.reporting import format_table
+from repro.graph.datagraph import EdgeKind
+from repro.service import IndexService, ServiceConfig, Update
+from repro.store import DurableIndexService, StoreConfig
+from repro.workload.updates import MixedUpdateWorkload
+from repro.workload.xmark import generate_xmark
+
+#: checkpoint cadence of the persist run (commits between checkpoints)
+CHECKPOINT_EVERY = 16
+
+
+@dataclass
+class FamilyPersistStats:
+    """What one family's durable run wrote."""
+
+    store_dir: str
+    commits: int
+    wal_records: int
+    wal_bytes: int
+    fsyncs: int
+    checkpoints: int
+    store_bytes: int
+    version: int
+
+
+@dataclass
+class PersistResult:
+    """Per-family durable-run statistics (plus where the stores live)."""
+
+    stats: dict[str, FamilyPersistStats] = field(default_factory=dict)
+    kept: bool = False  # store dirs survive the run (--store-dir given)
+
+
+def pairs_for(scale: ExperimentScale) -> int:
+    """Insert/delete pairs committed durably (slice of the fig-11 budget)."""
+    return max(16, scale.pairs_1index // 2)
+
+
+def store_bytes(directory: str) -> int:
+    """Total size of every file in the store directory."""
+    return sum(
+        os.path.getsize(os.path.join(directory, name))
+        for name in os.listdir(directory)
+    )
+
+
+def run(
+    scale: ExperimentScale,
+    store_config: StoreConfig | None = None,
+    batch_max_ops: int = 8,
+    seed: int = 53,
+) -> PersistResult:
+    """Commit the mixed workload durably, one store per family."""
+    result = PersistResult(kept=scale.store_dir is not None)
+    base_dir = scale.store_dir or tempfile.mkdtemp(prefix="repro-persist-")
+    config = store_config or StoreConfig(checkpoint_every_records=CHECKPOINT_EVERY)
+    try:
+        for family in ("one", "ak"):
+            graph = generate_xmark(scale.xmark).graph
+            updates = MixedUpdateWorkload.prepare(graph, seed=seed)
+            family_dir = os.path.join(base_dir, family)
+            os.makedirs(family_dir, exist_ok=True)
+            service = DurableIndexService(
+                graph,
+                family_dir,
+                config=ServiceConfig(
+                    family=family,
+                    k=min(scale.ks),
+                    batch_max_ops=batch_max_ops,
+                    queue_capacity=0,
+                ),
+                store_config=config,
+            )
+            for op, source, target in updates.steps(pairs_for(scale)):
+                if op == "insert":
+                    service.submit_nowait(Update.insert_edge(source, target, EdgeKind.IDREF))
+                else:
+                    service.submit_nowait(Update.delete_edge(source, target))
+                if service.queue_depth() >= batch_max_ops:
+                    service.flush()
+            service.drain()
+            service.close()  # final checkpoint: recover is a pure load
+            result.stats[family] = FamilyPersistStats(
+                store_dir=family_dir,
+                commits=service.stats.batches,
+                wal_records=service.wal.appended_records,
+                wal_bytes=service.wal.appended_bytes,
+                fsyncs=service.wal.fsyncs_performed,
+                checkpoints=service.checkpointer.checkpoints_written,
+                store_bytes=store_bytes(family_dir),
+                version=service.version,
+            )
+    finally:
+        if not result.kept:
+            shutil.rmtree(base_dir, ignore_errors=True)
+    return result
+
+
+def verify_roundtrip(result: PersistResult) -> dict[str, int]:
+    """Recover every kept store and return the recovered versions.
+
+    Only meaningful when the run kept its stores (``--store-dir``).
+    """
+    versions: dict[str, int] = {}
+    for family, stats in result.stats.items():
+        service = IndexService.recover(stats.store_dir)
+        versions[family] = service.version
+        service.close(checkpoint=False)
+    return versions
+
+
+def report(result: PersistResult) -> str:
+    """Render the persist table."""
+    headers = [
+        "family",
+        "commits",
+        "wal records",
+        "wal KiB",
+        "fsyncs",
+        "checkpoints",
+        "store KiB",
+        "version",
+    ]
+    rows = []
+    for family, stats in result.stats.items():
+        rows.append(
+            [
+                family,
+                stats.commits,
+                stats.wal_records,
+                f"{stats.wal_bytes / 1024:.1f}",
+                stats.fsyncs,
+                stats.checkpoints,
+                f"{stats.store_bytes / 1024:.1f}",
+                stats.version,
+            ]
+        )
+    table = format_table(headers, rows)
+    if result.kept:
+        where = ", ".join(s.store_dir for s in result.stats.values())
+        return f"{table}\n\nstores kept at: {where} (reopen with `recover`)"
+    return f"{table}\n\nstores were temporary (pass --store-dir to keep them)"
+
+
+def main(scale: ExperimentScale) -> str:
+    """CLI entry point."""
+    return report(run(scale))

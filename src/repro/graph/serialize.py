@@ -5,6 +5,7 @@ re-parseable (they may have been assembled programmatically), so the
 library offers a plain-dict wire format::
 
     {
+      "format_version": 1,
       "nodes": [[oid, label, value-or-null], ...],
       "edges": [[source, target, "tree"|"idref"], ...],
       "root": oid-or-null
@@ -12,6 +13,12 @@ library offers a plain-dict wire format::
 
 Values must be JSON-serialisable; everything else round-trips exactly
 (including oids, which index serialisation relies on).
+
+``format_version`` makes persisted payloads (checkpoints, WAL subgraph
+operations — see :mod:`repro.store`) evolvable: the reader accepts a
+missing version as v0 (the pre-versioned format, identical minus the
+field) and raises :class:`SerializationError` on versions newer than it
+understands, instead of misparsing a future layout.
 """
 
 from __future__ import annotations
@@ -22,10 +29,35 @@ from typing import Any, TextIO
 from repro.exceptions import GraphError, SerializationError
 from repro.graph.datagraph import ROOT_LABEL, DataGraph, EdgeKind
 
+#: current graph wire-format version; bump on structural changes
+GRAPH_FORMAT_VERSION = 1
+
+
+def check_format_version(data: Any, current: int, error: type) -> int:
+    """Validate a payload's ``format_version`` against *current*.
+
+    Shared by the graph and index loaders: a missing field reads as v0
+    (every pre-versioned payload), anything newer than *current* raises
+    *error* — readers must never guess at a future layout.  Returns the
+    version so loaders can branch on it once v1+ diverges.
+    """
+    if not isinstance(data, dict):
+        return 0
+    version = data.get("format_version", 0)
+    if not isinstance(version, int) or isinstance(version, bool) or version < 0:
+        raise error(f"malformed format_version {version!r}: expected a non-negative int")
+    if version > current:
+        raise error(
+            f"payload format_version {version} is newer than the supported "
+            f"version {current}; upgrade the library to read it"
+        )
+    return version
+
 
 def graph_to_dict(graph: DataGraph) -> dict[str, Any]:
     """Convert a graph to the plain-dict wire format."""
     return {
+        "format_version": GRAPH_FORMAT_VERSION,
         "nodes": [
             [oid, graph.label(oid), graph.value(oid)] for oid in sorted(graph.nodes())
         ],
@@ -46,6 +78,7 @@ def graph_from_dict(data: dict[str, Any]) -> DataGraph:
     subclass) with a descriptive message, never a bare ``KeyError`` /
     ``TypeError`` / ``ValueError``.
     """
+    check_format_version(data, GRAPH_FORMAT_VERSION, SerializationError)
     graph = DataGraph()
     try:
         nodes = data["nodes"]

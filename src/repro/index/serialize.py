@@ -21,15 +21,23 @@ from typing import Any, TextIO, Type, TypeVar
 
 from repro.exceptions import InvalidIndexError
 from repro.graph.datagraph import DataGraph
+from repro.graph.serialize import check_format_version
 from repro.index.akindex import AkIndexFamily
 from repro.index.base import StructuralIndex
 
 IndexT = TypeVar("IndexT", bound=StructuralIndex)
 
+#: current index/family wire-format version; bump on structural changes.
+#: Readers accept a missing version as v0 (the identical pre-versioned
+#: layout) and reject newer versions with :class:`InvalidIndexError` —
+#: checkpoints must stay evolvable (see :mod:`repro.store.checkpoint`).
+INDEX_FORMAT_VERSION = 1
+
 
 def index_to_dict(index: StructuralIndex) -> dict[str, Any]:
     """Serialise an index partition (inode ids preserved)."""
     return {
+        "format_version": INDEX_FORMAT_VERSION,
         "inodes": [
             [inode, sorted(index.extent(inode))] for inode in sorted(index.inodes())
         ],
@@ -43,6 +51,7 @@ def index_from_dict(
     cls: Type[IndexT] = StructuralIndex,  # type: ignore[assignment]
 ) -> IndexT:
     """Rebuild an index over *graph* from :func:`index_to_dict` output."""
+    check_format_version(data, INDEX_FORMAT_VERSION, InvalidIndexError)
     try:
         inodes = data["inodes"]
         next_id = data["next_id"]
@@ -109,11 +118,12 @@ def family_to_dict(family: AkIndexFamily) -> dict[str, Any]:
                 "next_token": level.next_token,
             }
         )
-    return {"k": family.k, "levels": levels}
+    return {"format_version": INDEX_FORMAT_VERSION, "k": family.k, "levels": levels}
 
 
 def family_from_dict(graph: DataGraph, data: dict[str, Any]) -> AkIndexFamily:
     """Rebuild an A(k) family over *graph*; validates the invariants."""
+    check_format_version(data, INDEX_FORMAT_VERSION, InvalidIndexError)
     try:
         k = data["k"]
         levels = data["levels"]

@@ -22,8 +22,20 @@ from repro.resilience.faults import PHASE_KINDS, FaultInjector
 from repro.resilience.guard import POLICIES, GuardConfig, GuardedMaintainer, GuardStats
 from repro.resilience.invariants import LEVELS, InvariantGuard
 from repro.resilience.journal import JournalRecord, MutationJournal, Transaction
+from repro.resilience.wire import (
+    WIRE_OPS,
+    batch_from_wire,
+    batch_to_wire,
+    op_from_wire,
+    op_to_wire,
+)
 
 __all__ = [
+    "WIRE_OPS",
+    "op_to_wire",
+    "op_from_wire",
+    "batch_to_wire",
+    "batch_from_wire",
     "MutationJournal",
     "Transaction",
     "JournalRecord",

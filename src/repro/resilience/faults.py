@@ -17,6 +17,14 @@ Trigger modes, combinable:
 * ``rate=p, seed=s`` — fire each record independently with probability
   *p* from a seeded stream; deterministic for a fixed seed.
 
+* ``at_io=N`` — an **io** trigger kind: fire on the N-th I/O operation
+  (WAL append, fsync, checkpoint rename) observed through the separate
+  :meth:`FaultInjector.io` hook.  The durable layer (:mod:`repro.store`)
+  threads the injector into its write paths, so the recovery tests can
+  fail a write or fsync deterministically mid-commit.  The io counter is
+  independent of the journal-record counter; ``rearm`` makes the trigger
+  periodic here too.
+
 Every firing raises :class:`repro.exceptions.InjectedFaultError`.
 """
 
@@ -52,6 +60,7 @@ class FaultInjector:
         rate: float = 0.0,
         seed: int = 0,
         rearm: bool = False,
+        at_io: Optional[int] = None,
     ):
         if at_record is not None and at_record < 1:
             raise ValueError("at_record must be >= 1")
@@ -59,11 +68,15 @@ class FaultInjector:
             raise ValueError(f"unknown phase {at_phase!r}; choose from {sorted(PHASE_KINDS)}")
         if not 0.0 <= rate <= 1.0:
             raise ValueError("rate must lie in [0, 1]")
+        if at_io is not None and at_io < 1:
+            raise ValueError("at_io must be >= 1")
         self.at_record = at_record
         self.at_phase = at_phase
         self.rate = rate
         self.rearm = rearm
+        self.at_io = at_io
         self.seen = 0
+        self.io_seen = 0
         self.fired = 0
         self._armed = True
         self._rng = random.Random(seed)
@@ -94,7 +107,29 @@ class FaultInjector:
         self.fired += 1
         raise InjectedFaultError(trigger, self.seen)
 
+    def io(self, op: str) -> None:
+        """The durable layer's I/O hook; raises when the io trigger matches.
+
+        Called by :mod:`repro.store` immediately **before** a WAL append,
+        an fsync, or a checkpoint rename performs its system call, so a
+        firing models the I/O never happening (a crash or an EIO), with
+        everything previously written still on disk.
+        """
+        self.io_seen += 1
+        if not self._armed or self.at_io is None:
+            return
+        if self.rearm:
+            if self.io_seen % self.at_io != 0:
+                return
+        elif self.io_seen != self.at_io:
+            return
+        if not self.rearm:
+            self._armed = False
+        self.fired += 1
+        raise InjectedFaultError(f"io {op}", self.io_seen)
+
     def reset(self) -> None:
-        """Re-arm a one-shot injector and restart the record count."""
+        """Re-arm a one-shot injector and restart the record and io counts."""
         self.seen = 0
+        self.io_seen = 0
         self._armed = True

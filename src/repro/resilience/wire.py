@@ -1,0 +1,147 @@
+"""The maintenance-operation wire schema (stable, JSON-only).
+
+:meth:`GuardedMaintainer.apply_batch` consumes ``(method, args)`` pairs
+whose args may hold live Python objects — an :class:`EdgeKind` enum, a
+whole :class:`DataGraph` for ``add_subgraph``.  The durable layers
+(:mod:`repro.store`) need those same operations as plain JSON so a
+write-ahead-log record survives a process and replays identically.
+
+This module is that boundary: :func:`op_to_wire` lowers one batch
+operation to a JSON-serialisable dict, :func:`op_from_wire` raises it
+back.  The encoding is **stable by contract** — logs written by one
+version of the library must replay on the next — so changes here must
+stay backward-compatible (add optional fields, never repurpose
+existing ones; bump the WAL format version for anything structural).
+
+Wire shapes (``{"op": <name>, "args": [...]}``):
+
+* ``insert_edge``    — ``[source, target, kind]`` with kind ``"tree"`` / ``"idref"``
+* ``delete_edge``    — ``[source, target]``
+* ``insert_node``    — ``[parent, label, value]`` (value JSON-serialisable)
+* ``delete_node``    — ``[dnode]``
+* ``add_subgraph``   — ``[graph_dict, subgraph_root, [[a, b, kind], ...]]``
+  (the subgraph in the :func:`repro.graph.serialize.graph_to_dict`
+  format; cross edges normalised to explicit kinds)
+* ``delete_subgraph`` — ``[subgraph_root]``
+
+Malformed payloads raise :class:`SerializationError`, never a bare
+``KeyError`` / ``TypeError`` / ``ValueError`` — the same hardened-loader
+contract the graph and index formats follow.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.exceptions import SerializationError
+from repro.graph.datagraph import DataGraph, EdgeKind
+from repro.graph.serialize import graph_from_dict, graph_to_dict
+
+#: every batch-operation name the schema can carry (mirrors
+#: ``repro.service.queue.ALL_OPS`` — the guarded mutation surface)
+WIRE_OPS = (
+    "insert_edge",
+    "delete_edge",
+    "insert_node",
+    "delete_node",
+    "add_subgraph",
+    "delete_subgraph",
+)
+
+
+def _cross_edges_to_wire(cross_edges: tuple) -> list[list]:
+    """Normalise ``(a, b)`` / ``(a, b, kind)`` tuples to explicit kinds."""
+    wire = []
+    for item in cross_edges:
+        if len(item) == 2:
+            a, b = item
+            kind = EdgeKind.TREE
+        else:
+            a, b, kind = item
+        wire.append([a, b, kind.value])
+    return wire
+
+
+def op_to_wire(method: str, args: tuple) -> dict[str, Any]:
+    """Lower one ``(method, args)`` batch operation to a JSON-safe dict."""
+    if method == "insert_edge":
+        source, target, kind = args
+        wire_args = [source, target, kind.value]
+    elif method == "delete_edge":
+        source, target = args
+        wire_args = [source, target]
+    elif method == "insert_node":
+        parent, label, value = args
+        wire_args = [parent, label, value]
+    elif method == "delete_node":
+        (dnode,) = args
+        wire_args = [dnode]
+    elif method == "add_subgraph":
+        subgraph, subgraph_root, cross_edges = args
+        wire_args = [
+            graph_to_dict(subgraph),
+            subgraph_root,
+            _cross_edges_to_wire(tuple(cross_edges)),
+        ]
+    elif method == "delete_subgraph":
+        (subgraph_root,) = args
+        wire_args = [subgraph_root]
+    else:
+        raise SerializationError(
+            f"cannot encode unknown operation {method!r}; choose from {WIRE_OPS}"
+        )
+    return {"op": method, "args": wire_args}
+
+
+def op_from_wire(payload: dict[str, Any]) -> tuple[str, tuple]:
+    """Raise a wire dict back into an ``apply_batch`` ``(method, args)`` pair."""
+    try:
+        method = payload["op"]
+        wire_args = payload["args"]
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"malformed wire operation: {exc!r}") from exc
+    try:
+        if method == "insert_edge":
+            source, target, kind = wire_args
+            return method, (source, target, EdgeKind(kind))
+        if method == "delete_edge":
+            source, target = wire_args
+            return method, (source, target)
+        if method == "insert_node":
+            parent, label, value = wire_args
+            return method, (parent, label, value)
+        if method == "delete_node":
+            (dnode,) = wire_args
+            return method, (dnode,)
+        if method == "add_subgraph":
+            graph_dict, subgraph_root, cross_wire = wire_args
+            cross_edges = tuple(
+                (a, b, EdgeKind(kind)) for a, b, kind in cross_wire
+            )
+            return method, (graph_from_dict(graph_dict), subgraph_root, cross_edges)
+        if method == "delete_subgraph":
+            (subgraph_root,) = wire_args
+            return method, (subgraph_root,)
+    except SerializationError:
+        raise
+    except (ValueError, TypeError) as exc:
+        raise SerializationError(
+            f"malformed args for wire operation {method!r}: {exc}"
+        ) from exc
+    raise SerializationError(
+        f"cannot decode unknown operation {method!r}; choose from {WIRE_OPS}"
+    )
+
+
+def batch_to_wire(operations: list[tuple[str, tuple]]) -> list[dict[str, Any]]:
+    """Encode a whole ``apply_batch`` operation list."""
+    return [op_to_wire(method, tuple(args)) for method, args in operations]
+
+
+def batch_from_wire(payload: list[dict[str, Any]]) -> list[tuple[str, tuple]]:
+    """Decode a whole encoded batch back to ``apply_batch`` input."""
+    if not isinstance(payload, list):
+        raise SerializationError(
+            f"malformed wire batch: expected a list, got {type(payload).__name__}"
+        )
+    return [op_from_wire(op) for op in payload]

@@ -155,15 +155,30 @@ class IndexService:
         graph: DataGraph,
         config: Optional[ServiceConfig] = None,
         fault_injector: Optional[FaultInjector] = None,
+        maintainer: Optional[object] = None,
+        initial_version: int = 0,
     ):
         self.config = config if config is not None else ServiceConfig()
         self.graph = graph
-        if self.config.family == "one":
-            index = OneIndex.build(graph)
-            maintainer = SplitMergeMaintainer(index)
+        if maintainer is None:
+            if self.config.family == "one":
+                index = OneIndex.build(graph)
+                maintainer = SplitMergeMaintainer(index)
+            else:
+                family = AkIndexFamily.build(graph, self.config.k)
+                maintainer = AkSplitMergeMaintainer(family)
         else:
-            family = AkIndexFamily.build(graph, self.config.k)
-            maintainer = AkSplitMergeMaintainer(family)
+            # adopt a pre-built maintainer (the recovery path: its index
+            # was checkpoint-loaded, not rebuilt) — it must wrap this
+            # graph and match the configured family
+            if maintainer.graph is not graph:
+                raise ServiceError("adopted maintainer wraps a different graph")
+            expected = "index" if self.config.family == "one" else "family"
+            if getattr(maintainer, expected, None) is None:
+                raise ServiceError(
+                    f"adopted maintainer does not serve family "
+                    f"{self.config.family!r} (no .{expected})"
+                )
         self.guarded = GuardedMaintainer(maintainer, self.config.guard, fault_injector)
         self.queue = BoundedQueue(self.config.queue_capacity)
         self.stats = ServiceStats()
@@ -173,7 +188,7 @@ class IndexService:
         self._closed = False
         self._writer_thread: Optional[threading.Thread] = None
         self._writer_stop = threading.Event()
-        self._snapshot = self._capture(version=0)
+        self._snapshot = self._capture(version=initial_version)
         self.stats.versions_published = 1
 
     # ------------------------------------------------------------------
@@ -298,6 +313,9 @@ class IndexService:
                 self.stats.batch_failures += 1
                 obs.add("service.batch_failures")
                 raise
+            # durability hook: a persistent subclass logs the applied
+            # batch before the snapshot becomes visible to readers
+            self._on_batch_applied(survivors)
             snapshot = self._capture(version=self._snapshot.version + 1)
             self._publish(snapshot)
         elapsed = time.perf_counter() - started
@@ -315,6 +333,32 @@ class IndexService:
             coalesced_away=len(batch) - len(survivors),
             seconds=elapsed,
         )
+
+    def _on_batch_applied(self, survivors: list[Update]) -> None:
+        """Commit hook between a successful apply and snapshot publish.
+
+        The base service is volatile — this is a no-op.
+        :class:`repro.store.DurableIndexService` overrides it to append
+        the batch to the write-ahead log (and maybe checkpoint) so a
+        snapshot is only ever published once its batch is logged.  A
+        raise here fails the commit *after* the in-memory apply: nothing
+        is published, and the caller must treat the service instance as
+        lost (recovery from the store reconstructs the last published
+        state).
+        """
+
+    @classmethod
+    def recover(cls, store_dir: str, **kwargs) -> "IndexService":
+        """Reopen a durable service from its store directory.
+
+        Convenience alias for
+        :meth:`repro.store.DurableIndexService.recover` (checkpoint load
+        + WAL replay + invariant post-check); see that method for the
+        keyword arguments.
+        """
+        from repro.store.service import DurableIndexService
+
+        return DurableIndexService.recover(store_dir, **kwargs)
 
     def _capture(self, version: int) -> IndexSnapshot:
         """Freeze the live structures into a publishable version."""

@@ -1,0 +1,286 @@
+"""Checkpoints: atomic full snapshots of the graph + index pair.
+
+Recovery replays a short log over a checkpoint instead of rebuilding the
+1-index/A(k) family from scratch — the I/O-conscious discipline of
+Hellings et al.'s external-memory bisimulation work, transplanted to the
+incremental setting.  A checkpoint file is one JSON document::
+
+    {"crc": 123..., "data": {
+        "format_version": 1,
+        "kind": "one" | "ak",
+        "k": 0,
+        "wal_lsn": 42,         # every WAL record <= this is superseded
+        "version": 42,         # service version at capture time
+        "graph": {...},        # repro.graph.serialize.graph_to_dict
+        "index": {...}         # index_to_dict or family_to_dict
+    }}
+
+written **atomically**: serialise to ``<name>.tmp``, flush + fsync, then
+``os.replace`` onto the final name (and fsync the directory).  A crash
+at any byte of that sequence leaves either the previous checkpoint set
+untouched or the new file complete — recovery can never select a
+partial checkpoint, because ``.tmp`` files are invisible to
+:func:`latest_checkpoint` and a torn final file fails its CRC and is
+skipped.
+
+File names are ``checkpoint-<wal_lsn>.json``; after a successful write
+the WAL is truncated up to ``wal_lsn`` and older checkpoints beyond a
+retention count are pruned (newest-first survivors).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.exceptions import CheckpointError
+from repro.graph.datagraph import DataGraph
+from repro.graph.serialize import check_format_version, graph_from_dict, graph_to_dict
+from repro.index.akindex import AkIndexFamily
+from repro.index.base import StructuralIndex
+from repro.index.oneindex import OneIndex
+from repro.index.serialize import (
+    family_from_dict,
+    family_to_dict,
+    index_from_dict,
+    index_to_dict,
+)
+from repro.obs import current as current_obs
+from repro.resilience.faults import FaultInjector
+from repro.store.wal import WriteAheadLog, _fsync_dir
+
+#: current checkpoint format version; bump on structural changes
+CHECKPOINT_FORMAT_VERSION = 1
+
+CHECKPOINT_PREFIX = "checkpoint-"
+CHECKPOINT_SUFFIX = ".json"
+
+
+def checkpoint_name(wal_lsn: int) -> str:
+    """The file name of the checkpoint superseding WAL records <= lsn."""
+    return f"{CHECKPOINT_PREFIX}{wal_lsn:020d}{CHECKPOINT_SUFFIX}"
+
+
+def checkpoint_lsn(name: str) -> int:
+    """Parse a checkpoint file name back to its WAL LSN."""
+    return int(name[len(CHECKPOINT_PREFIX) : -len(CHECKPOINT_SUFFIX)])
+
+
+def list_checkpoints(directory: str) -> list[str]:
+    """Checkpoint file names in *directory*, oldest first (no ``.tmp``)."""
+    names = [
+        name
+        for name in os.listdir(directory)
+        if name.startswith(CHECKPOINT_PREFIX) and name.endswith(CHECKPOINT_SUFFIX)
+    ]
+    return sorted(names, key=checkpoint_lsn)
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One loaded, CRC-verified checkpoint (payload still as dicts)."""
+
+    kind: str
+    k: int
+    wal_lsn: int
+    version: int
+    graph_dict: dict[str, Any]
+    index_dict: dict[str, Any]
+    path: str
+
+    def materialize(self) -> tuple[DataGraph, Optional[OneIndex], Optional[AkIndexFamily]]:
+        """Rebuild the live graph and index/family from the payload."""
+        graph = graph_from_dict(self.graph_dict)
+        if self.kind == "one":
+            return graph, index_from_dict(graph, self.index_dict, cls=OneIndex), None
+        return graph, None, family_from_dict(graph, self.index_dict)
+
+
+def write_checkpoint(
+    directory: str,
+    graph: DataGraph,
+    *,
+    wal_lsn: int,
+    version: int,
+    index: Optional[StructuralIndex] = None,
+    family: Optional[AkIndexFamily] = None,
+    fault_injector: Optional[FaultInjector] = None,
+) -> str:
+    """Atomically write one checkpoint file; returns its path.
+
+    Exactly one of *index* / *family* must be given.  The tmp-write /
+    fsync / rename sequence guarantees no reader ever selects a partial
+    file; *fault_injector* (io hook) can kill the sequence between any
+    two of those steps for the atomicity tests.
+    """
+    if (index is None) == (family is None):
+        raise CheckpointError("write_checkpoint needs exactly one of index= or family=")
+    if index is not None:
+        kind, k, index_dict = "one", 0, index_to_dict(index)
+    else:
+        kind, k, index_dict = "ak", family.k, family_to_dict(family)
+    data = {
+        "format_version": CHECKPOINT_FORMAT_VERSION,
+        "kind": kind,
+        "k": k,
+        "wal_lsn": wal_lsn,
+        "version": version,
+        "graph": graph_to_dict(graph),
+        "index": index_dict,
+    }
+    payload = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    crc = zlib.crc32(payload.encode("utf-8"))
+    document = f'{{"crc": {crc}, "data": {payload}}}'
+    final_path = os.path.join(directory, checkpoint_name(wal_lsn))
+    tmp_path = final_path + ".tmp"
+    obs = current_obs()
+    with obs.span("store.checkpoint", lsn=wal_lsn, kind=kind, bytes=len(document)):
+        if fault_injector is not None:
+            fault_injector.io("checkpoint.write")
+        with open(tmp_path, "w", encoding="utf-8") as fp:
+            fp.write(document)
+            fp.flush()
+            os.fsync(fp.fileno())
+        if fault_injector is not None:
+            fault_injector.io("checkpoint.rename")
+        os.replace(tmp_path, final_path)
+        _fsync_dir(directory)
+    obs.add("store.checkpoints")
+    obs.add("store.checkpoint_bytes", len(document))
+    return final_path
+
+
+def load_checkpoint(path: str) -> Checkpoint:
+    """Load and verify one checkpoint file.
+
+    Raises :class:`CheckpointError` on truncation, CRC mismatch, missing
+    fields, or a format version newer than this library understands.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fp:
+            document = json.load(fp)
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
+    except ValueError as exc:
+        raise CheckpointError(f"checkpoint {path!r} is not valid JSON: {exc}") from exc
+    try:
+        crc = document["crc"]
+        data = document["data"]
+    except (KeyError, TypeError) as exc:
+        raise CheckpointError(f"malformed checkpoint {path!r}: {exc!r}") from exc
+    payload = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    if zlib.crc32(payload.encode("utf-8")) != crc:
+        raise CheckpointError(f"checkpoint {path!r} failed its CRC check")
+    check_format_version(data, CHECKPOINT_FORMAT_VERSION, CheckpointError)
+    try:
+        kind = data["kind"]
+        k = data["k"]
+        wal_lsn = data["wal_lsn"]
+        version = data["version"]
+        graph_dict = data["graph"]
+        index_dict = data["index"]
+    except (KeyError, TypeError) as exc:
+        raise CheckpointError(f"malformed checkpoint {path!r}: {exc!r}") from exc
+    if kind not in ("one", "ak"):
+        raise CheckpointError(f"checkpoint {path!r} has unknown kind {kind!r}")
+    return Checkpoint(
+        kind=kind,
+        k=k,
+        wal_lsn=wal_lsn,
+        version=version,
+        graph_dict=graph_dict,
+        index_dict=index_dict,
+        path=path,
+    )
+
+
+def latest_checkpoint(directory: str) -> Optional[Checkpoint]:
+    """The newest checkpoint that loads and verifies; ``None`` if none do.
+
+    Corrupt or future-format files are skipped (newest-first), so a torn
+    final checkpoint silently falls back to its predecessor — the
+    atomicity contract recovery builds on.
+    """
+    for name in reversed(list_checkpoints(directory)):
+        try:
+            return load_checkpoint(os.path.join(directory, name))
+        except CheckpointError:
+            current_obs().add("store.checkpoints_skipped")
+            continue
+    return None
+
+
+def prune_checkpoints(directory: str, keep: int = 2) -> int:
+    """Delete all but the *keep* newest checkpoint files; returns count."""
+    if keep < 1:
+        raise CheckpointError("must keep at least one checkpoint")
+    names = list_checkpoints(directory)
+    removed = 0
+    for name in names[:-keep]:
+        os.unlink(os.path.join(directory, name))
+        removed += 1
+    return removed
+
+
+class Checkpointer:
+    """Cadenced checkpoint policy bound to one store directory + WAL.
+
+    Counts WAL records since the last checkpoint and, when the cadence
+    fires (``every_records``; 0 disables automatic checkpoints),
+    snapshots the live structures, truncates the WAL through the
+    checkpointed LSN, and prunes old checkpoints down to *keep*.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        wal: WriteAheadLog,
+        every_records: int = 512,
+        keep: int = 2,
+        fault_injector: Optional[FaultInjector] = None,
+    ):
+        if every_records < 0:
+            raise CheckpointError("every_records must be >= 0")
+        self.directory = directory
+        self.wal = wal
+        self.every_records = every_records
+        self.keep = keep
+        self.fault_injector = fault_injector
+        self.records_since_checkpoint = 0
+        self.checkpoints_written = 0
+
+    def note_record(self) -> bool:
+        """Count one appended WAL record; report whether a checkpoint is due."""
+        self.records_since_checkpoint += 1
+        return (
+            self.every_records > 0
+            and self.records_since_checkpoint >= self.every_records
+        )
+
+    def checkpoint(
+        self,
+        graph: DataGraph,
+        *,
+        version: int,
+        index: Optional[StructuralIndex] = None,
+        family: Optional[AkIndexFamily] = None,
+    ) -> str:
+        """Snapshot now, truncate the WAL behind it, prune old checkpoints."""
+        lsn = self.wal.last_lsn
+        path = write_checkpoint(
+            self.directory,
+            graph,
+            wal_lsn=lsn,
+            version=version,
+            index=index,
+            family=family,
+            fault_injector=self.fault_injector,
+        )
+        self.wal.truncate_upto(lsn)
+        prune_checkpoints(self.directory, keep=self.keep)
+        self.records_since_checkpoint = 0
+        self.checkpoints_written += 1
+        return path

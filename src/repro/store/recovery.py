@@ -1,0 +1,173 @@
+"""Crash recovery: newest checkpoint + surviving WAL tail → live state.
+
+The recovery protocol, in order:
+
+1. **Select** the newest checkpoint that loads and passes its CRC
+   (:func:`repro.store.checkpoint.latest_checkpoint`); partial or
+   corrupt files fall back to their predecessor.  No checkpoint at all
+   is a :class:`RecoveryError` — an initialised store always has one
+   (the durable service writes checkpoint 0 on first open).
+2. **Materialise** the graph and index/family through the hardened
+   loaders (they validate partitions, labels, supports — a tampered
+   checkpoint fails here, not mid-replay).
+3. **Replay** every WAL record with ``lsn > checkpoint.wal_lsn``
+   through :meth:`GuardedMaintainer.apply_batch` — the same code path
+   that applied the batches the first time, so replay is deterministic:
+   identical oids, identical inode ids, identical split/merge order.  A
+   torn tail is truncated at the first bad CRC (the unacknowledged
+   suffix); a gap *before* the tail aborts recovery.
+4. **Post-check**: an :class:`InvariantGuard` pass at ``valid`` depth
+   over the recovered pair, so a recovery that produced an inconsistent
+   index fails loudly here instead of corrupting the first live commit.
+
+:func:`apply_ops_raw` is the index-free counterpart (graph mutations
+only) used by the recovery-time A/B benchmark: replaying the log onto
+the bare graph and rebuilding the index from scratch is the baseline
+that checkpointed-index recovery must beat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.exceptions import RecoveryError
+from repro.graph.datagraph import DataGraph
+from repro.index.akindex import AkIndexFamily
+from repro.index.oneindex import OneIndex
+from repro.maintenance.ak_split_merge import AkSplitMergeMaintainer
+from repro.maintenance.split_merge import SplitMergeMaintainer, _normalise_cross_edges
+from repro.obs import current as current_obs
+from repro.resilience.guard import GuardConfig, GuardedMaintainer
+from repro.resilience.invariants import InvariantGuard
+from repro.resilience.wire import batch_from_wire
+from repro.store.checkpoint import Checkpoint, latest_checkpoint
+from repro.store.wal import read_records
+
+
+@dataclass
+class RecoveryResult:
+    """Everything :func:`recover` reconstructed, plus how it got there."""
+
+    graph: DataGraph
+    maintainer: Any  # SplitMergeMaintainer | AkSplitMergeMaintainer
+    guarded: GuardedMaintainer
+    kind: str
+    k: int
+    #: service version of the recovered state (checkpoint version + replay)
+    version: int
+    checkpoint_lsn: int
+    last_lsn: int
+    replayed_records: int
+    replayed_ops: int
+
+    @property
+    def index(self) -> Optional[OneIndex]:
+        """The recovered 1-index (``None`` for an A(k) store)."""
+        return self.guarded.index
+
+    @property
+    def family(self) -> Optional[AkIndexFamily]:
+        """The recovered A(k) family (``None`` for a 1-index store)."""
+        return self.guarded.family
+
+
+def recover(
+    store_dir: str,
+    guard: Optional[GuardConfig] = None,
+    check_level: str = "valid",
+    repair: bool = True,
+) -> RecoveryResult:
+    """Run the full recovery protocol over *store_dir*.
+
+    *guard* configures the replay transactions (default: ``raise`` with
+    per-record invariant checks disabled — the single post-check at
+    *check_level* depth covers the recovered state; pass
+    ``check_level=""`` to skip it).  ``repair=True`` truncates a torn
+    WAL tail on disk so the recovered service appends from a clean end.
+    """
+    obs = current_obs()
+    with obs.span("store.recover", dir=store_dir):
+        ckpt = latest_checkpoint(store_dir)
+        if ckpt is None:
+            raise RecoveryError(
+                f"no loadable checkpoint in {store_dir!r}; the store was never "
+                "initialised (or every checkpoint is corrupt)"
+            )
+        graph, index, family = ckpt.materialize()
+        maintainer: Any
+        if index is not None:
+            maintainer = SplitMergeMaintainer(index)
+        else:
+            maintainer = AkSplitMergeMaintainer(family)
+        config = guard if guard is not None else GuardConfig(policy="raise", check_every=0)
+        guarded = GuardedMaintainer(maintainer, config)
+
+        replayed_records = 0
+        replayed_ops = 0
+        last_lsn = ckpt.wal_lsn
+        expected = ckpt.wal_lsn + 1
+        for record in read_records(store_dir, repair=repair):
+            if record.lsn <= ckpt.wal_lsn:
+                continue  # superseded by the checkpoint (truncation raced a crash)
+            if record.lsn != expected:
+                raise RecoveryError(
+                    f"WAL gap during replay: expected lsn {expected}, "
+                    f"found {record.lsn}"
+                )
+            expected = record.lsn + 1
+            ops = batch_from_wire(record.ops)
+            if ops:
+                guarded.apply_batch(ops)
+            replayed_records += 1
+            replayed_ops += len(ops)
+            last_lsn = record.lsn
+        if check_level:
+            InvariantGuard(level=check_level).check(
+                graph, index=guarded.index, family=guarded.family
+            )
+        obs.add("store.recoveries")
+        obs.add("store.replayed_records", replayed_records)
+        obs.add("store.replayed_ops", replayed_ops)
+        return RecoveryResult(
+            graph=graph,
+            maintainer=maintainer,
+            guarded=guarded,
+            kind=ckpt.kind,
+            k=ckpt.k,
+            version=ckpt.version + replayed_records,
+            checkpoint_lsn=ckpt.wal_lsn,
+            last_lsn=last_lsn,
+            replayed_records=replayed_records,
+            replayed_ops=replayed_ops,
+        )
+
+
+def apply_ops_raw(graph: DataGraph, ops: list[tuple[str, tuple]]) -> None:
+    """Apply decoded batch operations to the bare graph (no index).
+
+    The rebuild-from-scratch baseline: replay the log onto the graph
+    alone, then reconstruct the index once at the end.  Mirrors
+    :meth:`GuardedMaintainer._raw_for` for every wire operation.
+    """
+    for method, args in ops:
+        if method == "insert_edge":
+            source, target, kind = args
+            graph.add_edge(source, target, kind)
+        elif method == "delete_edge":
+            graph.remove_edge(*args)
+        elif method == "insert_node":
+            parent, label, value = args
+            oid = graph.add_node(label, value)
+            graph.add_edge(parent, oid)
+        elif method == "delete_node":
+            graph.remove_node(args[0])
+        elif method == "add_subgraph":
+            subgraph, _subgraph_root, cross_edges = args
+            mapping = graph.add_subgraph(subgraph)
+            for a, b, kind in _normalise_cross_edges(cross_edges):
+                graph.add_edge(mapping.get(a, a), mapping.get(b, b), kind)
+        elif method == "delete_subgraph":
+            graph.remove_nodes(graph.subgraph_from(args[0]).nodes())
+        else:
+            raise RecoveryError(f"cannot raw-apply unknown operation {method!r}")

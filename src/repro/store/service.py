@@ -1,0 +1,207 @@
+"""`DurableIndexService` — the serving layer with a persistent spine.
+
+Same serving discipline as :class:`~repro.service.IndexService`
+(single writer, snapshot-isolated readers, batched guarded commits),
+plus durability:
+
+* **every commit is logged before it is published**: the writer applies
+  the coalesced batch transactionally, appends it — in the stable
+  :mod:`repro.resilience.wire` encoding — to the write-ahead log, and
+  only then swaps the new snapshot in.  A crash at any point therefore
+  loses at most work that was never visible to a reader; everything a
+  reader ever saw is reconstructible from checkpoint + log.
+* **cadenced checkpoints**: every ``checkpoint_every_records`` commits
+  (and on clean :meth:`close`), the live graph + index pair is written
+  atomically and the WAL truncated behind it, bounding replay time.
+* **recovery** (:meth:`recover`): newest valid checkpoint + surviving
+  WAL tail → a fresh ``DurableIndexService`` at the exact version the
+  crashed process last published.
+
+Empty batches (everything coalesced away) are logged too: versions and
+LSNs stay in lockstep — ``version = checkpoint.version + records after
+checkpoint`` — which is what lets recovery name the version it restored.
+
+A failure *inside* the durability hook (an injected io fault, a full
+disk) aborts the commit after the in-memory apply but before publish.
+The instance is then divergent from its log and must be abandoned;
+:meth:`recover` on the same directory reconstructs the last published
+state.  That is the crash model the torture tests drive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.exceptions import StoreError
+from repro.graph.datagraph import DataGraph
+from repro.obs import current as current_obs
+from repro.resilience.faults import FaultInjector
+from repro.resilience.wire import batch_to_wire
+from repro.service.queue import Update
+from repro.service.service import IndexService, ServiceConfig
+from repro.store.checkpoint import Checkpointer, latest_checkpoint
+from repro.store.recovery import RecoveryResult, recover
+from repro.store.wal import FSYNC_POLICIES, WriteAheadLog
+
+
+@dataclass(frozen=True)
+class StoreConfig:
+    """How a :class:`DurableIndexService` logs, syncs and checkpoints."""
+
+    #: WAL durability policy: ``always`` / ``batch`` / ``off``
+    fsync: str = "batch"
+    #: under ``batch``, fsync every N-th appended record
+    sync_every: int = 8
+    #: rotate WAL segments at this size (whole-file truncation unit)
+    segment_max_bytes: int = 1 << 20
+    #: checkpoint every N committed batches (0 = only explicit/close)
+    checkpoint_every_records: int = 512
+    #: checkpoints retained after pruning (newest first)
+    keep_checkpoints: int = 2
+
+    def __post_init__(self) -> None:
+        if self.fsync not in FSYNC_POLICIES:
+            raise StoreError(
+                f"unknown fsync policy {self.fsync!r}; choose from {FSYNC_POLICIES}"
+            )
+        if self.checkpoint_every_records < 0:
+            raise StoreError("checkpoint_every_records must be >= 0")
+        if self.keep_checkpoints < 1:
+            raise StoreError("keep_checkpoints must be >= 1")
+
+
+class DurableIndexService(IndexService):
+    """An :class:`IndexService` whose commits survive the process.
+
+    Opening a fresh directory builds the index and writes **checkpoint
+    0** immediately, so the store is recoverable from its very first
+    commit.  Opening a directory that already has a checkpoint is an
+    error — use :meth:`recover`, which replays the log instead of
+    silently rebuilding over it.
+    """
+
+    def __init__(
+        self,
+        graph: DataGraph,
+        store_dir: str,
+        config: Optional[ServiceConfig] = None,
+        store_config: Optional[StoreConfig] = None,
+        fault_injector: Optional[FaultInjector] = None,
+        maintainer: Optional[object] = None,
+        initial_version: int = 0,
+        _recovered: bool = False,
+    ):
+        self.store_config = store_config if store_config is not None else StoreConfig()
+        self.store_dir = store_dir
+        #: populated by :meth:`recover` with how this instance came back
+        self.recovery: Optional[RecoveryResult] = None
+        super().__init__(
+            graph,
+            config,
+            fault_injector,
+            maintainer=maintainer,
+            initial_version=initial_version,
+        )
+        self.wal = WriteAheadLog(
+            store_dir,
+            fsync=self.store_config.fsync,
+            sync_every=self.store_config.sync_every,
+            segment_max_bytes=self.store_config.segment_max_bytes,
+            fault_injector=fault_injector,
+        )
+        self.checkpointer = Checkpointer(
+            store_dir,
+            self.wal,
+            every_records=self.store_config.checkpoint_every_records,
+            keep=self.store_config.keep_checkpoints,
+            fault_injector=fault_injector,
+        )
+        if not _recovered:
+            if latest_checkpoint(store_dir) is not None:
+                raise StoreError(
+                    f"store {store_dir!r} already holds a checkpoint; use "
+                    "DurableIndexService.recover() to reopen it"
+                )
+            # checkpoint 0: the store is recoverable before any commit
+            self.checkpoint()
+
+    # ------------------------------------------------------------------
+    # Durability hooks
+    # ------------------------------------------------------------------
+
+    def _on_batch_applied(self, survivors: list[Update]) -> None:
+        """Log the committed batch; checkpoint when the cadence fires.
+
+        Called between the in-memory apply and the snapshot publish, so
+        the live structures already hold the batch but ``self.version``
+        does not yet name it — a cadence checkpoint here must carry the
+        version the batch is about to become, or recovery would report
+        an off-by-one version.
+        """
+        self.wal.append(batch_to_wire([u.as_call() for u in survivors]))
+        if self.checkpointer.note_record():
+            self._checkpoint_at(self.version + 1)
+
+    def checkpoint(self) -> str:
+        """Snapshot the live pair now and truncate the WAL behind it."""
+        return self._checkpoint_at(self.version)
+
+    def _checkpoint_at(self, version: int) -> str:
+        return self.checkpointer.checkpoint(
+            self.graph,
+            version=version,
+            index=self.guarded.index,
+            family=self.guarded.family,
+        )
+
+    def close(self, checkpoint: bool = True) -> None:
+        """Drain, optionally write a final checkpoint, and close the WAL.
+
+        A closing checkpoint makes the next :meth:`recover` a pure
+        checkpoint load (no replay) — skip it to exercise the replay
+        path or to model an unclean shutdown.
+        """
+        super().close()
+        if checkpoint:
+            self.checkpoint()
+        self.wal.close()
+        current_obs().add("store.closes")
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def recover(
+        cls,
+        store_dir: str,
+        config: Optional[ServiceConfig] = None,
+        store_config: Optional[StoreConfig] = None,
+        fault_injector: Optional[FaultInjector] = None,
+        check_level: str = "valid",
+    ) -> "DurableIndexService":
+        """Reopen a store: checkpoint + WAL replay + invariant post-check.
+
+        The recovered service continues exactly where the last published
+        version left off — same version number, same graph, same index
+        partition (byte-identical wire dumps; the torture tests assert
+        it).  *config* may tune serving parameters but the index family
+        and ``k`` always come from the store.
+        """
+        result: RecoveryResult = recover(store_dir, check_level=check_level)
+        base = config if config is not None else ServiceConfig()
+        base = replace(base, family=result.kind, k=result.k if result.kind == "ak" else base.k)
+        service = cls(
+            result.graph,
+            store_dir,
+            config=base,
+            store_config=store_config,
+            fault_injector=fault_injector,
+            maintainer=result.maintainer,
+            initial_version=result.version,
+            _recovered=True,
+        )
+        service.checkpointer.records_since_checkpoint = result.replayed_records
+        service.recovery = result
+        return service

@@ -1,0 +1,390 @@
+"""The write-ahead log: append-only JSONL segments of mutation batches.
+
+One WAL record is one committed service batch — the list of coalesced
+operations in the :mod:`repro.resilience.wire` encoding — stamped with a
+monotonically increasing **LSN** (log sequence number, one per commit)
+and a CRC32 over the record's canonical JSON.  On disk a record is one
+line of a segment file::
+
+    {"crc": 2868999698, "lsn": 7, "ops": [{"op": "insert_edge", ...}], "v": 1}
+
+``crc`` covers the compact sorted-key JSON of the record *without* the
+``crc`` field, so a reader re-serialises and compares — any torn or
+bit-flipped line fails either JSON parsing or the CRC and marks the end
+of the recoverable log (see below).  ``v`` is the WAL format version;
+readers reject records from a future format instead of misparsing them.
+
+**Segments** are named ``wal-<first_lsn>.jsonl`` and rotated when the
+active segment exceeds ``segment_max_bytes``, so checkpoint truncation
+(:meth:`WriteAheadLog.truncate_upto`) can drop whole files instead of
+rewriting one unbounded log.
+
+**Durability** is a policy (`fsync`):
+
+* ``always`` — fsync after every append: a record returned from
+  :meth:`append` survives an immediate power cut; slowest.
+* ``batch``  — fsync every ``sync_every`` appends and at every rotation,
+  checkpoint and close: bounded loss window, near-``off`` throughput.
+* ``off``    — never fsync (the OS decides); survives process crashes
+  (the data is in the page cache) but not power loss.
+
+**Torn tails.**  A crash mid-append leaves a partial final line.  The
+reader (:func:`read_records`) accepts every valid record up to the first
+bad line of the **final** segment and truncates the file there — that is
+exactly the prefix the writer could have acknowledged.  A bad record
+anywhere *before* the tail is real corruption and raises
+:class:`WalCorruptionError`; replay must not silently skip the middle of
+a log.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional
+
+from repro.exceptions import StoreError, WalCorruptionError
+from repro.obs import current as current_obs
+from repro.resilience.faults import FaultInjector
+
+#: current WAL record format version; bump on structural changes
+WAL_FORMAT_VERSION = 1
+
+#: fsync policies, strongest first
+FSYNC_POLICIES = ("always", "batch", "off")
+
+SEGMENT_PREFIX = "wal-"
+SEGMENT_SUFFIX = ".jsonl"
+
+
+def segment_name(first_lsn: int) -> str:
+    """The file name of the segment whose first record is *first_lsn*."""
+    return f"{SEGMENT_PREFIX}{first_lsn:020d}{SEGMENT_SUFFIX}"
+
+
+def segment_first_lsn(name: str) -> int:
+    """Parse a segment file name back to its first LSN."""
+    return int(name[len(SEGMENT_PREFIX) : -len(SEGMENT_SUFFIX)])
+
+
+def list_segments(directory: str) -> list[str]:
+    """Segment file names in *directory*, in LSN order."""
+    names = [
+        name
+        for name in os.listdir(directory)
+        if name.startswith(SEGMENT_PREFIX) and name.endswith(SEGMENT_SUFFIX)
+    ]
+    return sorted(names, key=segment_first_lsn)
+
+
+def _record_crc(body: dict[str, Any]) -> int:
+    """CRC32 over the canonical JSON of a record body (no ``crc`` field)."""
+    payload = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(payload.encode("utf-8"))
+
+
+def encode_record(lsn: int, ops: list[dict[str, Any]]) -> bytes:
+    """One WAL record as a CRC-stamped JSONL line."""
+    body = {"lsn": lsn, "ops": ops, "v": WAL_FORMAT_VERSION}
+    record = dict(body)
+    record["crc"] = _record_crc(body)
+    return (json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n").encode(
+        "utf-8"
+    )
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One decoded log record: a commit's LSN plus its wire-encoded ops."""
+
+    lsn: int
+    ops: list[dict[str, Any]]
+
+
+@dataclass(frozen=True)
+class AppendResult:
+    """Where one append landed (the crash-point tests cut inside this span)."""
+
+    lsn: int
+    segment: str
+    start: int  # byte offset of the record within its segment
+    end: int  # byte offset one past the record's newline
+
+
+def _decode_line(line: bytes) -> Optional[WalRecord]:
+    """Decode one segment line; ``None`` marks a torn/corrupt record."""
+    try:
+        record = json.loads(line)
+    except (ValueError, UnicodeDecodeError):
+        return None
+    if not isinstance(record, dict):
+        return None
+    crc = record.pop("crc", None)
+    if crc is None or crc != _record_crc(record):
+        return None
+    version = record.get("v", 0)
+    if not isinstance(version, int) or version > WAL_FORMAT_VERSION:
+        # a future format is not a torn tail; surface it loudly
+        raise WalCorruptionError(
+            "<record>", 0, f"record format version {version!r} is newer than "
+            f"the supported version {WAL_FORMAT_VERSION}"
+        )
+    lsn = record.get("lsn")
+    ops = record.get("ops")
+    if not isinstance(lsn, int) or not isinstance(ops, list):
+        return None
+    return WalRecord(lsn=lsn, ops=ops)
+
+
+def _scan_segment(path: str) -> tuple[list[WalRecord], int, Optional[str]]:
+    """Read one segment file.
+
+    Returns ``(records, valid_bytes, bad_reason)`` where *valid_bytes* is
+    the byte length of the longest prefix of whole, valid records and
+    *bad_reason* is ``None`` iff the file ends exactly at that prefix.
+    """
+    with open(path, "rb") as fp:
+        data = fp.read()
+    records: list[WalRecord] = []
+    offset = 0
+    while offset < len(data):
+        newline = data.find(b"\n", offset)
+        if newline < 0:
+            # unterminated final line: accept it only if it decodes whole
+            # (the crash cut exactly the trailing newline)
+            record = _decode_line(data[offset:])
+            if record is None:
+                return records, offset, "torn final record"
+            records.append(record)
+            offset = len(data)
+            break
+        record = _decode_line(data[offset:newline])
+        if record is None:
+            return records, offset, f"bad record at byte {offset}"
+        records.append(record)
+        offset = newline + 1
+    return records, offset, None
+
+
+def read_records(directory: str, repair: bool = False) -> list[WalRecord]:
+    """Read every surviving record of the log, in LSN order.
+
+    A torn tail — a bad line with nothing valid after it, in the **last**
+    segment — is tolerated: reading stops at the last valid record, and
+    with ``repair=True`` the segment file is truncated to that prefix so
+    subsequent appends continue from a clean end.  Corruption anywhere
+    else raises :class:`WalCorruptionError`.  LSNs must increase by
+    exactly one across segment boundaries; a gap or repeat is corruption.
+    """
+    segments = list_segments(directory)
+    records: list[WalRecord] = []
+    expected: Optional[int] = None
+    for position, name in enumerate(segments):
+        path = os.path.join(directory, name)
+        segment_records, valid_bytes, bad_reason = _scan_segment(path)
+        if bad_reason is not None:
+            if position != len(segments) - 1:
+                raise WalCorruptionError(name, valid_bytes, bad_reason)
+            if repair:
+                with open(path, "rb+") as fp:
+                    fp.truncate(valid_bytes)
+        for record in segment_records:
+            if expected is not None and record.lsn != expected:
+                raise WalCorruptionError(
+                    name,
+                    valid_bytes,
+                    f"LSN gap: expected {expected}, found {record.lsn}",
+                )
+            expected = record.lsn + 1
+            records.append(record)
+    return records
+
+
+def _fsync_dir(directory: str) -> None:
+    """Persist directory entries (segment creation/unlink); best-effort."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+class WriteAheadLog:
+    """Append-only, CRC-guarded, segment-rotated log of commit batches.
+
+    Opening a directory repairs any torn tail (see :func:`read_records`)
+    and resumes the LSN sequence after the last valid record.  One
+    writer per directory — the single-writer discipline of the service
+    layer extends to its log; nothing here locks against a second
+    process.
+
+    *fault_injector* threads a :class:`FaultInjector` into the write
+    path: its :meth:`~FaultInjector.io` hook runs immediately before
+    every file write and fsync (chaos testing); production leaves it
+    ``None``.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        fsync: str = "batch",
+        sync_every: int = 8,
+        segment_max_bytes: int = 1 << 20,
+        fault_injector: Optional[FaultInjector] = None,
+    ):
+        if fsync not in FSYNC_POLICIES:
+            raise StoreError(
+                f"unknown fsync policy {fsync!r}; choose from {FSYNC_POLICIES}"
+            )
+        if sync_every < 1:
+            raise StoreError("sync_every must be >= 1")
+        if segment_max_bytes < 1:
+            raise StoreError("segment_max_bytes must be >= 1")
+        self.directory = directory
+        self.fsync = fsync
+        self.sync_every = sync_every
+        self.segment_max_bytes = segment_max_bytes
+        self.fault_injector = fault_injector
+        os.makedirs(directory, exist_ok=True)
+
+        #: lifetime tallies (mirrored into the ``store.*`` obs counters)
+        self.appended_records = 0
+        self.appended_bytes = 0
+        self.fsyncs_performed = 0
+        self.rotations = 0
+        self._unsynced = 0
+        self.last_append: Optional[AppendResult] = None
+
+        existing = read_records(directory, repair=True)
+        self.next_lsn = existing[-1].lsn + 1 if existing else 1
+        segments = list_segments(directory)
+        self._segment = segments[-1] if segments else None
+        self._fp = None
+        if self._segment is not None:
+            self._fp = open(os.path.join(directory, self._segment), "ab")
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+
+    @property
+    def last_lsn(self) -> int:
+        """LSN of the most recently appended record (0 when empty)."""
+        return self.next_lsn - 1
+
+    @property
+    def active_segment(self) -> Optional[str]:
+        """File name of the segment currently being appended to."""
+        return self._segment
+
+    def append(self, ops: list[dict[str, Any]]) -> AppendResult:
+        """Append one commit batch (already wire-encoded) as one record.
+
+        Returns the assigned LSN plus the record's byte span within its
+        segment.  Durability on return depends on the fsync policy.
+        """
+        if self._fp is None or self._fp.tell() >= self.segment_max_bytes:
+            self._rotate()
+        lsn = self.next_lsn
+        line = encode_record(lsn, ops)
+        if self.fault_injector is not None:
+            self.fault_injector.io("wal.append")
+        start = self._fp.tell()
+        self._fp.write(line)
+        self._fp.flush()
+        self.next_lsn = lsn + 1
+        self.appended_records += 1
+        self.appended_bytes += len(line)
+        self._unsynced += 1
+        obs = current_obs()
+        obs.add("store.wal_appends")
+        obs.add("store.wal_ops", len(ops))
+        obs.add("store.wal_bytes", len(line))
+        if self.fsync == "always" or (
+            self.fsync == "batch" and self._unsynced >= self.sync_every
+        ):
+            self.sync()
+        self.last_append = AppendResult(
+            lsn=lsn, segment=self._segment, start=start, end=start + len(line)
+        )
+        return self.last_append
+
+    def sync(self) -> None:
+        """Force the active segment to stable storage (unless ``off``)."""
+        if self._fp is None or self.fsync == "off":
+            self._unsynced = 0
+            return
+        if self.fault_injector is not None:
+            self.fault_injector.io("wal.fsync")
+        with current_obs().span("store.fsync", segment=self._segment):
+            self._fp.flush()
+            os.fsync(self._fp.fileno())
+        self.fsyncs_performed += 1
+        self._unsynced = 0
+        current_obs().add("store.fsyncs")
+
+    def _rotate(self) -> None:
+        """Close the active segment and start a fresh one at ``next_lsn``."""
+        if self._fp is not None:
+            if self.fsync != "off":
+                self.sync()
+            self._fp.close()
+            self.rotations += 1
+            current_obs().add("store.wal_rotations")
+        self._segment = segment_name(self.next_lsn)
+        self._fp = open(os.path.join(self.directory, self._segment), "ab")
+        if self.fsync != "off":
+            _fsync_dir(self.directory)
+
+    def truncate_upto(self, lsn: int) -> int:
+        """Drop every segment whose records are all ``<= lsn``.
+
+        Called after a checkpoint at *lsn*: the checkpoint supersedes that
+        prefix of the log.  Rotates first so the active segment is never
+        rewritten, then unlinks obsolete whole segments.  Returns how many
+        segments were removed.
+        """
+        self._rotate()
+        segments = list_segments(self.directory)
+        removed = 0
+        # segment i holds LSNs [first_i, first_{i+1}); the active (last)
+        # segment is empty post-rotation and always survives
+        for name, successor in zip(segments, segments[1:]):
+            if segment_first_lsn(successor) <= lsn + 1:
+                os.unlink(os.path.join(self.directory, name))
+                removed += 1
+        if removed:
+            if self.fsync != "off":
+                _fsync_dir(self.directory)
+            current_obs().add("store.wal_truncated_segments", removed)
+        return removed
+
+    def close(self) -> None:
+        """Flush, fsync (policy permitting) and close the active segment."""
+        if self._fp is None:
+            return
+        if self.fsync != "off":
+            self.sync()
+        self._fp.close()
+        self._fp = None
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+
+    def records(self) -> Iterator[WalRecord]:
+        """Iterate the whole surviving log (reads from disk, no repair)."""
+        return iter(read_records(self.directory, repair=False))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<WriteAheadLog dir={self.directory!r} next_lsn={self.next_lsn} "
+            f"fsync={self.fsync!r} segment={self._segment!r}>"
+        )

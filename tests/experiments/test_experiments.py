@@ -40,6 +40,7 @@ class TestConfig:
             "fig9", "fig10", "fig11", "fig12", "fig13",
             "tab1", "tab2", "tab3", "ablation",
             "serve", "bench-serve",
+            "persist", "recover", "bench-store",
         }
 
 

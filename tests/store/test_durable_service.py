@@ -1,0 +1,307 @@
+"""DurableIndexService: the logged commit protocol, end to end."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import InjectedFaultError, StoreError
+from repro.graph.datagraph import DataGraph, EdgeKind
+from repro.graph.serialize import graph_from_dict
+from repro.obs import observed
+from repro.resilience.faults import FaultInjector
+from repro.resilience.guard import GuardConfig
+from repro.service import IndexService, ServiceConfig, Update
+from repro.store import DurableIndexService, StoreConfig, list_segments, recover
+from repro.store.checkpoint import list_checkpoints
+
+from tests.store.conftest import (
+    family_fingerprint,
+    graph_fingerprint,
+    index_fingerprint,
+    tiny_graph,
+)
+
+
+def _graph(store_graph_dict) -> DataGraph:
+    return graph_from_dict(json.loads(json.dumps(store_graph_dict)))
+
+
+def _config(family: str = "one", **overrides) -> ServiceConfig:
+    defaults = dict(
+        family=family,
+        k=2,
+        batch_max_ops=4,
+        queue_capacity=0,
+        guard=GuardConfig(policy="raise", check_every=0),
+    )
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+VOLATILE = StoreConfig(fsync="off", checkpoint_every_records=0)
+
+
+class TestStoreConfig:
+    def test_validation(self):
+        with pytest.raises(StoreError):
+            StoreConfig(fsync="perhaps")
+        with pytest.raises(StoreError):
+            StoreConfig(checkpoint_every_records=-1)
+        with pytest.raises(StoreError):
+            StoreConfig(keep_checkpoints=0)
+
+
+class TestCommitProtocol:
+    def test_fresh_store_writes_checkpoint_zero(self, store_dir):
+        service = DurableIndexService(tiny_graph(), store_dir, store_config=VOLATILE)
+        assert len(list_checkpoints(store_dir)) == 1
+        assert service.version == 0
+        service.close(checkpoint=False)
+        # recoverable before any commit
+        assert recover(store_dir).version == 0
+
+    def test_reopening_initialised_store_raises(self, store_dir):
+        DurableIndexService(tiny_graph(), store_dir, store_config=VOLATILE).close()
+        with pytest.raises(StoreError):
+            DurableIndexService(tiny_graph(), store_dir, store_config=VOLATILE)
+
+    def test_every_commit_logs_one_record(self, store_dir, store_graph_dict):
+        graph = _graph(store_graph_dict)
+        nodes = sorted(graph.nodes())
+        service = DurableIndexService(
+            graph, store_dir, config=_config(), store_config=VOLATILE
+        )
+        for i in range(3):
+            service.submit_nowait(Update.insert_node(nodes[0], "logged", i))
+            service.flush()
+        assert service.version == 3
+        assert service.wal.last_lsn == 3
+        assert [r.lsn for r in service.wal.records()] == [1, 2, 3]
+        service.close(checkpoint=False)
+
+    def test_base_recover_alias_round_trips(self, store_dir, store_graph_dict):
+        graph = _graph(store_graph_dict)
+        nodes = sorted(graph.nodes())
+        service = DurableIndexService(
+            graph, store_dir, config=_config(), store_config=VOLATILE
+        )
+        service.submit_nowait(Update.insert_node(nodes[0], "kept", "v"))
+        service.flush()
+        expected = (
+            graph_fingerprint(service.graph),
+            index_fingerprint(service.guarded.index),
+            service.version,
+        )
+        service.close()  # clean close: final checkpoint
+
+        recovered = IndexService.recover(store_dir, store_config=VOLATILE)
+        assert isinstance(recovered, DurableIndexService)
+        assert (
+            graph_fingerprint(recovered.graph),
+            index_fingerprint(recovered.guarded.index),
+            recovered.version,
+        ) == expected
+        assert recovered.recovery.replayed_records == 0  # pure checkpoint load
+        recovered.close(checkpoint=False)
+
+    def test_empty_coalesced_batch_keeps_version_lsn_lockstep(self, store_dir):
+        graph = tiny_graph()
+        root = min(graph.nodes())
+        leaf = max(graph.nodes())
+        service = DurableIndexService(
+            graph,
+            store_dir,
+            config=_config(coalesce=True),
+            store_config=VOLATILE,
+        )
+        # a cancelling pair coalesces to nothing, but still publishes a
+        # version — so it must still log an (empty) record
+        service.submit_nowait(Update.insert_edge(leaf, root, EdgeKind.IDREF))
+        service.submit_nowait(Update.delete_edge(leaf, root))
+        service.flush()
+        assert service.version == 1
+        records = list(service.wal.records())
+        assert [r.lsn for r in records] == [1]
+        assert records[0].ops == []
+        service.close(checkpoint=False)
+        result = recover(store_dir)
+        assert result.version == 1
+        assert result.replayed_records == 1 and result.replayed_ops == 0
+
+    def test_node_and_subgraph_ops_replay_identically(self, store_dir):
+        graph = tiny_graph()
+        root = min(graph.nodes())
+        sub = DataGraph()
+        # explicit oids disjoint from the host graph's
+        sub_root = sub.add_node("wing", oid=100)
+        sub_leaf = sub.add_node("feather", oid=101)
+        sub.add_edge(sub_root, sub_leaf)
+        service = DurableIndexService(
+            graph, store_dir, config=_config(), store_config=VOLATILE
+        )
+        service.submit_nowait(Update.insert_node(root, "twig", None))
+        service.flush()
+        service.submit_nowait(Update.add_subgraph(sub, sub_root, ((root, sub_root),)))
+        service.flush()
+        twig = max(service.graph.nodes())  # newest oid from the subgraph
+        service.submit_nowait(Update.delete_subgraph(twig))
+        service.flush()
+        expected = (graph_fingerprint(service.graph), service.version)
+        service.close(checkpoint=False)
+        result = recover(store_dir)  # replays all three records
+        assert result.replayed_records == 3
+        assert (graph_fingerprint(result.graph), result.version) == expected
+
+
+class TestIoFaultMidCommit:
+    def test_failed_commit_is_unpublished_and_recoverable(self, store_dir):
+        graph = tiny_graph()
+        root = min(graph.nodes())
+        # io calls: checkpoint 0 takes 2 (write + rename), then one WAL
+        # append per commit (fsync off) — io 4 is commit 2's append
+        injector = FaultInjector(at_io=4)
+        service = DurableIndexService(
+            graph,
+            store_dir,
+            config=_config(),
+            store_config=VOLATILE,
+            fault_injector=injector,
+        )
+        service.submit_nowait(Update.insert_node(root, "good", 1))
+        service.flush()
+        published = (graph_fingerprint(service.graph), service.version)
+
+        service.submit_nowait(Update.insert_node(root, "doomed", 2))
+        with pytest.raises(InjectedFaultError):
+            service.flush()
+        # nothing was published: readers still see version 1
+        assert service.version == 1
+        service.wal.close()  # abandon the divergent instance
+
+        # recovery reconstructs exactly the last *published* state
+        result = recover(store_dir)
+        assert (graph_fingerprint(result.graph), result.version) == published
+
+
+class TestCheckpointCadence:
+    def test_auto_checkpoint_truncates_wal(self, store_dir):
+        graph = tiny_graph()
+        root = min(graph.nodes())
+        service = DurableIndexService(
+            graph,
+            store_dir,
+            config=_config(),
+            store_config=StoreConfig(fsync="off", checkpoint_every_records=2),
+        )
+        for i in range(5):
+            service.submit_nowait(Update.insert_node(root, "leafy", i))
+            service.flush()
+        # checkpoint 0, then cadence after commits 2 and 4
+        assert service.checkpointer.checkpoints_written == 3
+        # only the tail survives in the log
+        assert [r.lsn for r in service.wal.records()] == [5]
+        expected = (graph_fingerprint(service.graph), service.version)
+        service.close(checkpoint=False)
+        result = recover(store_dir)
+        assert result.checkpoint_lsn == 4 and result.replayed_records == 1
+        assert (graph_fingerprint(result.graph), result.version) == expected
+
+    def test_recover_resumes_cadence_counter(self, store_dir):
+        graph = tiny_graph()
+        root = min(graph.nodes())
+        cadence = StoreConfig(fsync="off", checkpoint_every_records=3)
+        service = DurableIndexService(
+            graph, store_dir, config=_config(), store_config=cadence
+        )
+        service.submit_nowait(Update.insert_node(root, "pre", 0))
+        service.flush()
+        service.wal.close()  # crash: 1 un-checkpointed record
+
+        recovered = DurableIndexService.recover(
+            store_dir, config=_config(), store_config=cadence
+        )
+        assert recovered.checkpointer.records_since_checkpoint == 1
+        before = recovered.checkpointer.checkpoints_written
+        for i in range(2):  # records 2 and 3 since the checkpoint
+            recovered.submit_nowait(Update.insert_node(root, "post", i))
+            recovered.flush()
+        assert recovered.checkpointer.checkpoints_written == before + 1
+        recovered.close(checkpoint=False)
+
+
+class TestRecoverConfiguration:
+    def test_family_always_comes_from_the_store(self, store_dir):
+        service = DurableIndexService(
+            tiny_graph(),
+            store_dir,
+            config=_config(family="ak"),
+            store_config=VOLATILE,
+        )
+        expected = family_fingerprint(service.guarded.family)
+        service.close()
+        # a mismatched requested family is overridden by the checkpoint
+        recovered = DurableIndexService.recover(
+            store_dir, config=_config(family="one"), store_config=VOLATILE
+        )
+        assert recovered.config.family == "ak"
+        assert family_fingerprint(recovered.guarded.family) == expected
+        recovered.close(checkpoint=False)
+
+    def test_recovered_service_rotates_into_existing_log(self, store_dir):
+        graph = tiny_graph()
+        root = min(graph.nodes())
+        service = DurableIndexService(
+            graph, store_dir, config=_config(), store_config=VOLATILE
+        )
+        service.submit_nowait(Update.insert_node(root, "a", 0))
+        service.flush()
+        service.wal.close()
+
+        recovered = DurableIndexService.recover(
+            store_dir, config=_config(), store_config=VOLATILE
+        )
+        recovered.submit_nowait(Update.insert_node(root, "b", 1))
+        recovered.flush()
+        assert [r.lsn for r in recovered.wal.records()] == [1, 2]
+        assert recovered.version == 2
+        recovered.close(checkpoint=False)
+        assert recover(store_dir).version == 2
+
+    def test_store_keeps_segment_files_bounded(self, store_dir):
+        graph = tiny_graph()
+        root = min(graph.nodes())
+        service = DurableIndexService(
+            graph,
+            store_dir,
+            config=_config(),
+            store_config=StoreConfig(
+                fsync="off", checkpoint_every_records=2, keep_checkpoints=1
+            ),
+        )
+        for i in range(8):
+            service.submit_nowait(Update.insert_node(root, "n", i))
+            service.flush()
+        service.close()
+        assert len(list_checkpoints(store_dir)) == 1
+        assert len(list_segments(store_dir)) <= 2
+
+
+class TestObservability:
+    def test_store_counters_flow(self, store_dir):
+        with observed() as obs:
+            graph = tiny_graph()
+            root = min(graph.nodes())
+            service = DurableIndexService(
+                graph, store_dir, config=_config(), store_config=VOLATILE
+            )
+            service.submit_nowait(Update.insert_node(root, "seen", 0))
+            service.flush()
+            service.close()
+            recover(store_dir)
+            counters = obs.metrics
+            assert counters.counter("store.wal_appends").value == 1
+            assert counters.counter("store.checkpoints").value == 2  # 0 + close
+            assert counters.counter("store.recoveries").value == 1
+            assert counters.counter("store.closes").value == 1
