@@ -7,9 +7,13 @@ plus durability:
 * **every commit is logged before it is published**: the writer applies
   the coalesced batch transactionally, appends it — in the stable
   :mod:`repro.resilience.wire` encoding — to the write-ahead log, and
-  only then swaps the new snapshot in.  A crash at any point therefore
-  loses at most work that was never visible to a reader; everything a
-  reader ever saw is reconstructible from checkpoint + log.
+  only then swaps the new snapshot in.  What a crash can lose is
+  bounded by the fsync policy: under ``always``, nothing a reader ever
+  saw; under the default ``batch``, a power cut may drop up to
+  ``sync_every`` published versions (a plain process crash drops
+  nothing — the bytes are in the page cache); under ``off``, whatever
+  the OS had not written back.  Everything the log retains is
+  reconstructible from checkpoint + log.
 * **cadenced checkpoints**: every ``checkpoint_every_records`` commits
   (and on clean :meth:`close`), the live graph + index pair is written
   atomically and the WAL truncated behind it, bounding replay time.
@@ -30,6 +34,7 @@ state.  That is the crash model the torture tests drive.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, replace
 from typing import Optional
 
@@ -96,6 +101,15 @@ class DurableIndexService(IndexService):
         self.store_dir = store_dir
         #: populated by :meth:`recover` with how this instance came back
         self.recovery: Optional[RecoveryResult] = None
+        # refuse an already-initialised store *before* building the index
+        # or opening (and tail-repairing) the WAL: the refusal path must
+        # not mutate the store it refuses, nor leak an open file handle
+        if not _recovered and os.path.isdir(store_dir):
+            if latest_checkpoint(store_dir) is not None:
+                raise StoreError(
+                    f"store {store_dir!r} already holds a checkpoint; use "
+                    "DurableIndexService.recover() to reopen it"
+                )
         super().__init__(
             graph,
             config,
@@ -118,11 +132,6 @@ class DurableIndexService(IndexService):
             fault_injector=fault_injector,
         )
         if not _recovered:
-            if latest_checkpoint(store_dir) is not None:
-                raise StoreError(
-                    f"store {store_dir!r} already holds a checkpoint; use "
-                    "DurableIndexService.recover() to reopen it"
-                )
             # checkpoint 0: the store is recoverable before any commit
             self.checkpoint()
 
@@ -144,10 +153,19 @@ class DurableIndexService(IndexService):
             self._checkpoint_at(self.version + 1)
 
     def checkpoint(self) -> str:
-        """Snapshot the live pair now and truncate the WAL behind it."""
-        return self._checkpoint_at(self.version)
+        """Snapshot the live pair now and truncate the WAL behind it.
+
+        Serialises against the writer: taken mid-commit (a background
+        writer thread, or another thread flushing), an unlocked snapshot
+        could pair a half-applied graph/index with a racing WAL position
+        and then truncate segments the published state still needs.
+        """
+        with self._writer_lock:
+            return self._checkpoint_at(self.version)
 
     def _checkpoint_at(self, version: int) -> str:
+        # caller must hold _writer_lock (checkpoint() takes it; the
+        # cadence path in _on_batch_applied runs inside _commit's hold)
         return self.checkpointer.checkpoint(
             self.graph,
             version=version,

@@ -31,10 +31,12 @@ rewriting one unbounded log.
 **Torn tails.**  A crash mid-append leaves a partial final line.  The
 reader (:func:`read_records`) accepts every valid record up to the first
 bad line of the **final** segment and truncates the file there — that is
-exactly the prefix the writer could have acknowledged.  A bad record
-anywhere *before* the tail is real corruption and raises
-:class:`WalCorruptionError`; replay must not silently skip the middle of
-a log.
+exactly the prefix the writer could have acknowledged.  A crash that
+cuts only the trailing newline leaves a whole, valid record, which is
+accepted; repair rewrites the terminator so the next append starts a
+fresh line.  A bad record with valid records *after* it — in any
+segment — is real corruption and raises :class:`WalCorruptionError`;
+replay must not silently skip the middle of a log.
 """
 
 from __future__ import annotations
@@ -138,12 +140,45 @@ def _decode_line(line: bytes) -> Optional[WalRecord]:
     return WalRecord(lsn=lsn, ops=ops)
 
 
-def _scan_segment(path: str) -> tuple[list[WalRecord], int, Optional[str]]:
+@dataclass(frozen=True)
+class _SegmentScan:
+    """What :func:`_scan_segment` found in one segment file."""
+
+    records: list[WalRecord]
+    valid_bytes: int  # byte length of the longest whole-valid-record prefix
+    bad_reason: Optional[str]  # None iff the valid prefix runs to EOF
+    tail_only: bool  # nothing record-like follows the bad data (if any)
+    missing_newline: bool  # final record is whole but its newline was cut
+
+
+def _record_like_follows(data: bytes, offset: int) -> bool:
+    """Does any whole, structurally valid record line sit at/after *offset*?
+
+    Distinguishes a torn tail (junk with nothing after it — safe to
+    truncate) from mid-log corruption (a bad line *followed by* records
+    the writer acknowledged — must never be dropped).
+    """
+    while offset < len(data):
+        newline = data.find(b"\n", offset)
+        end = len(data) if newline < 0 else newline
+        try:
+            if _decode_line(data[offset:end]) is not None:
+                return True
+        except WalCorruptionError:
+            # a future-format record is still a record, not torn junk
+            return True
+        if newline < 0:
+            return False
+        offset = newline + 1
+    return False
+
+
+def _scan_segment(path: str) -> _SegmentScan:
     """Read one segment file.
 
-    Returns ``(records, valid_bytes, bad_reason)`` where *valid_bytes* is
-    the byte length of the longest prefix of whole, valid records and
-    *bad_reason* is ``None`` iff the file ends exactly at that prefix.
+    ``valid_bytes`` is the byte length of the longest prefix of whole,
+    valid records; ``bad_reason`` is ``None`` iff the file ends exactly
+    at that prefix.
     """
     with open(path, "rb") as fp:
         data = fp.read()
@@ -156,45 +191,58 @@ def _scan_segment(path: str) -> tuple[list[WalRecord], int, Optional[str]]:
             # (the crash cut exactly the trailing newline)
             record = _decode_line(data[offset:])
             if record is None:
-                return records, offset, "torn final record"
+                return _SegmentScan(records, offset, "torn final record", True, False)
             records.append(record)
-            offset = len(data)
-            break
+            return _SegmentScan(records, len(data), None, True, True)
         record = _decode_line(data[offset:newline])
         if record is None:
-            return records, offset, f"bad record at byte {offset}"
+            tail_only = not _record_like_follows(data, newline + 1)
+            reason = f"bad record at byte {offset}"
+            if not tail_only:
+                reason += " with valid records after it"
+            return _SegmentScan(records, offset, reason, tail_only, False)
         records.append(record)
         offset = newline + 1
-    return records, offset, None
+    return _SegmentScan(records, offset, None, True, False)
 
 
 def read_records(directory: str, repair: bool = False) -> list[WalRecord]:
     """Read every surviving record of the log, in LSN order.
 
-    A torn tail — a bad line with nothing valid after it, in the **last**
-    segment — is tolerated: reading stops at the last valid record, and
-    with ``repair=True`` the segment file is truncated to that prefix so
-    subsequent appends continue from a clean end.  Corruption anywhere
-    else raises :class:`WalCorruptionError`.  LSNs must increase by
-    exactly one across segment boundaries; a gap or repeat is corruption.
+    A torn tail — a bad line with nothing record-like after it, in the
+    **last** segment — is tolerated: reading stops at the last valid
+    record, and with ``repair=True`` the segment file is truncated to
+    that prefix so subsequent appends continue from a clean end.  A bad
+    line *followed by* valid records, in any segment, is real corruption
+    and raises :class:`WalCorruptionError` — replay must not silently
+    skip the middle of a log.  LSNs must increase by exactly one across
+    segment boundaries; a gap or repeat is corruption.
+
+    A crash can also cut exactly the final record's newline, leaving a
+    whole, valid, unterminated line; the record is accepted, and
+    ``repair=True`` restores the missing terminator so a reopened writer
+    cannot glue its next append onto the same line.
     """
     segments = list_segments(directory)
     records: list[WalRecord] = []
     expected: Optional[int] = None
     for position, name in enumerate(segments):
         path = os.path.join(directory, name)
-        segment_records, valid_bytes, bad_reason = _scan_segment(path)
-        if bad_reason is not None:
-            if position != len(segments) - 1:
-                raise WalCorruptionError(name, valid_bytes, bad_reason)
+        scan = _scan_segment(path)
+        if scan.bad_reason is not None:
+            if position != len(segments) - 1 or not scan.tail_only:
+                raise WalCorruptionError(name, scan.valid_bytes, scan.bad_reason)
             if repair:
                 with open(path, "rb+") as fp:
-                    fp.truncate(valid_bytes)
-        for record in segment_records:
+                    fp.truncate(scan.valid_bytes)
+        elif scan.missing_newline and repair:
+            with open(path, "ab") as fp:
+                fp.write(b"\n")
+        for record in scan.records:
             if expected is not None and record.lsn != expected:
                 raise WalCorruptionError(
                     name,
-                    valid_bytes,
+                    scan.valid_bytes,
                     f"LSN gap: expected {expected}, found {record.lsn}",
                 )
             expected = record.lsn + 1
@@ -263,8 +311,13 @@ class WriteAheadLog:
         self.last_append: Optional[AppendResult] = None
 
         existing = read_records(directory, repair=True)
-        self.next_lsn = existing[-1].lsn + 1 if existing else 1
         segments = list_segments(directory)
+        # a checkpoint truncation leaves one empty segment named for the
+        # next LSN; resume from that floor, never restart at 1 — a record
+        # re-using a checkpointed LSN would be skipped as superseded on
+        # the next recovery, silently dropping an acknowledged commit
+        floor = segment_first_lsn(segments[-1]) if segments else 1
+        self.next_lsn = max(existing[-1].lsn + 1 if existing else 1, floor)
         self._segment = segments[-1] if segments else None
         self._fp = None
         if self._segment is not None:

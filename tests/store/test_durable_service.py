@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import json
+import os
+import threading
 
 import pytest
 
@@ -43,6 +45,15 @@ def _config(family: str = "one", **overrides) -> ServiceConfig:
 VOLATILE = StoreConfig(fsync="off", checkpoint_every_records=0)
 
 
+def _dir_bytes(directory: str) -> dict[str, bytes]:
+    """Every file in *directory* mapped to its exact contents."""
+    contents = {}
+    for name in sorted(os.listdir(directory)):
+        with open(os.path.join(directory, name), "rb") as fp:
+            contents[name] = fp.read()
+    return contents
+
+
 class TestStoreConfig:
     def test_validation(self):
         with pytest.raises(StoreError):
@@ -66,6 +77,32 @@ class TestCommitProtocol:
         DurableIndexService(tiny_graph(), store_dir, store_config=VOLATILE).close()
         with pytest.raises(StoreError):
             DurableIndexService(tiny_graph(), store_dir, store_config=VOLATILE)
+
+    def test_reopen_refusal_leaves_store_untouched(self, store_dir):
+        graph = tiny_graph()
+        root = min(graph.nodes())
+        service = DurableIndexService(
+            graph, store_dir, config=_config(), store_config=VOLATILE
+        )
+        service.submit_nowait(Update.insert_node(root, "kept", 0))
+        service.flush()
+        service.wal.close()  # unclean shutdown: one un-checkpointed record
+        # tear the WAL tail, as a crash would
+        segment = os.path.join(store_dir, list_segments(store_dir)[-1])
+        with open(segment, "rb+") as fp:
+            fp.truncate(os.path.getsize(segment) - 1)
+        before = _dir_bytes(store_dir)
+        with pytest.raises(StoreError):
+            DurableIndexService(tiny_graph(), store_dir, store_config=VOLATILE)
+        # the refusal must not repair the tail, write a checkpoint, or
+        # leave any other byte of the store changed
+        assert _dir_bytes(store_dir) == before
+        # and recover() still reopens it (repairing the tail then)
+        recovered = DurableIndexService.recover(
+            store_dir, config=_config(), store_config=VOLATILE
+        )
+        assert recovered.version == 1
+        recovered.close(checkpoint=False)
 
     def test_every_commit_logs_one_record(self, store_dir, store_graph_dict):
         graph = _graph(store_graph_dict)
@@ -230,6 +267,26 @@ class TestCheckpointCadence:
         assert recovered.checkpointer.checkpoints_written == before + 1
         recovered.close(checkpoint=False)
 
+    def test_explicit_checkpoint_serialises_against_writer(self, store_dir):
+        # checkpoint() must queue behind the writer lock: snapshotting a
+        # mid-apply graph/index against a racing WAL position would
+        # produce an inconsistent checkpoint and then truncate segments
+        # the published state still needs
+        service = DurableIndexService(
+            tiny_graph(), store_dir, config=_config(), store_config=VOLATILE
+        )
+        assert service._writer_lock.acquire()  # pose as a mid-commit writer
+        finished = threading.Event()
+        thread = threading.Thread(
+            target=lambda: (service.checkpoint(), finished.set())
+        )
+        thread.start()
+        assert not finished.wait(0.1), "checkpoint ran without the writer lock"
+        service._writer_lock.release()
+        assert finished.wait(5.0), "checkpoint never acquired the freed lock"
+        thread.join()
+        service.close(checkpoint=False)
+
 
 class TestRecoverConfiguration:
     def test_family_always_comes_from_the_store(self, store_dir):
@@ -266,6 +323,28 @@ class TestRecoverConfiguration:
         recovered.flush()
         assert [r.lsn for r in recovered.wal.records()] == [1, 2]
         assert recovered.version == 2
+        recovered.close(checkpoint=False)
+        assert recover(store_dir).version == 2
+
+    def test_commit_after_recover_from_clean_close_survives(self, store_dir):
+        graph = tiny_graph()
+        root = min(graph.nodes())
+        service = DurableIndexService(
+            graph, store_dir, config=_config(), store_config=VOLATILE
+        )
+        service.submit_nowait(Update.insert_node(root, "pre", 0))
+        service.flush()
+        service.close()  # clean close: checkpoint + WAL truncated to empty
+
+        recovered = DurableIndexService.recover(
+            store_dir, config=_config(), store_config=VOLATILE
+        )
+        assert recovered.version == 1
+        recovered.submit_nowait(Update.insert_node(root, "post", 1))
+        recovered.flush()
+        # the record must continue the LSN sequence past the checkpoint —
+        # restarting at 1 would make the next replay skip it as superseded
+        assert recovered.wal.last_lsn == 2
         recovered.close(checkpoint=False)
         assert recover(store_dir).version == 2
 

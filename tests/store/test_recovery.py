@@ -267,3 +267,46 @@ class TestResumeAfterRecovery:
 
         # and the resumed run is itself durable: recover it once more
         _assert_recovers_to(torture, resumed_dir, NUM_COMMITS, "re-recovery")
+
+    def test_resume_after_newline_cut_recovery(self, torture, tmp_path):
+        # crash cut exactly the final newline (cut == end - 1): the
+        # record is whole and survives, recovery repairs the missing
+        # terminator, and the resumed writer's first append must start a
+        # fresh line — not glue onto the old final record, which a later
+        # recovery would then discard wholesale as a torn tail
+        target = next(
+            s for s in torture.snapshots
+            if s.state == CHECKPOINT_AFTER + 2 and s.span is not None
+        )
+        resumed_dir = str(tmp_path / "resumed-newline")
+        shutil.copytree(target.path, resumed_dir)
+        span = target.span
+        segment_path = os.path.join(resumed_dir, span.segment)
+        with open(segment_path, "rb") as fp:
+            original = fp.read()
+        with open(segment_path, "wb") as fp:
+            fp.write(original[: span.end - 1])
+
+        service = DurableIndexService.recover(
+            resumed_dir,
+            config=_service_config(torture.family),
+            store_config=STORE_CONFIG,
+        )
+        assert service.version == target.state  # the cut record survived
+        for commit in range(target.state + 1, NUM_COMMITS + 1):
+            for update in torture.batches[commit]:
+                service.submit_nowait(update)
+            service.flush()
+        assert service.version == NUM_COMMITS
+        expected_graph, expected_index = torture.fingerprints[NUM_COMMITS]
+        assert graph_fingerprint(service.graph) == expected_graph
+        if torture.family == "one":
+            assert index_fingerprint(service.guarded.index) == expected_index
+        else:
+            assert family_fingerprint(service.guarded.family) == expected_index
+        service.close(checkpoint=False)
+
+        # the append after the repaired newline must itself be readable
+        _assert_recovers_to(
+            torture, resumed_dir, NUM_COMMITS, "re-recovery after newline cut"
+        )

@@ -212,6 +212,61 @@ class TestTornTails:
         wal.close()
         assert [r.lsn for r in read_records(store_dir)] == [1, 2, 3]
 
+    def test_repair_restores_cut_final_newline(self, store_dir):
+        # crash cut exactly the trailing newline: the record is whole and
+        # survives, and repair must rewrite the terminator — otherwise a
+        # reopened writer glues its next append onto the same line and a
+        # later read discards BOTH acknowledged records as a torn tail
+        path, data = self._write(store_dir)
+        with open(path, "wb") as fp:
+            fp.write(data[:-1])
+        assert [r.lsn for r in read_records(store_dir, repair=True)] == [1, 2, 3]
+        assert os.path.getsize(path) == len(data)  # newline is back
+        wal = WriteAheadLog(store_dir, fsync="off")
+        assert wal.next_lsn == 4
+        wal.append(_ops(3))
+        wal.close()
+        assert [r.lsn for r in read_records(store_dir)] == [1, 2, 3, 4]
+
+    def test_reopen_after_newline_cut_does_not_glue_records(self, store_dir):
+        # same cut, but the writer reopens directly (its __init__ repairs)
+        path, data = self._write(store_dir)
+        with open(path, "wb") as fp:
+            fp.write(data[:-1])
+        wal = WriteAheadLog(store_dir, fsync="off")
+        wal.append(_ops(3))
+        wal.close()
+        assert [r.lsn for r in read_records(store_dir)] == [1, 2, 3, 4]
+
+    def test_bad_line_before_valid_records_raises_even_in_last_segment(
+        self, store_dir
+    ):
+        # a mid-segment bit flip with acknowledged records after it is
+        # corruption, not a torn tail — truncating would silently drop
+        # the valid suffix
+        path, data = self._write(store_dir)
+        lines = data.splitlines(keepends=True)
+        corrupted = lines[0] + lines[1].replace(b'"lsn":2', b'"lsn":9') + lines[2]
+        with open(path, "wb") as fp:
+            fp.write(corrupted)
+        with pytest.raises(WalCorruptionError):
+            read_records(store_dir)
+        with pytest.raises(WalCorruptionError):
+            read_records(store_dir, repair=True)
+        # and repair must not have truncated anything
+        assert os.path.getsize(path) == len(corrupted)
+
+    def test_bad_line_before_torn_final_record_still_truncates(self, store_dir):
+        # bad line + torn junk after it: nothing valid follows, so the
+        # whole suffix is one torn tail
+        path, data = self._write(store_dir)
+        lines = data.splitlines(keepends=True)
+        mangled = lines[0] + lines[1].replace(b'"lsn":2', b'"lsn":9') + lines[2][:10]
+        with open(path, "wb") as fp:
+            fp.write(mangled)
+        assert [r.lsn for r in read_records(store_dir, repair=True)] == [1]
+        assert os.path.getsize(path) == len(lines[0])
+
     def test_bitflip_in_tail_drops_record(self, store_dir):
         path, data = self._write(store_dir)
         lines = data.splitlines(keepends=True)
