@@ -1,0 +1,134 @@
+"""Hot-path benchmark: publish latency, serving throughput, maintenance rate.
+
+Runs the ``bench-hotpath`` experiment (``repro.experiments.bench_hotpath``)
+at the session's scale and asserts the quantitative claims DESIGN.md §8
+makes:
+
+* **evolve beats full capture** on every benchmarked graph size, and by
+  at least 5x on the largest one — while producing a byte-identical
+  snapshot (fingerprints compared in the same run);
+* serving throughput with incremental publish on is no worse than with
+  it off;
+* the raw maintainers sustain a positive split/merge op rate.
+
+Also runnable directly for CI smoke::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --smoke
+
+which runs at smoke scale, enforces the same gates (with a relaxed 1x
+bar for the tiny smoke graphs), and writes the machine-readable
+baseline to ``BENCH_hotpath.json`` at the repository root (schema
+``repro.bench_hotpath/1``; see DESIGN.md §8).  Without ``--smoke`` the
+run uses small scale — that is the configuration whose output is
+committed as the repository's perf baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.experiments import bench_hotpath
+
+#: default output path: <repo root>/BENCH_hotpath.json
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
+
+
+def test_evolve_publish_beats_full_capture(run_once, benchmark, scale):
+    points = run_once(lambda: bench_hotpath.run_publish_latency(scale))
+    assert points, "publish sweep produced no measurements"
+    for p in points:
+        # the headline gate is only meaningful for identical snapshots
+        assert p.fingerprints_equal, (
+            f"{p.family} @ {p.nodes} nodes: evolve snapshot != fresh capture"
+        )
+        assert p.evolve_ms < p.full_capture_ms, (
+            f"{p.family} @ {p.nodes} nodes: evolve ({p.evolve_ms:.2f}ms) not "
+            f"faster than full capture ({p.full_capture_ms:.2f}ms)"
+        )
+    largest = max(points, key=lambda p: p.nodes)
+    assert largest.speedup >= 5.0, (
+        f"evolve only {largest.speedup:.1f}x on {largest.nodes} nodes (need >= 5x)"
+    )
+    benchmark.extra_info["largest_graph_speedup"] = round(largest.speedup, 1)
+    benchmark.extra_info["largest_graph_nodes"] = largest.nodes
+
+
+def test_incremental_publish_throughput(run_once, benchmark, scale):
+    points = run_once(lambda: bench_hotpath.run_throughput(scale))
+    by_key = {(p.family, p.incremental_publish): p for p in points}
+    for family in ("one", "ak"):
+        on, off = by_key[(family, True)], by_key[(family, False)]
+        assert on.steps == off.steps
+        assert on.versions > 0 and off.versions > 0
+        # same closed loop, same seeds: evolve publish must not slow the
+        # writer down (generous 0.8 guard band against timer noise; the
+        # smoke preset commits too few batches for the ratio to mean
+        # anything, so only the larger scales enforce it)
+        if scale.name != "smoke":
+            assert on.updates_per_second >= 0.8 * off.updates_per_second, (
+                f"{family}: incremental publish throughput "
+                f"{on.updates_per_second:.0f}/s vs {off.updates_per_second:.0f}/s full"
+            )
+        benchmark.extra_info[f"{family}_updates_per_s"] = round(on.updates_per_second)
+
+
+def test_maintenance_throughput(run_once, benchmark, scale):
+    points = run_once(lambda: bench_hotpath.run_maintenance(scale))
+    assert {p.family for p in points} == {"one", "ak"}
+    for p in points:
+        assert p.ops > 0 and p.seconds > 0
+        benchmark.extra_info[f"{p.family}_ops_per_s"] = round(p.ops_per_second)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CI entry point: run the experiment, gate, and write the baseline."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run at smoke scale (seconds); default is small scale, the "
+        "configuration of the committed BENCH_hotpath.json baseline",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="PATH",
+        default=str(DEFAULT_OUTPUT),
+        help="where to write the JSON baseline (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.experiments import scale_by_name
+    from repro.obs import SummarySink, observed
+
+    scale = scale_by_name("smoke" if args.smoke else "small")
+    with observed(SummarySink(sys.stdout)) as obs:
+        with obs.span("bench.hotpath", scale=scale.name):
+            result = bench_hotpath.run(scale)
+            print(bench_hotpath.report(result))
+
+    payload = result.as_json()
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+
+    if not result.all_fingerprints_equal:
+        print("FAIL: an evolve-published snapshot differed from a fresh capture")
+        return 1
+    if result.worst_publish_speedup <= 1.0:
+        print("FAIL: evolve publish not faster than full capture")
+        return 1
+    # the acceptance bar for the committed baseline: >= 5x on the
+    # largest graph (smoke graphs are too small for the full gap)
+    if not args.smoke and result.largest_graph_speedup < 5.0:
+        print(
+            f"FAIL: evolve only {result.largest_graph_speedup:.1f}x "
+            "on the largest graph (need >= 5x)"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,7 @@ or programmatically::
 
 from repro.experiments import (
     ablation_worstcase,
+    bench_hotpath,
     bench_serve,
     bench_store,
     fig09_imdb_quality,
@@ -41,6 +42,7 @@ EXPERIMENTS = {
     "ablation": ablation_worstcase,
     "serve": serve,
     "bench-serve": bench_serve,
+    "bench-hotpath": bench_hotpath,
     "persist": persist,
     "recover": recover,
     "bench-store": bench_store,

@@ -10,6 +10,9 @@ Examples::
     python -m repro.experiments --scale smoke --trace out.jsonl fig9
     python -m repro.experiments --scale smoke --trace-summary fig11
 
+    # profile the run: cProfile stats land next to the trace output
+    python -m repro.experiments --scale smoke --profile hot.pstats bench-hotpath
+
     # transactional maintenance (repro.resilience): run the 1-index
     # maintainers under a guard and see the overhead in the fig11 table
     python -m repro.experiments --scale smoke --guard fig11
@@ -72,6 +75,14 @@ def main(argv: list[str] | None = None) -> int:
         help="enable repro.obs and print a per-span/counter summary at the end",
     )
     parser.add_argument(
+        "--profile",
+        metavar="PATH",
+        default=None,
+        help="run everything under cProfile and dump the pstats data to "
+        "PATH (inspect with `python -m pstats PATH`); the top functions "
+        "by cumulative time are also printed at the end",
+    )
+    parser.add_argument(
         "--store-dir",
         metavar="DIR",
         default=None,
@@ -128,13 +139,29 @@ def main(argv: list[str] | None = None) -> int:
         sinks.append(jsonl)
     if args.trace_summary:
         sinks.append(SummarySink(sys.stdout))
-    if sinks:
-        with observed(*sinks) as obs:
-            _run_experiments(chosen, scale, obs)
-        if jsonl is not None:
-            print(f"trace: wrote {jsonl.emitted} records to {args.trace}")
-    else:
-        _run_experiments(chosen, scale)
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+    try:
+        if sinks:
+            with observed(*sinks) as obs:
+                _run_experiments(chosen, scale, obs)
+            if jsonl is not None:
+                print(f"trace: wrote {jsonl.emitted} records to {args.trace}")
+        else:
+            _run_experiments(chosen, scale)
+    finally:
+        if profiler is not None:
+            profiler.disable()
+            profiler.dump_stats(args.profile)
+            import pstats
+
+            stats = pstats.Stats(profiler, stream=sys.stdout)
+            stats.sort_stats("cumulative").print_stats(15)
+            print(f"profile: wrote pstats data to {args.profile}")
     return 0
 
 

@@ -1,0 +1,384 @@
+"""``bench-hotpath``: the publish/serve hot-path perf baseline.
+
+Three measurements back the DESIGN.md §8 claims and feed the
+``BENCH_hotpath.json`` baseline the perf-smoke CI job regenerates:
+
+1. **Publish latency vs graph size** — for each graph size, apply one
+   mixed batch through a guarded maintainer with a
+   :class:`~repro.resilience.TouchedSet` attached, then time
+   :meth:`IndexSnapshot.capture` (the full O(|G|+|I|) freeze) against
+   :meth:`IndexSnapshot.evolve` (the O(touched) copy-on-write path) for
+   the *same* post-batch state — and byte-compare their fingerprints,
+   so every speedup number is only reported for provably identical
+   snapshots.
+
+2. **Sustained serving throughput** — the closed-loop serve session run
+   twice per family, ``incremental_publish`` on vs off, same seeds;
+   reports updates/sec, queries/sec and commit latency for both.
+
+3. **Maintenance ops/sec** — raw split/merge throughput with the
+   serving layer out of the picture: N insert/delete edge pairs applied
+   directly through each family's maintainer.
+
+All numbers also flow through :mod:`repro.obs`
+(``bench.hotpath.*``), so ``--trace-summary`` tabulates them.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import asdict, dataclass
+
+from repro.experiments.config import ExperimentScale
+from repro.experiments.reporting import format_table
+from repro.graph.datagraph import DataGraph
+from repro.index.akindex import AkIndexFamily
+from repro.index.oneindex import OneIndex
+from repro.maintenance.ak_split_merge import AkSplitMergeMaintainer
+from repro.maintenance.split_merge import SplitMergeMaintainer
+from repro.obs import current as current_obs
+from repro.resilience.guard import GuardConfig, GuardedMaintainer
+from repro.resilience.journal import TouchedSet
+from repro.service import IndexService, ServiceConfig
+from repro.service.snapshot import IndexSnapshot
+from repro.workload.queries import QueryWorkload
+from repro.workload.random_graphs import candidate_edges, random_dag
+from repro.workload.sessions import ClosedLoopDriver, SessionMix
+from repro.workload.updates import MixedUpdateWorkload
+from repro.workload.xmark import generate_xmark
+
+#: operations in the measured publish batch (kept small and constant so
+#: the evolve cost stays O(touched) while the graph size sweeps)
+PUBLISH_BATCH_OPS = 16
+
+#: timing repetitions per publish measurement (minimum is reported)
+PUBLISH_REPEATS = 5
+
+
+@dataclass
+class PublishPoint:
+    """Full-capture vs evolve publish latency at one graph size."""
+
+    family: str
+    k: int
+    nodes: int
+    edges: int
+    inodes: int
+    batch_ops: int
+    full_capture_ms: float
+    evolve_ms: float
+    fingerprints_equal: bool
+
+    @property
+    def speedup(self) -> float:
+        """Full-capture / evolve latency for the same published state."""
+        if self.evolve_ms <= 0:
+            return float("inf")
+        return self.full_capture_ms / self.evolve_ms
+
+
+@dataclass
+class ThroughputPoint:
+    """One closed-loop serve run (one family, one publish mode)."""
+
+    family: str
+    incremental_publish: bool
+    steps: int
+    updates_per_second: float
+    queries_per_second: float
+    commit_p50_ms: float
+    commit_p95_ms: float
+    versions: int
+
+
+@dataclass
+class MaintenancePoint:
+    """Raw maintainer throughput: edge insert/delete pairs per second."""
+
+    family: str
+    ops: int
+    seconds: float
+
+    @property
+    def ops_per_second(self) -> float:
+        if self.seconds <= 0:
+            return float("inf")
+        return self.ops / self.seconds
+
+
+@dataclass
+class BenchHotpathResult:
+    """All three measurements at one scale."""
+
+    scale: str
+    publish_latency: list[PublishPoint]
+    throughput: list[ThroughputPoint]
+    maintenance: list[MaintenancePoint]
+
+    @property
+    def worst_publish_speedup(self) -> float:
+        """Smallest evolve speedup over the sweep (the gate's number)."""
+        if not self.publish_latency:
+            return 0.0
+        return min(p.speedup for p in self.publish_latency)
+
+    @property
+    def largest_graph_speedup(self) -> float:
+        """Evolve speedup on the largest benchmarked graph."""
+        if not self.publish_latency:
+            return 0.0
+        return max(self.publish_latency, key=lambda p: p.nodes).speedup
+
+    @property
+    def all_fingerprints_equal(self) -> bool:
+        """Whether every evolve/capture pair byte-matched."""
+        return all(p.fingerprints_equal for p in self.publish_latency)
+
+    def as_json(self) -> dict:
+        """The ``BENCH_hotpath.json`` payload (schema documented in DESIGN.md §8)."""
+        return {
+            "schema": "repro.bench_hotpath/1",
+            "scale": self.scale,
+            "publish_latency": [
+                {**asdict(p), "speedup": round(p.speedup, 2)}
+                for p in self.publish_latency
+            ],
+            "throughput": [asdict(p) for p in self.throughput],
+            "maintenance": [
+                {**asdict(p), "ops_per_second": round(p.ops_per_second, 1)}
+                for p in self.maintenance
+            ],
+            "summary": {
+                "worst_publish_speedup": round(self.worst_publish_speedup, 2),
+                "largest_graph_speedup": round(self.largest_graph_speedup, 2),
+                "all_fingerprints_equal": self.all_fingerprints_equal,
+            },
+        }
+
+
+def graph_sizes_for(scale: ExperimentScale) -> tuple[int, ...]:
+    """Node counts for the publish-latency sweep."""
+    if scale.name == "smoke":
+        return (300, 1500)
+    if scale.name == "paper":
+        return (5000, 20000, 50000, 150000)
+    return (2000, 10000, 50000)
+
+
+def _publish_workload(graph: DataGraph, seed: int) -> list[tuple[str, tuple]]:
+    """One mixed batch: node inserts + edge inserts (always applicable)."""
+    rng = random.Random(seed)
+    nodes = sorted(graph.nodes())
+    calls: list[tuple[str, tuple]] = []
+    edges = candidate_edges(graph, rng, PUBLISH_BATCH_OPS // 2, acyclic=True)
+    for source, target in edges:
+        calls.append(("insert_edge", (source, target)))
+    while len(calls) < PUBLISH_BATCH_OPS:
+        calls.append(("insert_node", (rng.choice(nodes), rng.choice("WXYZ"))))
+    return calls
+
+
+def _measure_publish(family: str, k: int, num_nodes: int, seed: int) -> PublishPoint:
+    """Build graph+index, apply one batch, time both publish paths."""
+    rng = random.Random(seed)
+    graph = random_dag(rng, num_nodes, extra_edges=num_nodes // 10)
+    if family == "one":
+        index = OneIndex.build(graph)
+        maintainer = SplitMergeMaintainer(index)
+    else:
+        family_obj = AkIndexFamily.build(graph, k)
+        maintainer = AkSplitMergeMaintainer(family_obj)
+    guarded = GuardedMaintainer(maintainer, GuardConfig(policy="degrade"))
+    touched = TouchedSet()
+    guarded.track_touched(touched)
+    kwargs = (
+        {"index": guarded.index} if family == "one" else {"family": guarded.family}
+    )
+    prev = IndexSnapshot.capture(0, graph, **kwargs)
+    guarded.apply_batch(_publish_workload(graph, seed + 1))
+
+    full_seconds = min(
+        _timed(lambda: IndexSnapshot.capture(1, graph, **kwargs))
+        for _ in range(PUBLISH_REPEATS)
+    )
+    evolve_seconds = min(
+        _timed(lambda: IndexSnapshot.evolve(prev, 1, graph, touched, **kwargs))
+        for _ in range(PUBLISH_REPEATS)
+    )
+    evolved = IndexSnapshot.evolve(prev, 1, graph, touched, **kwargs)
+    fresh = IndexSnapshot.capture(1, graph, **kwargs)
+    obs = current_obs()
+    obs.observe("bench.hotpath.full_capture_seconds", full_seconds)
+    obs.observe("bench.hotpath.evolve_seconds", evolve_seconds)
+    return PublishPoint(
+        family=family,
+        k=k if family == "ak" else 0,
+        nodes=graph.num_nodes,
+        edges=graph.num_edges,
+        inodes=fresh.num_inodes,
+        batch_ops=PUBLISH_BATCH_OPS,
+        full_capture_ms=full_seconds * 1000.0,
+        evolve_ms=evolve_seconds * 1000.0,
+        fingerprints_equal=evolved.fingerprint() == fresh.fingerprint(),
+    )
+
+
+def _timed(func) -> float:
+    started = time.perf_counter()
+    func()
+    return time.perf_counter() - started
+
+
+def run_publish_latency(scale: ExperimentScale, seed: int = 61) -> list[PublishPoint]:
+    """The full-capture vs evolve sweep over graph sizes, both families."""
+    points: list[PublishPoint] = []
+    sizes = graph_sizes_for(scale)
+    for num_nodes in sizes:
+        points.append(_measure_publish("one", 0, num_nodes, seed))
+    # one A(k) point at the mid size: the evolve path differs (leaf
+    # tokens, not inode ids), so it needs its own number
+    k = min(scale.ks)
+    points.append(_measure_publish("ak", k, sizes[len(sizes) // 2], seed))
+    return points
+
+
+def throughput_steps_for(scale: ExperimentScale) -> int:
+    """Closed-loop steps per throughput run."""
+    return max(120, scale.pairs_1index)
+
+
+def run_throughput(scale: ExperimentScale, seed: int = 71) -> list[ThroughputPoint]:
+    """The serve closed loop, incremental publish on vs off, per family."""
+    points: list[ThroughputPoint] = []
+    steps = throughput_steps_for(scale)
+    for family in ("one", "ak"):
+        for incremental in (True, False):
+            graph = generate_xmark(scale.xmark).graph
+            updates = MixedUpdateWorkload.prepare(graph, seed=seed)
+            service = IndexService(
+                graph,
+                ServiceConfig(
+                    family=family,
+                    k=min(scale.ks),
+                    batch_max_ops=32,
+                    queue_capacity=128,
+                    incremental_publish=incremental,
+                ),
+            )
+            queries = QueryWorkload.generate(graph, count=24, seed=seed + 1)
+            driver = ClosedLoopDriver(
+                service,
+                updates,
+                queries,
+                SessionMix(steps=steps, seed=seed + 2),
+            )
+            rep = driver.run()
+            points.append(
+                ThroughputPoint(
+                    family=family,
+                    incremental_publish=incremental,
+                    steps=rep.steps,
+                    updates_per_second=rep.updates_per_second,
+                    queries_per_second=rep.queries_per_second,
+                    commit_p50_ms=rep.commit_p50_ms,
+                    commit_p95_ms=rep.commit_p95_ms,
+                    versions=service.version,
+                )
+            )
+            service.close()
+    return points
+
+
+def maintenance_pairs_for(scale: ExperimentScale) -> int:
+    """Edge insert/delete pairs per maintenance measurement."""
+    return max(20, scale.pairs_1index)
+
+
+def run_maintenance(scale: ExperimentScale, seed: int = 81) -> list[MaintenancePoint]:
+    """Raw split/merge ops/sec for both families on one XMark graph."""
+    points: list[MaintenancePoint] = []
+    num_pairs = maintenance_pairs_for(scale)
+    for family in ("one", "ak"):
+        graph = generate_xmark(scale.xmark).graph
+        rng = random.Random(seed)
+        pairs = candidate_edges(graph, rng, num_pairs, acyclic=False)
+        if family == "one":
+            maintainer = SplitMergeMaintainer(OneIndex.build(graph))
+        else:
+            maintainer = AkSplitMergeMaintainer(
+                AkIndexFamily.build(graph, min(scale.ks))
+            )
+        started = time.perf_counter()
+        for source, target in pairs:
+            maintainer.insert_edge(source, target)
+            maintainer.delete_edge(source, target)
+        seconds = time.perf_counter() - started
+        points.append(
+            MaintenancePoint(family=family, ops=2 * len(pairs), seconds=seconds)
+        )
+        current_obs().observe(f"bench.hotpath.maintain_{family}_seconds", seconds)
+    return points
+
+
+def run(scale: ExperimentScale) -> BenchHotpathResult:
+    """All three measurements at the given scale."""
+    return BenchHotpathResult(
+        scale=scale.name,
+        publish_latency=run_publish_latency(scale),
+        throughput=run_throughput(scale),
+        maintenance=run_maintenance(scale),
+    )
+
+
+def report(result: BenchHotpathResult) -> str:
+    """Render the three tables."""
+    publish = format_table(
+        ["family", "nodes", "edges", "inodes", "full ms", "evolve ms", "speedup", "identical"],
+        [
+            [
+                p.family if p.family == "one" else f"ak(k={p.k})",
+                p.nodes,
+                p.edges,
+                p.inodes,
+                f"{p.full_capture_ms:.2f}",
+                f"{p.evolve_ms:.2f}",
+                f"{p.speedup:.1f}x",
+                "yes" if p.fingerprints_equal else "NO",
+            ]
+            for p in result.publish_latency
+        ],
+    )
+    throughput = format_table(
+        ["family", "publish", "updates/s", "queries/s", "commit p50/p95 ms", "versions"],
+        [
+            [
+                p.family,
+                "evolve" if p.incremental_publish else "full",
+                f"{p.updates_per_second:.0f}",
+                f"{p.queries_per_second:.0f}",
+                f"{p.commit_p50_ms:.2f}/{p.commit_p95_ms:.2f}",
+                p.versions,
+            ]
+            for p in result.throughput
+        ],
+    )
+    maintenance = format_table(
+        ["family", "ops", "seconds", "ops/s"],
+        [
+            [p.family, p.ops, f"{p.seconds:.3f}", f"{p.ops_per_second:.0f}"]
+            for p in result.maintenance
+        ],
+    )
+    header = (
+        f"publish batch = {PUBLISH_BATCH_OPS} ops; worst evolve speedup "
+        f"{result.worst_publish_speedup:.1f}x, largest-graph speedup "
+        f"{result.largest_graph_speedup:.1f}x, fingerprints "
+        f"{'all identical' if result.all_fingerprints_equal else 'MISMATCHED'}"
+    )
+    return f"{header}\n\n{publish}\n\n{throughput}\n\n{maintenance}"
+
+
+def main(scale: ExperimentScale) -> str:
+    """CLI entry point."""
+    return report(run(scale))

@@ -88,6 +88,10 @@ class DataGraph:
         "_next_oid",
         "_num_edges",
         "_journal",
+        "_generation",
+        "_succ_view",
+        "_pred_view",
+        "_view_generation",
     )
 
     def __init__(self) -> None:
@@ -102,6 +106,12 @@ class DataGraph:
         #: undo-log hook: a :class:`repro.resilience.MutationJournal` while
         #: a transaction is open, ``None`` (a no-op) otherwise.
         self._journal = None
+        #: mutation counter: every mutator bumps it, invalidating the
+        #: memoized frozen views below (see :meth:`succ`/:meth:`pred`)
+        self._generation: int = 0
+        self._succ_view: dict[int, frozenset[int]] = {}
+        self._pred_view: dict[int, frozenset[int]] = {}
+        self._view_generation: int = 0
 
     # ------------------------------------------------------------------
     # Node operations
@@ -128,6 +138,7 @@ class DataGraph:
         self._succ[oid] = set()
         self._pred[oid] = set()
         self._next_oid = max(self._next_oid, oid + 1)
+        self._generation += 1
         if self._journal is not None:
             self._journal.record(self, "node_added", (oid, prev_next_oid))
         return oid
@@ -141,6 +152,7 @@ class DataGraph:
             raise RootError("data graph already has a root node")
         root = self.add_node(ROOT_LABEL, oid=oid)
         self._root = root
+        self._generation += 1
         if self._journal is not None:
             self._journal.record(self, "root_set", (root,))
         return root
@@ -161,6 +173,7 @@ class DataGraph:
         del self._pred[oid]
         if was_root:
             self._root = None
+        self._generation += 1
         if self._journal is not None:
             self._journal.record(self, "node_removed", (oid, label, value, was_root))
 
@@ -186,6 +199,7 @@ class DataGraph:
             self._values.pop(oid, None)
         else:
             self._values[oid] = value
+        self._generation += 1
         if self._journal is not None:
             self._journal.record(self, "value_set", (oid, old))
 
@@ -201,6 +215,7 @@ class DataGraph:
             raise RootError("the root node must keep the ROOT label")
         old = self._labels[oid]
         self._labels[oid] = label
+        self._generation += 1
         if self._journal is not None:
             self._journal.record(self, "relabeled", (oid, old))
 
@@ -224,6 +239,7 @@ class DataGraph:
         self._pred[target].add(source)
         self._edge_kinds[(source, target)] = kind
         self._num_edges += 1
+        self._generation += 1
         if self._journal is not None:
             self._journal.record(self, "edge_added", (source, target))
 
@@ -238,6 +254,7 @@ class DataGraph:
         self._pred[target].discard(source)
         del self._edge_kinds[(source, target)]
         self._num_edges -= 1
+        self._generation += 1
         if self._journal is not None:
             self._journal.record(self, "edge_removed", (source, target, kind))
 
@@ -270,15 +287,45 @@ class DataGraph:
         """Whether the root node has been created."""
         return self._root is not None
 
+    @property
+    def generation(self) -> int:
+        """Mutation counter; bumped by every mutator.
+
+        Lets callers (and the memoized views below) detect staleness with
+        one integer comparison instead of re-reading adjacency.
+        """
+        return self._generation
+
     def succ(self, oid: int) -> frozenset[int]:
-        """The successors (children) of node *oid* as a frozen set."""
+        """The successors (children) of node *oid* as a frozen set.
+
+        Memoized per generation: repeated calls between mutations return
+        the same frozen object instead of allocating a copy each time.
+        """
         self._require_node(oid)
-        return frozenset(self._succ[oid])
+        if self._view_generation != self._generation:
+            self._succ_view.clear()
+            self._pred_view.clear()
+            self._view_generation = self._generation
+        view = self._succ_view.get(oid)
+        if view is None:
+            view = self._succ_view[oid] = frozenset(self._succ[oid])
+        return view
 
     def pred(self, oid: int) -> frozenset[int]:
-        """The predecessors (parents) of node *oid* as a frozen set."""
+        """The predecessors (parents) of node *oid* as a frozen set.
+
+        Memoized per generation, like :meth:`succ`.
+        """
         self._require_node(oid)
-        return frozenset(self._pred[oid])
+        if self._view_generation != self._generation:
+            self._succ_view.clear()
+            self._pred_view.clear()
+            self._view_generation = self._generation
+        view = self._pred_view.get(oid)
+        if view is None:
+            view = self._pred_view[oid] = frozenset(self._pred[oid])
+        return view
 
     def iter_succ(self, oid: int) -> Iterator[int]:
         """Iterate over the successors of *oid* without copying.
@@ -471,6 +518,7 @@ class DataGraph:
         undo paths write the internal dicts directly (never the public
         mutators) so a rollback is itself journal-free.
         """
+        self._generation += 1
         if op == "edge_added":
             source, target = payload
             self._succ[source].discard(target)

@@ -93,6 +93,12 @@ class StructuralIndex:
         #: undo-log hook: a :class:`repro.resilience.MutationJournal` while
         #: a transaction is open, ``None`` (a no-op) otherwise.
         self._journal = None
+        #: mutation counter: every mutator bumps it, invalidating the
+        #: memoized frozen views (see :meth:`ipred_set`/:meth:`isucc_set`)
+        self._generation: int = 0
+        self._ipred_view: dict[int, frozenset[int]] = {}
+        self._isucc_view: dict[int, frozenset[int]] = {}
+        self._view_generation: int = 0
 
     # ------------------------------------------------------------------
     # Construction primitives
@@ -135,6 +141,7 @@ class StructuralIndex:
         self._label[inode] = label
         self._succ_support[inode] = {}
         self._pred_support[inode] = {}
+        self._generation += 1
         if self._journal is not None:
             self._journal.record(self, "inode_created", (inode,))
         return inode
@@ -216,15 +223,47 @@ class StructuralIndex:
         self._require(inode)
         return iter(self._pred_support[inode])
 
+    @property
+    def generation(self) -> int:
+        """Mutation counter; bumped by every mutator.
+
+        One integer comparison tells callers (and the memoized views
+        below) whether anything changed since they last looked.
+        """
+        return self._generation
+
     def ipred_set(self, inode: int) -> frozenset[int]:
-        """Index predecessors as a frozen set (hashable merge signature)."""
+        """Index predecessors as a frozen set (hashable merge signature).
+
+        Memoized per generation: the split/merge engine probes the same
+        inodes' predecessor signatures repeatedly inside nested loops, so
+        repeated calls between mutations return the same frozen object
+        instead of allocating a copy each time.
+        """
         self._require(inode)
-        return frozenset(self._pred_support[inode])
+        if self._view_generation != self._generation:
+            self._ipred_view.clear()
+            self._isucc_view.clear()
+            self._view_generation = self._generation
+        view = self._ipred_view.get(inode)
+        if view is None:
+            view = self._ipred_view[inode] = frozenset(self._pred_support[inode])
+        return view
 
     def isucc_set(self, inode: int) -> frozenset[int]:
-        """Index successors as a frozen set."""
+        """Index successors as a frozen set.
+
+        Memoized per generation, like :meth:`ipred_set`.
+        """
         self._require(inode)
-        return frozenset(self._succ_support[inode])
+        if self._view_generation != self._generation:
+            self._ipred_view.clear()
+            self._isucc_view.clear()
+            self._view_generation = self._generation
+        view = self._isucc_view.get(inode)
+        if view is None:
+            view = self._isucc_view[inode] = frozenset(self._succ_support[inode])
+        return view
 
     def has_iedge(self, source: int, target: int) -> bool:
         """Whether the iedge ``source -> target`` exists."""
@@ -286,6 +325,7 @@ class StructuralIndex:
         self._extent[to_inode].add(dnode)
         self._inode_of[dnode] = to_inode
         self._attach(dnode)
+        self._generation += 1
         if self._journal is not None:
             self._journal.record(self, "dnode_moved", (dnode, source))
 
@@ -389,6 +429,7 @@ class StructuralIndex:
         del self._label[other]
         del self._succ_support[other]
         del self._pred_support[other]
+        self._generation += 1
         if before is not None:
             self._journal.record(self, "merge_folded", before)
 
@@ -405,6 +446,7 @@ class StructuralIndex:
         del self._label[inode]
         del self._succ_support[inode]
         del self._pred_support[inode]
+        self._generation += 1
         if self._journal is not None:
             self._journal.record(self, "inode_destroyed", (inode, label))
         return True
@@ -429,6 +471,7 @@ class StructuralIndex:
         self._extent[inode].add(dnode)
         self._inode_of[dnode] = inode
         self._attach(dnode)
+        self._generation += 1
         if self._journal is not None:
             self._journal.record(self, "dnode_covered", (dnode, inode))
         return inode
@@ -459,6 +502,7 @@ class StructuralIndex:
                 self._extent[inode].add(w)
                 new_nodes.add(w)
         self._account_new_nodes(new_nodes, 1)
+        self._generation += 1
         if self._journal is not None:
             self._journal.record(self, "blocks_absorbed", (frozenset(new_nodes),))
         return new_ids
@@ -495,6 +539,7 @@ class StructuralIndex:
         self._detach(dnode)
         self._extent[inode].discard(dnode)
         del self._inode_of[dnode]
+        self._generation += 1
         if self._journal is not None:
             self._journal.record(self, "dnode_dropped", (dnode, inode))
         self.remove_if_empty(inode)
@@ -509,6 +554,7 @@ class StructuralIndex:
         ti = self.inode_of(target)
         self._bump(self._succ_support[si], ti, 1)
         self._bump(self._pred_support[ti], si, 1)
+        self._generation += 1
         if self._journal is not None:
             self._journal.record(self, "support_bumped", (si, ti, 1))
 
@@ -518,6 +564,7 @@ class StructuralIndex:
         ti = self.inode_of(target)
         self._bump(self._succ_support[si], ti, -1)
         self._bump(self._pred_support[ti], si, -1)
+        self._generation += 1
         if self._journal is not None:
             self._journal.record(self, "support_bumped", (si, ti, -1))
 
@@ -535,6 +582,7 @@ class StructuralIndex:
             ti = self._inode_of[target]
             self._bump(self._succ_support[si], ti, 1)
             self._bump(self._pred_support[ti], si, 1)
+        self._generation += 1
 
     def partition(self) -> list[frozenset[int]]:
         """The partition as a list of frozen extents (testing helper)."""
@@ -600,6 +648,7 @@ class StructuralIndex:
         undone every later graph mutation has already been reverted and
         the adjacency matches what this record saw when it was written.
         """
+        self._generation += 1
         if op == "support_bumped":
             si, ti, delta = payload
             self._bump(self._succ_support[si], ti, -delta)

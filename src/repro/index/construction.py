@@ -58,17 +58,35 @@ def refine_by_signature(graph: DataGraph, class_of: ClassMap) -> ClassMap:
     Returns a new class map where two dnodes share a class iff they shared
     one before *and* the sets of their parents' old classes coincide.
     Fresh class ids are dense integers starting at 0.
+
+    Signatures are interned to those dense ints through a canonical key
+    that avoids frozenset construction for the overwhelmingly common
+    cases (XML-like data is tree-dominated): no parents is ``-1``, a
+    single effective parent class is that bare int, and only a genuinely
+    mixed parent-class set pays for a frozenset.  A singleton class set
+    is collapsed to the bare int so the two spellings of "one parent
+    class" can never intern to different ids.  Class ids are dense
+    non-negative ints, so ``-1`` and bare-int keys cannot collide with
+    anything else.
     """
-    ids: dict[tuple[int, frozenset[int]], int] = {}
+    ids: dict[tuple[int, object], int] = {}
     refined: ClassMap = {}
+    pred = graph._pred
     for node in graph.nodes():
-        signature = (
-            class_of[node],
-            frozenset(class_of[p] for p in graph.iter_pred(node)),
-        )
-        if signature not in ids:
-            ids[signature] = len(ids)
-        refined[node] = ids[signature]
+        parents = pred[node]
+        if not parents:
+            pkey: object = -1
+        elif len(parents) == 1:
+            (parent,) = parents
+            pkey = class_of[parent]
+        else:
+            classes = {class_of[p] for p in parents}
+            pkey = classes.pop() if len(classes) == 1 else frozenset(classes)
+        signature = (class_of[node], pkey)
+        cls = ids.get(signature)
+        if cls is None:
+            cls = ids[signature] = len(ids)
+        refined[node] = cls
     return refined
 
 

@@ -57,6 +57,12 @@ class AkSplitMergeMaintainer:
         level0 = family.levels[0]
         for token, extent in level0.extents.items():
             self._label_tokens[self.graph.label(next(iter(extent)))] = token
+        #: optional :class:`repro.resilience.TouchedSet` for incremental
+        #: snapshot publication.  The family is rolled back by snapshot,
+        #: not journaled, so leaf-level (= level k) membership changes
+        #: are reported here directly: ``leaf_moves`` entries for every
+        #: placement/move/removal, ``leaf_tokens`` for emptied classes.
+        self.touched = None
 
     # ------------------------------------------------------------------
     # Edge insertion / deletion
@@ -85,6 +91,8 @@ class AkSplitMergeMaintainer:
         refreshes the label-token cache — level-0 tokens are not preserved
         across a rebuild.
         """
+        if self.touched is not None:
+            self.touched.mark_all()
         fresh = AkIndexFamily.build(self.graph, self.family.k)
         self.family.levels = fresh.levels
         self._label_tokens = {}
@@ -106,6 +114,8 @@ class AkSplitMergeMaintainer:
         token = self._level0_token(label)
         level0.class_of[oid] = token
         level0.extents[token].add(oid)
+        if self.touched is not None and self.family.k == 0:
+            self.touched.leaf_moves.append((oid, None, token))
         stats = self._propagate(set(), initial_changed={oid})
         return oid, stats
 
@@ -126,6 +136,8 @@ class AkSplitMergeMaintainer:
             token = level.class_of.pop(dnode)
             extent = level.extents[token]
             extent.discard(dnode)
+            if level_no == family.k and self.touched is not None:
+                self.touched.leaf_moves.append((dnode, token, None))
             if not extent:
                 self._remove_empty_class(level_no, token, stats)
         graph.remove_node(dnode)
@@ -174,10 +186,13 @@ class AkSplitMergeMaintainer:
                 entry_points.add(target)
 
         level0 = self.family.levels[0]
+        track_leaf0 = self.touched is not None and self.family.k == 0
         for w in sorted(new_nodes):
             token = self._level0_token(graph.label(w))
             level0.class_of[w] = token
             level0.extents[token].add(w)
+            if track_leaf0:
+                self.touched.leaf_moves.append((w, None, token))
         stats = self._propagate(entry_points, initial_changed=new_nodes)
         return mapping, stats
 
@@ -200,11 +215,14 @@ class AkSplitMergeMaintainer:
         stats = UpdateStats()
         for level_no in range(family.k + 1):
             level = family.levels[level_no]
+            track_leaf = level_no == family.k and self.touched is not None
             emptied: set[int] = set()
             for w in doomed:
                 token = level.class_of.pop(w)
                 extent = level.extents[token]
                 extent.discard(w)
+                if track_leaf:
+                    self.touched.leaf_moves.append((w, token, None))
                 if not extent:
                     emptied.add(token)
             for token in emptied:
@@ -342,6 +360,7 @@ class AkSplitMergeMaintainer:
                 coarser.children.setdefault(new_parent, set()).add(old_token)
 
         # Assign every affected dnode to the class of its signature.
+        track = self.touched if level_no == family.k else None
         changed: set[int] = set()
         for w in ordered:
             sig = sigs[w]
@@ -362,6 +381,8 @@ class AkSplitMergeMaintainer:
                 level.extents[old].discard(w)
             level.class_of[w] = target
             level.extents[target].add(w)
+            if track is not None:
+                track.leaf_moves.append((w, old, target))
             changed.add(w)
             stats.moves += 1
 
@@ -377,6 +398,8 @@ class AkSplitMergeMaintainer:
     def _remove_empty_class(self, level_no: int, token: int, stats: UpdateStats) -> None:
         family = self.family
         level = family.levels[level_no]
+        if level_no == family.k and self.touched is not None:
+            self.touched.leaf_tokens.add(token)
         del level.extents[token]
         if level_no > 0:
             parent = level.parent.pop(token)

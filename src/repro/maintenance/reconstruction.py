@@ -90,6 +90,7 @@ def reconstruct_from_scratch(index: StructuralIndex) -> None:
         index._succ_support = fresh._succ_support
         index._pred_support = fresh._pred_support
         index._next_id = fresh._next_id
+        index._generation += 1  # the swap bypasses the mutators
         span.set(after=index.num_inodes)
     obs.add("recon.from_scratch")
 

@@ -94,6 +94,11 @@ class SplitMergeMaintainer:
         #: forwarded to :func:`repro.index.construction.stabilize`; only
         #: the ablation benchmark changes it.
         self.splitter_choice = splitter_choice
+        #: optional :class:`repro.resilience.TouchedSet` for incremental
+        #: snapshot publication.  The 1-index journals every mutation, so
+        #: the only direct report needed here is the wholesale
+        #: invalidation on :meth:`rebuild_from_graph`.
+        self.touched = None
 
     # ------------------------------------------------------------------
     # Edge insertion / deletion (Figure 3)
@@ -464,4 +469,6 @@ class SplitMergeMaintainer:
         """
         from repro.maintenance.reconstruction import reconstruct_from_scratch
 
+        if self.touched is not None:
+            self.touched.mark_all()
         reconstruct_from_scratch(self.index)

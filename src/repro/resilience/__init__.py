@@ -21,7 +21,12 @@ makes every maintenance operation all-or-nothing:
 from repro.resilience.faults import PHASE_KINDS, FaultInjector
 from repro.resilience.guard import POLICIES, GuardConfig, GuardedMaintainer, GuardStats
 from repro.resilience.invariants import LEVELS, InvariantGuard
-from repro.resilience.journal import JournalRecord, MutationJournal, Transaction
+from repro.resilience.journal import (
+    JournalRecord,
+    MutationJournal,
+    TouchedSet,
+    Transaction,
+)
 from repro.resilience.wire import (
     WIRE_OPS,
     batch_from_wire,
@@ -38,6 +43,7 @@ __all__ = [
     "batch_from_wire",
     "MutationJournal",
     "Transaction",
+    "TouchedSet",
     "JournalRecord",
     "GuardedMaintainer",
     "GuardConfig",

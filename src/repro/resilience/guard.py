@@ -40,7 +40,7 @@ from repro.maintenance.base import UpdateStats
 from repro.obs import current as current_obs
 from repro.resilience.faults import FaultInjector
 from repro.resilience.invariants import InvariantGuard
-from repro.resilience.journal import Transaction
+from repro.resilience.journal import TouchedSet, Transaction
 
 POLICIES = ("raise", "retry", "degrade")
 
@@ -120,6 +120,9 @@ class GuardedMaintainer:
         #: 1-index maintainers expose ``.index``; A(k) maintainers ``.family``
         self.index = getattr(maintainer, "index", None)
         self.family = getattr(maintainer, "family", None)
+        #: optional :class:`TouchedSet` accumulator for incremental
+        #: publication (set via :meth:`track_touched`); ``None`` = off
+        self.touched: Optional[TouchedSet] = None
         self.invariants = InvariantGuard(
             level=self.config.check_level,
             check_every=self.config.check_every,
@@ -200,6 +203,23 @@ class GuardedMaintainer:
     def index_size(self) -> int:
         """Current index size (protocol passthrough)."""
         return self.maintainer.index_size()
+
+    # ------------------------------------------------------------------
+    # Touched-set tracking (incremental snapshot publication)
+    # ------------------------------------------------------------------
+
+    def track_touched(self, touched: Optional[TouchedSet]) -> None:
+        """Install (or remove, with ``None``) a touched-set accumulator.
+
+        While installed, every transaction feeds its journal records into
+        *touched*, and A(k) maintainers additionally report leaf-level
+        membership changes (the family is snapshot-rolled-back, not
+        journaled).  The accumulator is a conservative superset across
+        rollbacks; the consumer clears it after each successful publish.
+        """
+        self.touched = touched
+        if hasattr(self.maintainer, "touched"):
+            self.maintainer.touched = touched
 
     # ------------------------------------------------------------------
     # Transaction engine
@@ -310,6 +330,7 @@ class GuardedMaintainer:
             index=self.index,
             family=self.family,
             on_record=self.fault_injector,
+            touched=self.touched,
         )
         txn.begin()
         obs.add("resilience.txns")
@@ -341,6 +362,10 @@ class GuardedMaintainer:
         """
         self.stats.degradations += 1
         obs.add("resilience.degradations")
+        if self.touched is not None:
+            # rebuild renames every inode: nothing of the previous
+            # snapshot is reusable, so force the full-capture fallback
+            self.touched.mark_all()
         self.maintainer.rebuild_from_graph()
         try:
             return self._attempt(apply_fn, obs)

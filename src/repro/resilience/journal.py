@@ -39,6 +39,137 @@ from repro.index.base import StructuralIndex
 JournalRecord = tuple[Any, str, tuple]
 
 
+class TouchedSet:
+    """Accumulator of everything a batch of mutations may have changed.
+
+    The serving layer's copy-on-write publication
+    (:meth:`repro.service.snapshot.IndexSnapshot.evolve`) re-captures
+    only the *touched* entries of the previous frozen version and
+    structurally shares the rest, so publish cost tracks the batch, not
+    the corpus.  Correctness contract: the sets here must be a
+    **superset** of what actually changed — recapturing an untouched key
+    is wasted work but never wrong, while missing a touched key would
+    serve stale data.  That is why rolled-back mutations stay recorded
+    (the recapture just reproduces the shared entry) and why
+    :meth:`mark_all` exists for wholesale events (``rebuild_from_graph``
+    renames every inode, so the only safe answer is "everything").
+
+    Fed from two sources:
+
+    * :meth:`MutationJournal.record` — every journaled graph / 1-index
+      mutation maps to touched dnodes / inodes (see :meth:`observe`);
+    * :class:`~repro.maintenance.ak_split_merge.AkSplitMergeMaintainer`
+      — the A(k) family is snapshot-rolled-back, not journaled, so the
+      maintainer reports leaf-level membership changes directly into
+      :attr:`leaf_moves` / :attr:`leaf_tokens`.
+    """
+
+    __slots__ = ("dnodes", "inodes", "leaf_moves", "leaf_tokens", "full")
+
+    def __init__(self) -> None:
+        #: dnodes whose label/value/adjacency changed (including dead ones)
+        self.dnodes: set[int] = set()
+        #: 1-index inodes whose extent or iedges changed (including dead ones)
+        self.inodes: set[int] = set()
+        #: A(k) leaf-level membership changes: ``(dnode, old_token, new_token)``
+        #: with ``None`` for "not covered before" / "no longer covered"
+        self.leaf_moves: list[tuple[int, Optional[int], Optional[int]]] = []
+        #: A(k) leaf tokens touched directly (e.g. classes emptied)
+        self.leaf_tokens: set[int] = set()
+        #: everything invalidated — evolve must fall back to full capture
+        self.full: bool = False
+
+    def mark_all(self) -> None:
+        """Invalidate wholesale (index rebuilt: every id changed)."""
+        self.full = True
+
+    def clear(self) -> None:
+        """Reset after a publish consumed the accumulated touches."""
+        self.dnodes.clear()
+        self.inodes.clear()
+        self.leaf_moves.clear()
+        self.leaf_tokens.clear()
+        self.full = False
+
+    def __bool__(self) -> bool:
+        return bool(
+            self.full
+            or self.dnodes
+            or self.inodes
+            or self.leaf_moves
+            or self.leaf_tokens
+        )
+
+    # ------------------------------------------------------------------
+    # Journal-record translation
+    # ------------------------------------------------------------------
+
+    def observe(self, target: Any, op: str, payload: tuple) -> None:
+        """Fold one journal record into the touched sets.
+
+        Op names are globally unique across graph and index journals.
+        Records are appended *after* their mutation applied, so adjacency
+        and partition lookups here see the post-mutation state — exactly
+        what the next snapshot will capture.  Index records expand to the
+        neighbour inodes whose support tables the mutation bumped
+        (``_attach``/``_detach`` are not journaled per-bump), at the same
+        O(degree) cost the mutation itself already paid.
+        """
+        if self.full:
+            return
+        if op in ("edge_added", "edge_removed"):
+            self.dnodes.add(payload[0])
+            self.dnodes.add(payload[1])
+        elif op in ("node_added", "node_removed", "relabeled", "value_set", "root_set"):
+            self.dnodes.add(payload[0])
+        elif op == "support_bumped":
+            self.inodes.add(payload[0])
+            self.inodes.add(payload[1])
+        elif op in ("inode_created", "inode_destroyed"):
+            self.inodes.add(payload[0])
+        elif op == "dnode_moved":
+            dnode, source = payload
+            self.inodes.add(source)
+            self._touch_inode_neighbourhood(target, dnode)
+        elif op in ("dnode_covered", "dnode_dropped"):
+            dnode, inode = payload
+            self.inodes.add(inode)
+            self._touch_inode_neighbourhood(target, dnode)
+        elif op == "merge_folded":
+            survivor, other = payload[0], payload[1]
+            other_succ, other_pred = payload[4], payload[5]
+            self.inodes.add(survivor)
+            self.inodes.add(other)
+            # third parties had `other` popped / `survivor` bumped in
+            # their support tables — their iedge sets changed too
+            self.inodes.update(other_succ)
+            self.inodes.update(other_pred)
+        elif op == "blocks_absorbed":
+            (new_nodes,) = payload
+            for dnode in new_nodes:
+                self._touch_inode_neighbourhood(target, dnode)
+        # unknown ops fall through silently: the journal's rollback path
+        # is the format authority and raises on drift
+
+    def _touch_inode_neighbourhood(self, index: Any, dnode: int) -> None:
+        """Touch the inodes of *dnode* and of its graph neighbours."""
+        inode_of = index._inode_of
+        inode = inode_of.get(dnode)
+        if inode is not None:
+            self.inodes.add(inode)
+        graph = index.graph
+        if not graph.has_node(dnode):
+            return
+        for p in graph.iter_pred(dnode):
+            pi = inode_of.get(p)
+            if pi is not None:
+                self.inodes.add(pi)
+        for c in graph.iter_succ(dnode):
+            ci = inode_of.get(c)
+            if ci is not None:
+                self.inodes.add(ci)
+
+
 class MutationJournal:
     """An undo log shared by all structures enlisted in one transaction.
 
@@ -49,15 +180,22 @@ class MutationJournal:
     including the mutation whose record triggered the fault.
     """
 
-    __slots__ = ("records", "on_record")
+    __slots__ = ("records", "on_record", "touched")
 
-    def __init__(self, on_record: Optional[Callable[[str, int], None]] = None):
+    def __init__(
+        self,
+        on_record: Optional[Callable[[str, int], None]] = None,
+        touched: Optional[TouchedSet] = None,
+    ):
         self.records: list[JournalRecord] = []
         self.on_record = on_record
+        self.touched = touched
 
     def record(self, target: Any, op: str, payload: tuple) -> None:
         """Append one undo record (called from the structures' hooks)."""
         self.records.append((target, op, payload))
+        if self.touched is not None:
+            self.touched.observe(target, op, payload)
         if self.on_record is not None:
             self.on_record(op, len(self.records))
 
@@ -104,11 +242,12 @@ class Transaction:
         index: Optional[StructuralIndex] = None,
         family: Optional[AkIndexFamily] = None,
         on_record: Optional[Callable[[str, int], None]] = None,
+        touched: Optional[TouchedSet] = None,
     ):
         self.graph = graph
         self.index = index
         self.family = family
-        self.journal = MutationJournal(on_record)
+        self.journal = MutationJournal(on_record, touched=touched)
         self._family_backup: Optional[AkIndexFamily] = None
         self._active = False
 

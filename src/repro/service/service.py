@@ -52,6 +52,7 @@ from repro.query.evaluator import EvaluationReport
 from repro.query.path_expression import PathExpression
 from repro.resilience.faults import FaultInjector
 from repro.resilience.guard import GuardConfig, GuardedMaintainer
+from repro.resilience.journal import TouchedSet
 from repro.service.queue import BoundedQueue, CoalesceStats, Update, coalesce
 from repro.service.snapshot import IndexSnapshot
 
@@ -80,6 +81,9 @@ class ServiceConfig:
     guard: GuardConfig = field(default_factory=lambda: GuardConfig(policy="degrade"))
     #: background-writer poll interval while the queue is empty (seconds)
     writer_idle_wait: float = 0.05
+    #: publish via copy-on-write evolve (O(touched)) instead of a full
+    #: O(|G|+|I|) capture per commit; off = always full capture (A/B knob)
+    incremental_publish: bool = True
 
     def __post_init__(self) -> None:
         if self.family not in FAMILIES:
@@ -180,6 +184,11 @@ class IndexService:
                     f"{self.config.family!r} (no .{expected})"
                 )
         self.guarded = GuardedMaintainer(maintainer, self.config.guard, fault_injector)
+        self._touched: Optional[TouchedSet] = (
+            TouchedSet() if self.config.incremental_publish else None
+        )
+        if self._touched is not None:
+            self.guarded.track_touched(self._touched)
         self.queue = BoundedQueue(self.config.queue_capacity)
         self.stats = ServiceStats()
         self._writer_lock = threading.Lock()  # the single-writer discipline
@@ -316,8 +325,17 @@ class IndexService:
             # durability hook: a persistent subclass logs the applied
             # batch before the snapshot becomes visible to readers
             self._on_batch_applied(survivors)
-            snapshot = self._capture(version=self._snapshot.version + 1)
+            publish_started = time.perf_counter()
+            snapshot = self._next_snapshot(version=self._snapshot.version + 1)
             self._publish(snapshot)
+            # only now may the accumulator reset: an exception anywhere
+            # above leaves the touches in place, so the next successful
+            # publish still re-captures everything this batch perturbed
+            if self._touched is not None:
+                self._touched.clear()
+            obs.observe(
+                "service.publish_seconds", time.perf_counter() - publish_started
+            )
         elapsed = time.perf_counter() - started
         self.stats.batches += 1
         self.stats.applied_ops += len(survivors)
@@ -365,6 +383,25 @@ class IndexService:
         if self.config.family == "one":
             return IndexSnapshot.capture(version, self.graph, index=self.guarded.index)
         return IndexSnapshot.capture(version, self.graph, family=self.guarded.family)
+
+    def _next_snapshot(self, version: int) -> IndexSnapshot:
+        """Evolve the published version by the batch's touched set.
+
+        Full capture when incremental publication is off or the touched
+        set was invalidated wholesale (degrade-rebuild renames every
+        inode — nothing of the previous version is reusable).
+        """
+        if self._touched is None or self._touched.full:
+            return self._capture(version)
+        if self.config.family == "one":
+            return IndexSnapshot.evolve(
+                self._snapshot, version, self.graph, self._touched,
+                index=self.guarded.index,
+            )
+        return IndexSnapshot.evolve(
+            self._snapshot, version, self.graph, self._touched,
+            family=self.guarded.family,
+        )
 
     def _publish(self, snapshot: IndexSnapshot) -> None:
         """Swap the served version and retire the old one's staleness count."""

@@ -10,10 +10,21 @@ Readers grab the current snapshot reference once per query and evaluate
 entirely against it, so a query sees one consistent version end to end
 no matter how many batches commit underneath it.
 
-Freezing costs O(|G| + |I|) per publish; the batching writer amortises
-that across every operation in the batch, which is one of the two
-reasons batches beat per-update commits (the other is the per-batch
-invariant check — see :meth:`GuardedMaintainer.apply_batch`).
+Publishing is **incremental**: when a previous version exists, the
+writer calls :meth:`IndexSnapshot.evolve` with the batch's touched set
+(accumulated by :class:`repro.resilience.TouchedSet` from the mutation
+journal) — the next version's dicts start as copies of the previous
+version's, structurally sharing every untouched entry, and only the
+touched keys are re-captured.  That makes publish cost O(touched keys)
+plus an O(|dict|) pointer copy, instead of re-freezing every adjacency
+tuple and extent frozenset — the same
+update-cost-proportional-to-the-change principle the paper applies to
+the index itself, applied one layer up.  A full :meth:`capture` remains
+the cold-start path and the fallback whenever the touched set is marked
+``full`` (e.g. after a degrade-rebuild, which renames every inode).
+Batching still amortises the per-publish work, and the per-batch
+invariant check still beats per-update commits — see
+:meth:`GuardedMaintainer.apply_batch`.
 
 Both frozen views duck-type exactly the surface the evaluators in
 :mod:`repro.query` consume, so ``evaluate_on_graph(snapshot.graph, q)``
@@ -24,7 +35,8 @@ from-scratch graph evaluation *of the same version*.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+import json
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional
 
 from repro.exceptions import GraphError, StructuralIndexError
 from repro.graph.datagraph import DataGraph
@@ -34,6 +46,9 @@ from repro.query.automaton import PathNfa
 from repro.query.evaluator import EvaluationReport
 from repro.query.index_evaluator import evaluate_on_ak, evaluate_on_index
 from repro.query.path_expression import PathExpression
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.resilience.journal import TouchedSet
 
 
 class FrozenGraph:
@@ -65,6 +80,34 @@ class FrozenGraph:
         succ = {w: tuple(graph.iter_succ(w)) for w in graph.nodes()}
         pred = {w: tuple(graph.iter_pred(w)) for w in graph.nodes()}
         label = {w: graph.label(w) for w in graph.nodes()}
+        root = graph.root if graph.has_root else None
+        return cls(succ, pred, label, root)
+
+    @classmethod
+    def evolve(
+        cls, prev: "FrozenGraph", graph: DataGraph, touched: Iterable[int]
+    ) -> "FrozenGraph":
+        """The next version by structural sharing: re-capture *touched* only.
+
+        Every dnode absent from *touched* keeps the previous version's
+        adjacency tuples and label entry (shared, never copied); touched
+        dnodes are re-frozen from the live graph, and touched dnodes that
+        no longer exist are dropped.  Correct iff *touched* is a superset
+        of the dnodes whose label or adjacency changed since *prev* — the
+        :class:`~repro.resilience.journal.TouchedSet` contract.
+        """
+        succ = prev._succ.copy()
+        pred = prev._pred.copy()
+        label = prev._label.copy()
+        for w in touched:
+            if graph.has_node(w):
+                succ[w] = tuple(graph.iter_succ(w))
+                pred[w] = tuple(graph.iter_pred(w))
+                label[w] = graph.label(w)
+            else:
+                succ.pop(w, None)
+                pred.pop(w, None)
+                label.pop(w, None)
         root = graph.root if graph.has_root else None
         return cls(succ, pred, label, root)
 
@@ -146,6 +189,94 @@ class FrozenIndex:
         extent = {i: frozenset(index.extent(i)) for i in index.inodes()}
         label = {i: index.label_of(i) for i in index.inodes()}
         isucc = {i: tuple(index.isucc(i)) for i in index.inodes()}
+        return cls(graph, extent, label, isucc)
+
+    @classmethod
+    def evolve(
+        cls,
+        prev: "FrozenIndex",
+        index: StructuralIndex,
+        graph: FrozenGraph,
+        touched: Iterable[int],
+    ) -> "FrozenIndex":
+        """The next version by structural sharing: re-capture *touched* only.
+
+        Untouched inodes keep the previous version's extent frozenset,
+        label and iedge tuple; touched inodes are re-frozen from the live
+        index, and touched inodes that no longer exist are dropped.
+        Correct iff *touched* is a superset of the inodes whose extent,
+        label or iedges changed since *prev*.
+        """
+        extent = prev._extent.copy()
+        label = prev._label.copy()
+        isucc = prev._isucc.copy()
+        for i in touched:
+            if index.has_inode(i):
+                extent[i] = frozenset(index.extent(i))
+                label[i] = index.label_of(i)
+                isucc[i] = tuple(index.isucc(i))
+            else:
+                extent.pop(i, None)
+                label.pop(i, None)
+                isucc.pop(i, None)
+        return cls(graph, extent, label, isucc)
+
+    @classmethod
+    def capture_family(cls, family: AkIndexFamily, graph: FrozenGraph) -> "FrozenIndex":
+        """Freeze an A(k) family's leaf level, keyed by its **leaf tokens**.
+
+        The leaf partition is read straight off the family — one pass
+        over the extents plus one edge scan for the iedges — instead of
+        materialising a :class:`StructuralIndex` via
+        ``family.level_index()``, whose freshly assigned inode ids would
+        differ every version and defeat structural sharing.  Leaf tokens
+        are stable across maintenance (unaffected classes keep their
+        token), which is exactly what :meth:`evolve_family` needs.
+        """
+        leaf = family.levels[family.k]
+        live = family.graph
+        class_of = leaf.class_of
+        extent = {t: frozenset(e) for t, e in leaf.extents.items()}
+        label = {t: live.label(next(iter(e))) for t, e in leaf.extents.items()}
+        isucc_sets: dict[int, set[int]] = {t: set() for t in leaf.extents}
+        for source, target in live.edges():
+            isucc_sets[class_of[source]].add(class_of[target])
+        isucc = {t: tuple(s) for t, s in isucc_sets.items()}
+        return cls(graph, extent, label, isucc)
+
+    @classmethod
+    def evolve_family(
+        cls,
+        prev: "FrozenIndex",
+        family: AkIndexFamily,
+        graph: FrozenGraph,
+        touched: Iterable[int],
+    ) -> "FrozenIndex":
+        """The next leaf-level version, re-capturing *touched* tokens only.
+
+        A touched token's extent and label are re-frozen from the leaf
+        level, its iedges re-derived from the extent's out-edges (cost
+        O(extent + out-degree), the same locality the maintenance loop
+        itself has); vanished tokens are dropped.
+        """
+        leaf = family.levels[family.k]
+        live = family.graph
+        class_of = leaf.class_of
+        extent = prev._extent.copy()
+        label = prev._label.copy()
+        isucc = prev._isucc.copy()
+        for t in touched:
+            members = leaf.extents.get(t)
+            if not members:
+                extent.pop(t, None)
+                label.pop(t, None)
+                isucc.pop(t, None)
+                continue
+            extent[t] = frozenset(members)
+            label[t] = live.label(next(iter(members)))
+            isucc[t] = tuple(
+                {class_of[c] for w in members for c in live.iter_succ(w)}
+            )
         return cls(graph, extent, label, isucc)
 
     # -- the evaluation surface of StructuralIndex ---------------------
@@ -231,9 +362,53 @@ class IndexSnapshot:
             return cls(
                 version, "one", 0, frozen_graph, FrozenIndex.capture(index, frozen_graph)
             )
-        leaf = family.level_index(family.k)
         return cls(
-            version, "ak", family.k, frozen_graph, FrozenIndex.capture(leaf, frozen_graph)
+            version,
+            "ak",
+            family.k,
+            frozen_graph,
+            FrozenIndex.capture_family(family, frozen_graph),
+        )
+
+    @classmethod
+    def evolve(
+        cls,
+        prev: "IndexSnapshot",
+        version: int,
+        graph: DataGraph,
+        touched: "TouchedSet",
+        index: Optional[StructuralIndex] = None,
+        family: Optional[AkIndexFamily] = None,
+    ) -> "IndexSnapshot":
+        """The next version from *prev* + the batch's touched set.
+
+        Cost is O(touched entries re-captured) plus the O(|dict|)
+        pointer-copies of the shared tables — per-entry tuple/frozenset
+        construction, the dominant cost of :meth:`capture`, happens only
+        for touched keys.  Falls back to a full :meth:`capture` when the
+        touched set is marked ``full`` (degrade-rebuild renamed every
+        inode, so nothing of *prev* is reusable).
+        """
+        if (index is None) == (family is None):
+            raise ValueError("evolve needs exactly one of index= or family=")
+        if touched.full:
+            return cls.capture(version, graph, index=index, family=family)
+        frozen_graph = FrozenGraph.evolve(prev.graph, graph, touched.dnodes)
+        if index is not None:
+            return cls(
+                version,
+                "one",
+                0,
+                frozen_graph,
+                FrozenIndex.evolve(prev.index, index, frozen_graph, touched.inodes),
+            )
+        tokens = _touched_leaf_tokens(family, touched)
+        return cls(
+            version,
+            "ak",
+            family.k,
+            frozen_graph,
+            FrozenIndex.evolve_family(prev.index, family, frozen_graph, tokens),
         )
 
     def evaluate(self, query: "str | PathExpression | PathNfa") -> EvaluationReport:
@@ -252,8 +427,65 @@ class IndexSnapshot:
         """Index size of this version."""
         return self.index.num_inodes
 
+    def fingerprint(self) -> bytes:
+        """Canonical byte serialization of the snapshot's *contents*.
+
+        Key/value-identical snapshots produce identical bytes regardless
+        of dict insertion order or set iteration order (all collections
+        are sorted), so an evolve-published version can be byte-compared
+        against a fresh :meth:`capture` of the same state — the check the
+        differential tests and the perf-smoke gate run.  The version
+        number is metadata, not content, and is excluded.
+        """
+        graph = self.graph
+        index = self.index
+        payload = {
+            "kind": self.kind,
+            "k": self.k,
+            "root": graph._root,
+            "succ": {str(w): sorted(t) for w, t in graph._succ.items()},
+            "pred": {str(w): sorted(t) for w, t in graph._pred.items()},
+            "label": {str(w): lab for w, lab in graph._label.items()},
+            "extent": {str(i): sorted(e) for i, e in index._extent.items()},
+            "ilabel": {str(i): lab for i, lab in index._label.items()},
+            "isucc": {str(i): sorted(s) for i, s in index._isucc.items()},
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("ascii")
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<IndexSnapshot v{self.version} kind={self.kind!r} "
             f"inodes={self.num_inodes} nodes={self.graph.num_nodes}>"
         )
+
+
+def _touched_leaf_tokens(family: AkIndexFamily, touched: "TouchedSet") -> set[int]:
+    """Resolve a batch's touched set to the leaf tokens it may have changed.
+
+    The union of: tokens the maintainer reported directly (emptied
+    classes), both endpoints of every reported leaf move, and — because a
+    dnode's adjacency or membership change also changes the iedge sets of
+    the classes around it — the current class of every touched-or-moved
+    dnode still alive plus the classes of its current parents.  Parents
+    that changed on *their* side (edge add/remove) appear in
+    ``touched.dnodes`` themselves, so post-batch adjacency is sufficient.
+    """
+    leaf = family.levels[family.k]
+    class_of = leaf.class_of
+    graph = family.graph
+    tokens: set[int] = set(touched.leaf_tokens)
+    dnodes: set[int] = set(touched.dnodes)
+    for w, old, new in touched.leaf_moves:
+        if old is not None:
+            tokens.add(old)
+        if new is not None:
+            tokens.add(new)
+        dnodes.add(w)
+    for w in dnodes:
+        token = class_of.get(w)
+        if token is None:
+            continue  # deleted this batch; its old token is already touched
+        tokens.add(token)
+        for p in graph.iter_pred(w):
+            tokens.add(class_of[p])
+    return tokens

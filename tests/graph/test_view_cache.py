@@ -1,0 +1,101 @@
+"""Generation-stamped adjacency views: every mutator invalidates them.
+
+``DataGraph.succ()``/``pred()`` return memoized frozensets keyed on the
+graph's mutation generation.  The contract under test: between mutations
+repeated calls return the *same* object (no allocation), and after
+**any** mutator — including transaction rollback, which restores state
+through ``_undo_journal`` — the views reflect the live adjacency again.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.datagraph import DataGraph, EdgeKind
+from repro.resilience import Transaction
+
+
+def build() -> tuple[DataGraph, dict[str, int]]:
+    """root -> a -> b, root -> c, plus an IDREF a -> c."""
+    graph = DataGraph()
+    root = graph.add_root()
+    a = graph.add_node("a")
+    b = graph.add_node("b")
+    c = graph.add_node("c")
+    graph.add_edge(root, a)
+    graph.add_edge(a, b)
+    graph.add_edge(root, c)
+    graph.add_edge(a, c, EdgeKind.IDREF)
+    return graph, {"root": root, "a": a, "b": b, "c": c}
+
+
+def warm(graph: DataGraph) -> None:
+    """Populate the view cache for every node."""
+    for oid in list(graph.nodes()):
+        graph.succ(oid)
+        graph.pred(oid)
+
+
+def assert_views_live(graph: DataGraph) -> None:
+    """Views must equal the adjacency the iterators report, everywhere."""
+    for oid in list(graph.nodes()):
+        assert graph.succ(oid) == frozenset(graph.iter_succ(oid))
+        assert graph.pred(oid) == frozenset(graph.iter_pred(oid))
+
+
+MUTATORS = {
+    "add_node": lambda g, n: g.add_node("z"),
+    "remove_node": lambda g, n: g.remove_node(n["b"]),
+    "set_value": lambda g, n: g.set_value(n["b"], "payload"),
+    "relabel_node": lambda g, n: g.relabel_node(n["b"], "B"),
+    "add_edge": lambda g, n: g.add_edge(n["b"], n["c"], EdgeKind.IDREF),
+    "remove_edge": lambda g, n: g.remove_edge(n["a"], n["c"]),
+}
+
+
+@pytest.mark.parametrize("name", sorted(MUTATORS))
+def test_every_mutator_bumps_generation_and_refreshes_views(name):
+    graph, nodes = build()
+    warm(graph)
+    generation = graph.generation
+    MUTATORS[name](graph, nodes)
+    assert graph.generation > generation, f"{name} did not bump the generation"
+    assert_views_live(graph)
+
+
+def test_add_root_bumps_generation():
+    graph = DataGraph()
+    generation = graph.generation
+    root = graph.add_root()
+    assert graph.generation > generation
+    assert graph.succ(root) == frozenset()
+
+
+def test_views_are_memoized_between_mutations():
+    graph, nodes = build()
+    first = graph.succ(nodes["a"])
+    assert graph.succ(nodes["a"]) is first
+    assert graph.pred(nodes["c"]) is graph.pred(nodes["c"])
+    # a mutation elsewhere still drops the whole cache (one stamp, not
+    # per-node tracking): the view is recomputed, equal content or not
+    graph.add_node("z")
+    recomputed = graph.succ(nodes["a"])
+    assert recomputed == first
+    assert recomputed is not first
+
+
+@pytest.mark.parametrize("name", sorted(MUTATORS))
+def test_rollback_refreshes_views(name):
+    graph, nodes = build()
+    warm(graph)
+    before = {
+        oid: (graph.succ(oid), graph.pred(oid)) for oid in graph.nodes()
+    }
+    with pytest.raises(ValueError):
+        with Transaction(graph):
+            MUTATORS[name](graph, nodes)
+            raise ValueError("abort")
+    assert_views_live(graph)
+    for oid, (succ, pred) in before.items():
+        assert graph.succ(oid) == succ
+        assert graph.pred(oid) == pred

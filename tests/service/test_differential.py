@@ -11,6 +11,12 @@ Runs a 500-step closed-loop mixed session (the Section 7 protocol
 interleaved with queries) for both index families, and again with a
 fault injector forcing mid-batch rollbacks under the ``degrade`` policy
 — served answers must stay exact through rollback + rebuild.
+
+Since publication is incremental by default, the checker also asserts
+the structural claim behind it at every version: the evolve-published
+snapshot must be **byte-identical** (canonical fingerprint) to a full
+``IndexSnapshot.capture()`` of the same live state — including right
+after degrade-rebuilds, where the touched set falls back to ``full``.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ import pytest
 
 from repro.query.evaluator import evaluate_on_graph
 from repro.resilience.faults import FaultInjector
+from repro.service.snapshot import IndexSnapshot
 from repro.resilience.guard import GuardConfig
 from repro.service import IndexService, ServiceConfig
 from repro.workload.queries import QueryWorkload
@@ -49,6 +56,22 @@ class SnapshotChecker:
     def __call__(self, batch_result) -> None:
         snapshot = self.service.snapshot
         assert snapshot.version == batch_result.version
+        # the evolve-published version must be byte-identical to a full
+        # capture of the live state it claims to freeze
+        if self.service.config.family == "one":
+            fresh = IndexSnapshot.capture(
+                snapshot.version, self.service.graph,
+                index=self.service.guarded.index,
+            )
+        else:
+            fresh = IndexSnapshot.capture(
+                snapshot.version, self.service.graph,
+                family=self.service.guarded.family,
+            )
+        assert snapshot.fingerprint() == fresh.fingerprint(), (
+            f"v{snapshot.version}: evolve-published snapshot differs "
+            "from a fresh capture of the same state"
+        )
         for expression in self.queries:
             served = canonical(snapshot.evaluate(expression).matches)
             truth = canonical(evaluate_on_graph(snapshot.graph, expression).matches)
