@@ -17,6 +17,11 @@ Examples::
     # maintainers under a guard and see the overhead in the fig11 table
     python -m repro.experiments --scale smoke --guard fig11
     python -m repro.experiments --guard --guard-policy degrade --check-every 50 fig11
+
+    # live telemetry (repro.obs.live): serve /metrics + /health while the
+    # run is in flight, and evaluate SLO rules over the sliding windows
+    python -m repro.experiments --scale small --serve-metrics 9100 serve
+    python -m repro.experiments --serve-metrics 0 --slo rules.json serve
 """
 
 from __future__ import annotations
@@ -90,6 +95,24 @@ def main(argv: list[str] | None = None) -> int:
         "store there; recover reopens it); default: a temporary directory",
     )
     parser.add_argument(
+        "--serve-metrics",
+        type=int,
+        metavar="PORT",
+        default=None,
+        help="enable repro.obs and serve Prometheus /metrics plus JSON "
+        "/health on 127.0.0.1:PORT for the duration of the run "
+        "(0 = pick an ephemeral port; the bound URL is printed)",
+    )
+    parser.add_argument(
+        "--slo",
+        metavar="PATH",
+        default=None,
+        help="evaluate SLO rules over the live telemetry windows: PATH is "
+        "a JSON rule file (see repro.obs.slo.load_rules), or the literal "
+        "'default' for the stock serving rules; the verdict is printed at "
+        "the end and reflected in /health when --serve-metrics is on",
+    )
+    parser.add_argument(
         "--guard",
         action="store_true",
         help="run maintainers inside transactions (repro.resilience) so every "
@@ -129,6 +152,31 @@ def main(argv: list[str] | None = None) -> int:
         )
     elif args.guard_policy != "raise" or args.check_every:
         parser.error("--guard-policy/--check-every require --guard")
+    plane = watchdog = server = None
+    if args.serve_metrics is not None or args.slo:
+        from repro.obs import (
+            LivePlane,
+            MetricsServer,
+            SloWatchdog,
+            default_service_rules,
+            load_rules,
+        )
+
+        plane = LivePlane()
+        rules = []
+        if args.slo:
+            if args.slo == "default":
+                rules = default_service_rules()
+            else:
+                try:
+                    rules = load_rules(args.slo)
+                except (OSError, ValueError) as exc:
+                    parser.error(f"cannot load SLO rules from {args.slo!r}: {exc}")
+        watchdog = SloWatchdog(plane, rules)
+        if args.serve_metrics is not None:
+            server = MetricsServer(
+                plane=plane, watchdog=watchdog, port=args.serve_metrics
+            )
     sinks = []
     jsonl = None
     if args.trace:
@@ -146,14 +194,27 @@ def main(argv: list[str] | None = None) -> int:
         profiler = cProfile.Profile()
         profiler.enable()
     try:
-        if sinks:
-            with observed(*sinks) as obs:
+        if sinks or plane is not None:
+            with observed(*sinks, live=plane) as obs:
+                if server is not None:
+                    server.registry = obs.metrics
+                    server.start()
+                    print(f"metrics: serving /metrics and /health on {server.url}")
                 _run_experiments(chosen, scale, obs)
             if jsonl is not None:
                 print(f"trace: wrote {jsonl.emitted} records to {args.trace}")
         else:
             _run_experiments(chosen, scale)
     finally:
+        if server is not None:
+            server.stop()
+        if watchdog is not None and watchdog.rules:
+            for status in watchdog.evaluate():
+                print(
+                    f"slo: {status.rule.name}: {status.status} "
+                    f"({status.rule.metric} {status.rule.stat}="
+                    f"{status.fast_value} {status.rule.op} {status.rule.threshold})"
+                )
         if profiler is not None:
             profiler.disable()
             profiler.dump_stats(args.profile)

@@ -1,0 +1,167 @@
+"""The flight recorder: a bounded ring of recent telemetry, dumped on
+failure.
+
+A JSONL trace of a long-running service is unbounded and mostly
+uninteresting; what an operator needs after an incident is the *last few
+thousand* records — the spans of the failing commit, the events around
+the degrade, the metrics snapshot before the rollback.  The
+:class:`FlightRecorder` is a :class:`~repro.obs.sinks.TraceSink` that
+keeps exactly that: a fixed-capacity ring buffer of the most recent
+span/event/metrics records, plus automatic **post-mortem dumps** — when
+an event whose name is in its trigger set arrives (the guarded
+maintainer's degrade/gave-up paths, WAL corruption, recovery), the whole
+ring is written to a JSON file before the process moves on.
+
+Dumps are rate-limited (``cooldown_seconds``) and capped
+(``max_dumps``) so a failure storm cannot fill the disk, and a dump
+that itself fails (read-only disk, ENOSPC) is counted, never raised —
+the recorder must not take down the path it is documenting.
+
+Everything is thread-safe: the writer thread, reader threads and the
+exporter can emit and dump concurrently.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from typing import Optional
+
+__all__ = ["FlightRecorder", "DEFAULT_TRIGGERS"]
+
+#: event names that trigger an automatic post-mortem dump
+DEFAULT_TRIGGERS = frozenset(
+    {
+        "resilience.rolled_back",
+        "resilience.degraded",
+        "resilience.gave_up",
+        "store.wal_corruption",
+        "store.recovery_failed",
+        "store.recovered",
+        "slo.breach",
+    }
+)
+
+
+class FlightRecorder:
+    """Bounded ring of trace records with triggered post-mortem dumps.
+
+    Use it like any sink — pass it to ``observed(...)`` or
+    ``Observer(...)`` (tracing must be on for spans/events to reach it).
+    Without a *dump_dir* it only records (dump explicitly with
+    :meth:`dump`); with one, trigger events write
+    ``flight-<seq>-<reason>.json`` files automatically.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 2048,
+        dump_dir: Optional[str] = None,
+        triggers: frozenset = DEFAULT_TRIGGERS,
+        cooldown_seconds: float = 5.0,
+        max_dumps: int = 32,
+        clock=time.time,
+    ):
+        if capacity < 1:
+            raise ValueError("flight recorder capacity must be >= 1")
+        self.capacity = capacity
+        self.dump_dir = dump_dir
+        self.triggers = frozenset(triggers)
+        self.cooldown_seconds = cooldown_seconds
+        self.max_dumps = max_dumps
+        self.clock = clock
+        self._ring: deque = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._dump_seq = 0
+        self._last_dump_at: Optional[float] = None
+        #: paths of every dump written, newest last
+        self.dumps: list[str] = []
+        #: dumps suppressed by cooldown/cap, and dump write failures
+        self.suppressed = 0
+        self.dump_failures = 0
+        self.emitted = 0
+        self.closed = False
+
+    # -- sink protocol -------------------------------------------------
+
+    def emit(self, record: dict) -> None:
+        with self._lock:
+            self._ring.append(record)
+            self.emitted += 1
+        if (
+            self.dump_dir is not None
+            and record.get("type") == "event"
+            and record.get("name") in self.triggers
+        ):
+            self.dump(reason=record["name"], trigger=record)
+
+    def close(self) -> None:
+        self.closed = True
+
+    # -- inspection ----------------------------------------------------
+
+    def records(self) -> list[dict]:
+        """A snapshot of the ring, oldest first."""
+        with self._lock:
+            return list(self._ring)
+
+    @property
+    def last_dump(self) -> Optional[str]:
+        """Path of the most recent dump (``None`` before the first)."""
+        return self.dumps[-1] if self.dumps else None
+
+    # -- dumping -------------------------------------------------------
+
+    def dump(self, reason: str, trigger: Optional[dict] = None) -> Optional[str]:
+        """Write the ring to a post-mortem file; returns its path.
+
+        Returns ``None`` when suppressed (cooldown, dump cap, no
+        ``dump_dir`` for the automatic path) or when the write itself
+        failed — a flight recorder never raises into the hot path.
+        """
+        now = self.clock()
+        with self._lock:
+            if len(self.dumps) >= self.max_dumps:
+                self.suppressed += 1
+                return None
+            if (
+                self._last_dump_at is not None
+                and now - self._last_dump_at < self.cooldown_seconds
+            ):
+                self.suppressed += 1
+                return None
+            self._last_dump_at = now
+            self._dump_seq += 1
+            seq = self._dump_seq
+            records = list(self._ring)
+        directory = self.dump_dir if self.dump_dir is not None else "."
+        slug = "".join(c if c.isalnum() else "-" for c in reason).strip("-") or "dump"
+        path = os.path.join(directory, f"flight-{seq:04d}-{slug}.json")
+        document = {
+            "reason": reason,
+            "trigger": trigger,
+            "dumped_at": now,
+            "num_records": len(records),
+            "records": records,
+        }
+        try:
+            os.makedirs(directory, exist_ok=True)
+            with open(path, "w", encoding="utf-8") as fp:
+                json.dump(document, fp, default=str)
+                fp.write("\n")
+        except OSError:
+            with self._lock:
+                self.dump_failures += 1
+            return None
+        with self._lock:
+            self.dumps.append(path)
+        return path
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FlightRecorder capacity={self.capacity} emitted={self.emitted} "
+            f"dumps={len(self.dumps)}>"
+        )

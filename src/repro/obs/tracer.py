@@ -11,16 +11,29 @@ span closes, so a trace file is complete even if the process dies
 mid-run; a span's children appear *before* it in the stream (they close
 first) and are stitched back together via ``parent`` ids.
 
-Like the rest of the library the tracer is single-threaded: nesting is a
-plain stack, which the ``with`` protocol keeps well-formed for free.
+**Threads.**  Span nesting is a *per-thread* stack (``threading.local``),
+so the serving layer's background writer cannot interleave its spans
+into a reader thread's ancestry.  Crossing a thread boundary is
+explicit: the enqueuing side captures :meth:`Tracer.current_span_id`,
+ships it with the work item, and the executing side stitches its span
+under that parent with :meth:`Span.set_parent` — that is how a
+``service.commit`` on the writer thread stays a descendant of the span
+that submitted the update.  Span ids are allocated under a lock; sinks
+must tolerate concurrent ``emit`` calls (the bundled sinks do: list
+appends and single ``write`` calls are atomic under the GIL).
+
 When tracing is off the shared :data:`NULL_SPAN` makes every
 instrumentation point a no-op context manager with no allocation.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Callable, Iterable, Optional
+
+#: sentinel: "no explicit parent set — inherit from the thread's stack"
+_INHERIT = object()
 
 
 class Span:
@@ -28,7 +41,17 @@ class Span:
     context manager.  Attributes can be added mid-flight with
     :meth:`set` (e.g. results known only at the end of the section)."""
 
-    __slots__ = ("_tracer", "name", "attrs", "span_id", "parent_id", "depth", "t0", "t1")
+    __slots__ = (
+        "_tracer",
+        "name",
+        "attrs",
+        "span_id",
+        "parent_id",
+        "depth",
+        "t0",
+        "t1",
+        "_explicit_parent",
+    )
 
     def __init__(self, tracer: "Tracer", name: str, attrs: dict):
         self._tracer = tracer
@@ -39,10 +62,22 @@ class Span:
         self.depth: int = 0
         self.t0: float = 0.0
         self.t1: float = 0.0
+        self._explicit_parent: object = _INHERIT
 
     def set(self, **attrs: object) -> "Span":
         """Attach attributes to the span; chainable."""
         self.attrs.update(attrs)
+        return self
+
+    def set_parent(self, parent_id: Optional[int]) -> "Span":
+        """Parent this span under *parent_id* instead of the thread stack.
+
+        The cross-thread stitch: capture the submitting side's
+        :meth:`Tracer.current_span_id` and apply it on the executing
+        thread **before** entering the span.  ``None`` forces a root
+        span.  Chainable.
+        """
+        self._explicit_parent = parent_id
         return self
 
     def __enter__(self) -> "Span":
@@ -77,6 +112,9 @@ class _NullSpan:
     def set(self, **attrs: object) -> "_NullSpan":
         return self
 
+    def set_parent(self, parent_id: Optional[int]) -> "_NullSpan":
+        return self
+
     def __enter__(self) -> "_NullSpan":
         return self
 
@@ -100,8 +138,16 @@ class Tracer:
     ):
         self.sinks = list(sinks)
         self.clock = clock
-        self._stack: list[Span] = []
+        self._local = threading.local()
+        self._id_lock = threading.Lock()
         self._next_id = 0
+
+    def _stack(self) -> list[Span]:
+        """This thread's span stack (created on first use per thread)."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # -- producing -----------------------------------------------------
 
@@ -109,16 +155,26 @@ class Tracer:
         """A new span; enter it with ``with`` to start the clock."""
         return Span(self, name, attrs)
 
+    def current_span_id(self) -> Optional[int]:
+        """Id of this thread's innermost open span (``None`` at top level).
+
+        This is the **trace context** to capture when handing work to
+        another thread; see :meth:`Span.set_parent`.
+        """
+        stack = self._stack()
+        return stack[-1].span_id if stack else None
+
     def event(self, name: str, **attrs: object) -> None:
         """Emit an instant record at the current nesting position."""
-        top = self._stack[-1] if self._stack else None
+        stack = self._stack()
+        top = stack[-1] if stack else None
         self.emit(
             {
                 "type": "event",
                 "name": name,
                 "t": self.clock(),
                 "parent": top.span_id if top is not None else None,
-                "depth": len(self._stack),
+                "depth": len(stack),
                 "attrs": attrs,
             }
         )
@@ -131,22 +187,28 @@ class Tracer:
     # -- span lifecycle (called by Span) -------------------------------
 
     def _open(self, span: Span) -> None:
-        span.span_id = self._next_id
-        self._next_id += 1
-        top = self._stack[-1] if self._stack else None
-        span.parent_id = top.span_id if top is not None else None
-        span.depth = len(self._stack)
-        self._stack.append(span)
+        with self._id_lock:
+            span.span_id = self._next_id
+            self._next_id += 1
+        stack = self._stack()
+        if span._explicit_parent is _INHERIT:
+            top = stack[-1] if stack else None
+            span.parent_id = top.span_id if top is not None else None
+        else:
+            span.parent_id = span._explicit_parent  # cross-thread stitch
+        span.depth = len(stack)
+        stack.append(span)
         span.t0 = self.clock()
 
     def _close(self, span: Span) -> None:
         span.t1 = self.clock()
         # ``with`` discipline guarantees LIFO; tolerate a foreign top
         # (manually mis-nested spans) by searching downward.
-        if self._stack and self._stack[-1] is span:
-            self._stack.pop()
-        elif span in self._stack:  # pragma: no cover - defensive
-            self._stack.remove(span)
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # pragma: no cover - defensive
+            stack.remove(span)
         self.emit(span.to_record())
 
 
@@ -158,6 +220,9 @@ class NullTracer:
 
     def span(self, name: str, **attrs: object) -> _NullSpan:
         return NULL_SPAN
+
+    def current_span_id(self) -> Optional[int]:
+        return None
 
     def event(self, name: str, **attrs: object) -> None:
         return None

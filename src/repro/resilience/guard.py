@@ -26,7 +26,9 @@ Observability: every attempt runs in a ``txn`` span and the counters
 ``resilience.txns`` / ``.faults`` / ``.rollbacks`` / ``.retries`` /
 ``.degradations`` / ``.checks`` tally the guard's work, so a traced
 guarded run (``--guard --trace``) shows exactly where resilience cost
-went.
+went.  The failure paths additionally emit ``resilience.rolled_back`` /
+``.degraded`` / ``.gave_up`` events — the triggers a
+:class:`~repro.obs.flight.FlightRecorder` dumps its ring on.
 """
 
 from __future__ import annotations
@@ -320,7 +322,20 @@ class GuardedMaintainer:
                     break
             assert last_error is not None
             if policy == "degrade":
+                obs.event(
+                    "resilience.degraded",
+                    op=label,
+                    ops=num_ops,
+                    error=f"{type(last_error).__name__}: {last_error}",
+                )
                 return self._degrade(apply_fn, raw_fn, obs)
+            obs.event(
+                "resilience.gave_up",
+                op=label,
+                ops=num_ops,
+                policy=policy,
+                error=f"{type(last_error).__name__}: {last_error}",
+            )
             raise last_error
 
     def _attempt(self, apply_fn: Callable[[], Any], obs) -> Any:
@@ -340,10 +355,14 @@ class GuardedMaintainer:
                 self.stats.checks += 1
                 obs.add("resilience.checks")
                 self.invariants.check(self.graph, index=self.index, family=self.family)
-        except BaseException:
+        except BaseException as exc:
             txn.rollback()
             self.stats.rollbacks += 1
             obs.add("resilience.rollbacks")
+            obs.event(
+                "resilience.rolled_back",
+                error=f"{type(exc).__name__}: {exc}",
+            )
             raise
         txn.commit()
         self.stats.commits += 1

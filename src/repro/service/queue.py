@@ -47,10 +47,19 @@ ALL_OPS = EDGE_OPS + SUBGRAPH_OPS + NODE_OPS
 
 @dataclass(frozen=True)
 class Update:
-    """One queued mutation: a guarded-maintainer method name plus args."""
+    """One queued mutation: a guarded-maintainer method name plus args.
+
+    ``trace_parent`` is the submitting thread's open span id (stamped by
+    ``IndexService.submit`` from ``Observer.trace_context``); the writer
+    thread reparents its commit span under it so a trace stitches the
+    producer and the consumer of an update back together.  It is carried
+    metadata, not identity — excluded from equality so coalescing still
+    cancels identical operations submitted from different spans.
+    """
 
     op: str
     args: tuple
+    trace_parent: Optional[int] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.op not in ALL_OPS:

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.exceptions import QueueFullError, ServiceClosedError, ServiceError
@@ -197,6 +197,7 @@ class IndexService:
         self._closed = False
         self._writer_thread: Optional[threading.Thread] = None
         self._writer_stop = threading.Event()
+        self._telemetry = None  # LiveTelemetry bundle, see start_telemetry()
         self._snapshot = self._capture(version=initial_version)
         self.stats.versions_published = 1
 
@@ -250,6 +251,11 @@ class IndexService:
         if self._closed:
             raise ServiceClosedError("service is closed")
         obs = current_obs()
+        # stamp the submitter's trace context so the writer-side commit
+        # span stays a descendant of whatever span enqueued the work
+        context = obs.trace_context()
+        if context is not None and update.trace_parent is None:
+            update = replace(update, trace_parent=context)
         while not self.queue.offer(update):
             policy = self.config.admission
             if policy == "shed":
@@ -266,6 +272,7 @@ class IndexService:
                 self.queue.wait_not_full(timeout=self.config.writer_idle_wait)
         self.stats.submitted += 1
         obs.add("service.submitted")
+        obs.set("service.queue_depth", len(self.queue))
         obs.set_max("service.queue_peak", len(self.queue))
         return True
 
@@ -310,9 +317,15 @@ class IndexService:
         else:
             survivors = batch
         started = time.perf_counter()
-        with obs.span(
-            "service.commit", drained=len(batch), applied=len(survivors)
-        ):
+        obs.set("service.queue_depth", len(self.queue))
+        # stitch the commit under the (first) submitter's span: the batch
+        # may mix producers, so the earliest stamped context wins and the
+        # rest stay reachable through the shared commit span
+        parent = next((u.trace_parent for u in batch if u.trace_parent is not None), None)
+        span = obs.span("service.commit", drained=len(batch), applied=len(survivors))
+        if parent is not None:
+            span.set_parent(parent)
+        with span:
             try:
                 if survivors:
                     self.guarded.apply_batch([u.as_call() for u in survivors])
@@ -445,7 +458,60 @@ class IndexService:
         """Stop serving: drain outstanding work, reject new submissions."""
         self.stop()
         self.drain()
+        self.stop_telemetry()
         self._closed = True
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+
+    def start_telemetry(self, **kwargs) -> "object":
+        """Attach a live telemetry plane to this service (idempotent).
+
+        Builds a :class:`repro.obs.export.LiveTelemetry` bundle —
+        sliding-window metrics attached to the current observer, an SLO
+        watchdog, optionally a flight recorder (``dump_dir=``) and a
+        JSONL reporter (``jsonl_path=``) — and starts its ``/metrics`` +
+        ``/health`` HTTP endpoint (``port=0`` picks an ephemeral port;
+        pass ``serve=False`` for windows-only operation).  Keyword
+        arguments are forwarded to ``LiveTelemetry``; the bundle is
+        stopped by :meth:`close` or an explicit :meth:`stop_telemetry`.
+
+        Returns the bundle (read ``.port`` / ``.url`` / ``.health()``).
+        """
+        if self._telemetry is not None:
+            return self._telemetry
+        from repro.obs.export import LiveTelemetry
+
+        self._telemetry = LiveTelemetry(service=self, **kwargs)
+        self._telemetry.start()
+        return self._telemetry
+
+    def stop_telemetry(self) -> None:
+        """Tear down the telemetry bundle started by :meth:`start_telemetry`."""
+        if self._telemetry is not None:
+            self._telemetry.stop()
+            self._telemetry = None
+
+    def health(self) -> dict:
+        """Service-level liveness facts for the ``/health`` endpoint."""
+        return {
+            "family": self.config.family,
+            "version": self.version,
+            "closed": self._closed,
+            "writer_alive": (
+                self._writer_thread is not None and self._writer_thread.is_alive()
+            ),
+            "queue_depth": len(self.queue),
+            "queue_capacity": self.queue.capacity,
+            "admission": self.config.admission,
+            "queries": self.stats.queries,
+            "submitted": self.stats.submitted,
+            "shed": self.stats.shed,
+            "batches": self.stats.batches,
+            "batch_failures": self.stats.batch_failures,
+            "versions_published": self.stats.versions_published,
+        }
 
     def _writer_loop(self) -> None:
         """The background single writer: batch up, commit, repeat."""

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 import zlib
 from dataclasses import dataclass
 from typing import Any, Optional
@@ -137,6 +138,7 @@ def write_checkpoint(
     final_path = os.path.join(directory, checkpoint_name(wal_lsn))
     tmp_path = final_path + ".tmp"
     obs = current_obs()
+    started = time.perf_counter()
     with obs.span("store.checkpoint", lsn=wal_lsn, kind=kind, bytes=len(document)):
         if fault_injector is not None:
             fault_injector.io("checkpoint.write")
@@ -150,6 +152,7 @@ def write_checkpoint(
         _fsync_dir(directory)
     obs.add("store.checkpoints")
     obs.add("store.checkpoint_bytes", len(document))
+    obs.observe("store.checkpoint_write_seconds", time.perf_counter() - started)
     return final_path
 
 
@@ -217,11 +220,15 @@ def prune_checkpoints(directory: str, keep: int = 2) -> int:
     """Delete all but the *keep* newest checkpoint files; returns count."""
     if keep < 1:
         raise CheckpointError("must keep at least one checkpoint")
+    started = time.perf_counter()
     names = list_checkpoints(directory)
     removed = 0
     for name in names[:-keep]:
         os.unlink(os.path.join(directory, name))
         removed += 1
+    obs = current_obs()
+    obs.add("store.checkpoints_pruned", removed)
+    obs.observe("store.checkpoint_prune_seconds", time.perf_counter() - started)
     return removed
 
 

@@ -28,6 +28,7 @@ that checkpointed-index recovery must beat.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any, Optional
 
@@ -87,6 +88,7 @@ def recover(
     WAL tail on disk so the recovered service appends from a clean end.
     """
     obs = current_obs()
+    started = time.perf_counter()
     with obs.span("store.recover", dir=store_dir):
         ckpt = latest_checkpoint(store_dir)
         if ckpt is None:
@@ -126,9 +128,20 @@ def recover(
             InvariantGuard(level=check_level).check(
                 graph, index=guarded.index, family=guarded.family
             )
+        elapsed = time.perf_counter() - started
         obs.add("store.recoveries")
         obs.add("store.replayed_records", replayed_records)
         obs.add("store.replayed_ops", replayed_ops)
+        obs.observe("store.recovery_seconds", elapsed)
+        obs.event(
+            "store.recovered",
+            dir=store_dir,
+            checkpoint_lsn=ckpt.wal_lsn,
+            last_lsn=last_lsn,
+            replayed_records=replayed_records,
+            replayed_ops=replayed_ops,
+            seconds=elapsed,
+        )
         return RecoveryResult(
             graph=graph,
             maintainer=maintainer,

@@ -173,6 +173,20 @@ class DurableIndexService(IndexService):
             family=self.guarded.family,
         )
 
+    def health(self) -> dict:
+        """Service health plus the durability plane's position."""
+        doc = super().health()
+        doc["store"] = {
+            "dir": self.store_dir,
+            "wal_last_lsn": self.wal.last_lsn,
+            "wal_active_segment": self.wal.active_segment,
+            "wal_fsync_policy": self.wal.fsync,
+            "wal_rotations": self.wal.rotations,
+            "checkpoints_written": self.checkpointer.checkpoints_written,
+            "records_since_checkpoint": self.checkpointer.records_since_checkpoint,
+        }
+        return doc
+
     def close(self, checkpoint: bool = True) -> None:
         """Drain, optionally write a final checkpoint, and close the WAL.
 

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 import zlib
 from dataclasses import dataclass
 from typing import Any, Iterator, Optional
@@ -223,6 +224,7 @@ def read_records(directory: str, repair: bool = False) -> list[WalRecord]:
     ``repair=True`` restores the missing terminator so a reopened writer
     cannot glue its next append onto the same line.
     """
+    obs = current_obs()
     segments = list_segments(directory)
     records: list[WalRecord] = []
     expected: Optional[int] = None
@@ -231,15 +233,41 @@ def read_records(directory: str, repair: bool = False) -> list[WalRecord]:
         scan = _scan_segment(path)
         if scan.bad_reason is not None:
             if position != len(segments) - 1 or not scan.tail_only:
+                obs.event(
+                    "store.wal_corruption",
+                    segment=name,
+                    valid_bytes=scan.valid_bytes,
+                    reason=scan.bad_reason,
+                )
                 raise WalCorruptionError(name, scan.valid_bytes, scan.bad_reason)
             if repair:
                 with open(path, "rb+") as fp:
                     fp.truncate(scan.valid_bytes)
+                obs.add("store.wal_tail_repairs")
+                obs.event(
+                    "store.wal_tail_repaired",
+                    segment=name,
+                    valid_bytes=scan.valid_bytes,
+                    reason=scan.bad_reason,
+                )
         elif scan.missing_newline and repair:
             with open(path, "ab") as fp:
                 fp.write(b"\n")
+            obs.add("store.wal_tail_repairs")
+            obs.event(
+                "store.wal_tail_repaired",
+                segment=name,
+                valid_bytes=scan.valid_bytes,
+                reason="missing newline on final record",
+            )
         for record in scan.records:
             if expected is not None and record.lsn != expected:
+                obs.event(
+                    "store.wal_corruption",
+                    segment=name,
+                    valid_bytes=scan.valid_bytes,
+                    reason=f"LSN gap: expected {expected}, found {record.lsn}",
+                )
                 raise WalCorruptionError(
                     name,
                     scan.valid_bytes,
@@ -349,9 +377,11 @@ class WriteAheadLog:
         line = encode_record(lsn, ops)
         if self.fault_injector is not None:
             self.fault_injector.io("wal.append")
+        write_started = time.perf_counter()
         start = self._fp.tell()
         self._fp.write(line)
         self._fp.flush()
+        write_elapsed = time.perf_counter() - write_started
         self.next_lsn = lsn + 1
         self.appended_records += 1
         self.appended_bytes += len(line)
@@ -360,6 +390,7 @@ class WriteAheadLog:
         obs.add("store.wal_appends")
         obs.add("store.wal_ops", len(ops))
         obs.add("store.wal_bytes", len(line))
+        obs.observe("store.wal_append_seconds", write_elapsed)
         if self.fsync == "always" or (
             self.fsync == "batch" and self._unsynced >= self.sync_every
         ):
@@ -376,12 +407,15 @@ class WriteAheadLog:
             return
         if self.fault_injector is not None:
             self.fault_injector.io("wal.fsync")
-        with current_obs().span("store.fsync", segment=self._segment):
+        obs = current_obs()
+        started = time.perf_counter()
+        with obs.span("store.fsync", segment=self._segment):
             self._fp.flush()
             os.fsync(self._fp.fileno())
         self.fsyncs_performed += 1
         self._unsynced = 0
-        current_obs().add("store.fsyncs")
+        obs.add("store.fsyncs")
+        obs.observe("store.fsync_seconds", time.perf_counter() - started)
 
     def _rotate(self) -> None:
         """Close the active segment and start a fresh one at ``next_lsn``."""

@@ -1,0 +1,125 @@
+"""Tests for the flight recorder: bounded ring + post-mortem dumps."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import FlightRecorder, Observer, install
+
+
+def make_clock(start: float = 0.0):
+    state = {"now": start}
+
+    def clock() -> float:
+        return state["now"]
+
+    def advance(seconds: float) -> None:
+        state["now"] += seconds
+
+    clock.advance = advance
+    return clock
+
+
+class TestRing:
+    def test_keeps_only_the_newest_records(self):
+        recorder = FlightRecorder(capacity=3)
+        for i in range(10):
+            recorder.emit({"type": "event", "name": f"e{i}"})
+        names = [r["name"] for r in recorder.records()]
+        assert names == ["e7", "e8", "e9"]
+        assert recorder.emitted == 10
+
+    def test_as_observer_sink_sees_spans_and_events(self):
+        recorder = FlightRecorder(capacity=16)
+        obs = Observer(recorder)
+        previous = install(obs)
+        try:
+            with obs.span("outer"):
+                obs.event("ping", detail=1)
+        finally:
+            install(previous)
+        kinds = [(r["type"], r["name"]) for r in recorder.records()]
+        assert ("event", "ping") in kinds
+        assert ("span", "outer") in kinds
+
+
+class TestDump:
+    def test_trigger_event_dumps_automatically(self, tmp_path):
+        recorder = FlightRecorder(capacity=8, dump_dir=str(tmp_path))
+        recorder.emit({"type": "event", "name": "warmup"})
+        recorder.emit(
+            {"type": "event", "name": "resilience.degraded", "attrs": {"op": "batch"}}
+        )
+        assert len(recorder.dumps) == 1
+        document = json.loads((tmp_path / recorder.dumps[0].split("/")[-1]).read_text())
+        assert document["reason"] == "resilience.degraded"
+        assert document["trigger"]["attrs"] == {"op": "batch"}
+        names = [r["name"] for r in document["records"]]
+        assert "warmup" in names  # history before the failure is in the dump
+
+    def test_non_trigger_events_do_not_dump(self, tmp_path):
+        recorder = FlightRecorder(dump_dir=str(tmp_path))
+        recorder.emit({"type": "event", "name": "service.something_fine"})
+        recorder.emit({"type": "span", "name": "resilience.degraded"})  # span, not event
+        assert recorder.dumps == []
+
+    def test_custom_trigger_set(self, tmp_path):
+        recorder = FlightRecorder(
+            dump_dir=str(tmp_path), triggers=frozenset({"my.alarm"})
+        )
+        recorder.emit({"type": "event", "name": "resilience.degraded"})
+        assert recorder.dumps == []
+        recorder.emit({"type": "event", "name": "my.alarm"})
+        assert len(recorder.dumps) == 1
+
+    def test_manual_dump_without_dump_dir(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        recorder = FlightRecorder(capacity=4)
+        recorder.emit({"type": "event", "name": "x"})
+        path = recorder.dump("operator-request")
+        assert path is not None
+        assert json.loads(open(path).read())["reason"] == "operator-request"
+
+    def test_cooldown_suppresses_dump_storms(self, tmp_path):
+        clock = make_clock(1000.0)
+        recorder = FlightRecorder(
+            dump_dir=str(tmp_path), cooldown_seconds=5.0, clock=clock
+        )
+        for _ in range(4):
+            recorder.emit({"type": "event", "name": "resilience.rolled_back"})
+        assert len(recorder.dumps) == 1
+        assert recorder.suppressed == 3
+        clock.advance(6.0)
+        recorder.emit({"type": "event", "name": "resilience.rolled_back"})
+        assert len(recorder.dumps) == 2
+
+    def test_max_dumps_cap(self, tmp_path):
+        clock = make_clock(0.0)
+        recorder = FlightRecorder(
+            dump_dir=str(tmp_path), cooldown_seconds=0.0, max_dumps=2, clock=clock
+        )
+        for _ in range(5):
+            clock.advance(1.0)
+            recorder.emit({"type": "event", "name": "resilience.gave_up"})
+        assert len(recorder.dumps) == 2
+        assert recorder.suppressed == 3
+
+    def test_dump_failure_is_swallowed_and_counted(self, tmp_path):
+        recorder = FlightRecorder(dump_dir=str(tmp_path / "file-not-dir"))
+        (tmp_path / "file-not-dir").write_text("occupied")
+        recorder.emit({"type": "event", "name": "resilience.degraded"})  # must not raise
+        assert recorder.dumps == []
+        assert recorder.dump_failures == 1
+
+    def test_dump_paths_are_sequenced_and_slugged(self, tmp_path):
+        clock = make_clock(0.0)
+        recorder = FlightRecorder(
+            dump_dir=str(tmp_path), cooldown_seconds=0.0, clock=clock
+        )
+        recorder.emit({"type": "event", "name": "store.wal_corruption"})
+        clock.advance(1.0)
+        recorder.emit({"type": "event", "name": "resilience.gave_up"})
+        names = [p.split("/")[-1] for p in recorder.dumps]
+        assert names[0].startswith("flight-0001-store-wal-corruption")
+        assert names[1].startswith("flight-0002-resilience-gave-up")
+        assert recorder.last_dump == recorder.dumps[-1]

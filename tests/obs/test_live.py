@@ -1,0 +1,230 @@
+"""Tests for the live telemetry plane's sliding-window instruments."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import LivePlane, WindowConfig
+from repro.obs.live import SlidingCounter, SlidingGauge, SlidingHistogram
+
+
+def make_clock(start: float = 0.0):
+    """A manually advanced clock: ``clock()`` reads, ``clock.advance(s)``."""
+
+    state = {"now": start}
+
+    def clock() -> float:
+        return state["now"]
+
+    def advance(seconds: float) -> None:
+        state["now"] += seconds
+
+    clock.advance = advance
+    return clock
+
+
+CONFIG = WindowConfig(width_seconds=60.0, frames=12, retention_factor=5)
+
+
+class TestWindowConfig:
+    def test_derived_properties(self):
+        assert CONFIG.frame_seconds == 5.0
+        assert CONFIG.retention_seconds == 300.0
+        assert CONFIG.retained_frames == 61
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"width_seconds": 0},
+            {"width_seconds": -1},
+            {"frames": 0},
+            {"retention_factor": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            WindowConfig(**kwargs)
+
+
+class TestSlidingHistogram:
+    def test_empty_window(self):
+        hist = SlidingHistogram("x", CONFIG)
+        stats = hist.window(now=100.0)
+        assert stats.count == 0
+        assert stats.p95 == 0.0
+        assert stats.rate == 0.0
+
+    def test_window_statistics(self):
+        hist = SlidingHistogram("x", CONFIG)
+        for value in (0.010, 0.020, 0.030, 0.040):
+            hist.observe(value, now=10.0)
+        stats = hist.window(now=10.0)
+        assert stats.count == 4
+        assert stats.min == pytest.approx(0.010)
+        assert stats.max == pytest.approx(0.040)
+        assert stats.total == pytest.approx(0.100)
+        assert stats.mean == pytest.approx(0.025)
+        # log-bucket quantiles: within one bucket width (~9%) of exact
+        assert stats.p95 == pytest.approx(0.040, rel=0.10)
+
+    def test_observations_age_out(self):
+        hist = SlidingHistogram("x", CONFIG)
+        hist.observe(1.0, now=0.0)
+        assert hist.window(now=30.0).count == 1
+        # 60 s window no longer covers t=0 once now is past ~65 s
+        assert hist.window(now=70.0).count == 0
+
+    def test_slow_window_still_sees_aged_observations(self):
+        hist = SlidingHistogram("x", CONFIG)
+        hist.observe(1.0, now=0.0)
+        assert hist.window(now=70.0, seconds=300.0).count == 1
+
+    def test_retention_horizon_prunes_frames(self):
+        hist = SlidingHistogram("x", CONFIG)
+        for t in range(0, 1000, 5):
+            hist.observe(1.0, now=float(t))
+        assert len(hist._ring.frames) <= CONFIG.retained_frames
+        # beyond retention, even the widest window forgets
+        assert hist.window(now=999.0, seconds=10_000.0).count <= 61
+
+    def test_window_wider_than_retention_is_clamped(self):
+        hist = SlidingHistogram("x", CONFIG)
+        hist.observe(1.0, now=0.0)
+        stats = hist.window(now=0.0, seconds=10_000.0)
+        assert stats.window_seconds == CONFIG.retention_seconds
+
+    def test_approx_bytes_bounded_under_load(self):
+        hist = SlidingHistogram("x", CONFIG)
+        for i in range(10_000):
+            hist.observe(1e-6 * (1.5 ** (i % 40)), now=100.0)
+        saturated = hist.approx_bytes()
+        for i in range(100_000):
+            hist.observe(1e-6 * (1.5 ** (i % 40)), now=100.0)
+        assert hist.approx_bytes() == saturated
+
+
+class TestSlidingCounter:
+    def test_window_count_and_rate(self):
+        counter = SlidingCounter("x", CONFIG)
+        counter.add(5, now=0.0)
+        counter.add(7, now=30.0)
+        stats = counter.window(now=30.0)
+        assert stats.count == 12
+        assert stats.rate == pytest.approx(12 / 60.0)
+        assert counter.lifetime == 12
+
+    def test_lifetime_outlives_windows(self):
+        counter = SlidingCounter("x", CONFIG)
+        counter.add(5, now=0.0)
+        assert counter.window(now=1000.0).count == 0
+        assert counter.lifetime == 5
+
+
+class TestSlidingGauge:
+    def test_last_value_and_window_max(self):
+        gauge = SlidingGauge("x", CONFIG)
+        gauge.set(10.0, now=0.0)
+        gauge.set(3.0, now=1.0)
+        assert gauge.value == 3.0
+        assert gauge.window_max(now=1.0) == 10.0
+
+    def test_set_max_only_raises(self):
+        gauge = SlidingGauge("x", CONFIG)
+        gauge.set_max(7.0, now=0.0)
+        gauge.set_max(4.0, now=0.0)
+        assert gauge.value == 7.0
+
+    def test_window_max_forgets_old_peaks(self):
+        gauge = SlidingGauge("x", CONFIG)
+        gauge.set(100.0, now=0.0)
+        gauge.set(5.0, now=200.0)
+        assert gauge.window_max(now=200.0) == 5.0
+
+
+class TestLivePlane:
+    def test_instruments_created_on_demand(self):
+        clock = make_clock(100.0)
+        plane = LivePlane(config=CONFIG, clock=clock)
+        plane.observe("lat", 0.5)
+        plane.add("hits", 3)
+        plane.set_gauge("depth", 9)
+        assert plane.window("lat").count == 1
+        assert plane.window("hits").count == 3
+        assert plane.gauge_value("depth") == 9
+        assert plane.window("never_reported") is None
+        assert plane.gauge_value("never_reported") is None
+
+    def test_stat_lookup(self):
+        clock = make_clock(100.0)
+        plane = LivePlane(config=CONFIG, clock=clock)
+        for value in (0.1, 0.2, 0.3):
+            plane.observe("lat", value)
+        plane.add("hits", 6)
+        plane.set_gauge("depth", 4)
+        plane.set_gauge("depth", 2)
+        assert plane.stat("lat", "count") == 3
+        assert plane.stat("lat", "max") == pytest.approx(0.3)
+        assert plane.stat("hits", "rate") == pytest.approx(0.1)
+        assert plane.stat("depth", "value") == 2
+        assert plane.stat("depth", "max") == 4
+        assert plane.stat("missing", "p95") is None
+
+    def test_stat_rejects_unknown_statistics(self):
+        plane = LivePlane(config=CONFIG, clock=make_clock())
+        plane.set_gauge("depth", 1)
+        plane.observe("lat", 1.0)
+        with pytest.raises(ValueError):
+            plane.stat("depth", "p95")
+        with pytest.raises(ValueError):
+            plane.stat("lat", "bogus")
+
+    def test_windows_slide_with_the_plane_clock(self):
+        clock = make_clock(0.0)
+        plane = LivePlane(config=CONFIG, clock=clock)
+        plane.observe("lat", 1.0)
+        clock.advance(30.0)
+        assert plane.window("lat").count == 1
+        clock.advance(70.0)
+        assert plane.window("lat").count == 0
+        assert plane.window("lat", seconds=300.0).count == 1
+
+    def test_snapshot_is_json_able_and_complete(self):
+        import json
+
+        clock = make_clock(50.0)
+        plane = LivePlane(config=CONFIG, clock=clock)
+        plane.observe("lat", 0.25)
+        plane.add("hits", 2)
+        plane.set_gauge("depth", 3)
+        snapshot = plane.snapshot()
+        json.dumps(snapshot)  # must not raise
+        assert snapshot["window_seconds"] == 60.0
+        assert snapshot["histograms"]["lat"]["count"] == 1
+        assert snapshot["counters"]["hits"]["lifetime"] == 2
+        assert snapshot["gauges"]["depth"]["value"] == 3
+
+    def test_concurrent_writes_are_safe(self):
+        plane = LivePlane(config=CONFIG)
+        errors = []
+
+        def hammer(worker: int) -> None:
+            try:
+                for i in range(2000):
+                    plane.observe("lat", 0.001 * (i % 17 + 1))
+                    plane.add("hits")
+                    plane.set_max_gauge("depth", float(worker * 1000 + i))
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(w,)) for w in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert plane.window("lat", seconds=300.0).count == 8000
+        assert plane.window("hits", seconds=300.0).count == 8000

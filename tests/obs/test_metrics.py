@@ -127,3 +127,52 @@ class TestRegistry:
         assert registry.snapshot() == {
             "counters": {}, "gauges": {}, "histograms": {}
         }
+
+
+class TestHistogramBoundedMemory:
+    """The satellite regression: a histogram must cost O(1) memory no
+    matter how many observations flow through it (the pre-live-plane
+    implementation kept every sample forever)."""
+
+    #: generous fixed budget: 1024-float reservoir + ~512 bucket entries
+    BYTE_BUDGET = 128 * 1024
+
+    def test_exact_until_reservoir_fills_then_sampled(self):
+        h = Histogram("x", reservoir=8)
+        for i in range(8):
+            h.observe(float(i + 1))
+        assert h.exact
+        assert h.percentile(50) == 4.0  # nearest-rank over all 8 values
+        h.observe(9.0)
+        assert not h.exact
+        assert len(h.values) == 8  # reservoir never grows past capacity
+        assert h.count == 9
+
+    def test_one_million_observes_stay_under_budget(self):
+        h = Histogram("commit_seconds")
+        values = [1e-6 * (1.5 ** (i % 48)) for i in range(48)]
+        for i in range(100_000):
+            h.observe(values[i % 48])
+        saturated = h.approx_bytes()
+        assert saturated < self.BYTE_BUDGET
+        for i in range(900_000):
+            h.observe(values[i % 48])
+        assert h.count == 1_000_000
+        # not merely under budget: flat from 100k to 1M
+        assert h.approx_bytes() == saturated
+
+    def test_quantiles_stay_sane_after_sampling_kicks_in(self):
+        h = Histogram("x")
+        for i in range(50_000):
+            h.observe(0.010 if i % 20 else 0.100)  # 5% slow outliers
+        assert h.percentile(50) == pytest.approx(0.010, rel=0.10)
+        assert h.percentile(99) == pytest.approx(0.100, rel=0.10)
+        assert h.max == pytest.approx(0.100)
+
+    def test_summary_keys_are_backward_compatible(self):
+        h = Histogram("x")
+        for i in range(5_000):
+            h.observe(float(i % 7 + 1))
+        summary = h.summary()
+        assert set(summary) == {"count", "total", "mean", "min", "max", "p50", "p95"}
+        assert summary["count"] == 5_000

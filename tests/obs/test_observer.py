@@ -97,3 +97,72 @@ class TestCurrentObserver:
         with observed(metrics=registry) as obs:
             obs.add("x")
         assert registry.counter("x").value == 1
+
+
+class TestObserverSet:
+    def test_set_writes_the_gauge_value_verbatim(self):
+        obs = Observer()
+        obs.set("queue_depth", 9)
+        obs.set("queue_depth", 2)  # unlike set_max, set() can lower it
+        assert obs.metrics.gauge("queue_depth").value == 2
+        assert obs.metrics.gauge("queue_depth").max_value == 9
+
+    def test_disabled_observer_ignores_set(self):
+        DISABLED.set("queue_depth", 5)
+        assert "queue_depth" not in DISABLED.metrics.gauges
+
+
+class TestSinkManagement:
+    def test_add_sink_sees_spans_and_events(self):
+        obs = Observer()
+        sink = InMemorySink()
+        obs.add_sink(sink)
+        with obs.span("work"):
+            obs.event("tick")
+        assert len(sink.spans("work")) == 1
+        assert len(sink.events("tick")) == 1
+
+    def test_remove_sink_stops_the_flow(self):
+        sink = InMemorySink()
+        obs = Observer(sink)
+        obs.remove_sink(sink)
+        obs.event("tick")
+        assert sink.records == []
+        obs.remove_sink(sink)  # removing twice is a no-op
+
+    def test_metrics_only_mode_drops_trace_records(self):
+        sink = InMemorySink()
+        obs = Observer(sink, tracing=False)
+        with obs.span("work"):
+            obs.event("tick")
+        obs.add("splits")
+        assert sink.records == []  # no trace flow ...
+        assert obs.metrics.counter("splits").value == 1  # ... metrics live
+
+
+class TestLiveMirroring:
+    def test_attach_live_mirrors_all_mutators(self):
+        from repro.obs import LivePlane
+
+        plane = LivePlane(clock=lambda: 100.0)
+        obs = Observer()
+        assert obs.attach_live(plane) is None
+        obs.add("hits", 2)
+        obs.observe("lat", 0.5)
+        obs.set("depth", 4)
+        obs.set_max("peak", 9)
+        assert plane.window("hits").count == 2
+        assert plane.window("lat").count == 1
+        assert plane.gauge_value("depth") == 4
+        assert plane.gauge_value("peak") == 9
+
+    def test_detach_restores_previous_plane(self):
+        from repro.obs import LivePlane
+
+        first, second = LivePlane(), LivePlane()
+        obs = Observer()
+        obs.attach_live(first)
+        assert obs.attach_live(second) is first
+        obs.add("hits")
+        assert second.window("hits", seconds=300.0).count == 1
+        assert first.window("hits", seconds=300.0) is None

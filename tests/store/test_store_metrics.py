@@ -1,0 +1,137 @@
+"""The durable store's telemetry: latency histograms, repair counters,
+corruption / recovery events — the signals wired into the live plane."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.exceptions import WalCorruptionError
+from repro.index.oneindex import OneIndex
+from repro.obs import InMemorySink, observed
+from repro.store.checkpoint import prune_checkpoints, write_checkpoint
+from repro.store.recovery import recover
+from repro.store.wal import WriteAheadLog, list_segments, read_records
+
+from tests.store.conftest import tiny_graph
+
+
+def _ops(n: int) -> list[dict]:
+    return [{"op": "delete_node", "args": [n]}]
+
+
+class TestWalLatencyHistograms:
+    def test_append_and_fsync_are_timed(self, store_dir):
+        with observed() as obs:
+            wal = WriteAheadLog(store_dir, fsync="always")
+            for i in range(3):
+                wal.append(_ops(i))
+            wal.close()
+            appends = obs.metrics.histogram("store.wal_append_seconds")
+            fsyncs = obs.metrics.histogram("store.fsync_seconds")
+            assert appends.count == 3
+            assert appends.total > 0
+            assert fsyncs.count >= 3
+
+    def test_fsync_off_records_no_fsync_latency(self, store_dir):
+        with observed() as obs:
+            wal = WriteAheadLog(store_dir, fsync="off")
+            wal.append(_ops(0))
+            wal.close()
+            assert obs.metrics.histogram("store.wal_append_seconds").count == 1
+            assert obs.metrics.histogram("store.fsync_seconds").count == 0
+
+
+class TestTailRepairTelemetry:
+    def _torn_segment(self, store_dir) -> str:
+        wal = WriteAheadLog(store_dir, fsync="off")
+        for i in range(3):
+            wal.append(_ops(i))
+        wal.close()
+        path = os.path.join(store_dir, list_segments(store_dir)[0])
+        with open(path, "rb") as fp:
+            data = fp.read()
+        with open(path, "wb") as fp:
+            fp.write(data[: len(data) - 5])  # tear the last record
+        return path
+
+    def test_repair_emits_counter_and_event(self, store_dir):
+        self._torn_segment(store_dir)
+        sink = InMemorySink()
+        with observed(sink) as obs:
+            records = read_records(store_dir, repair=True)
+            assert [r.lsn for r in records] == [1, 2]
+            assert obs.metrics.counter("store.wal_tail_repairs").value == 1
+        (event,) = sink.events("store.wal_tail_repaired")
+        assert event["attrs"]["valid_bytes"] > 0
+        assert event["attrs"]["reason"]
+
+    def test_read_without_repair_does_not_count_a_repair(self, store_dir):
+        self._torn_segment(store_dir)
+        with observed() as obs:
+            read_records(store_dir, repair=False)
+            assert obs.metrics.counter("store.wal_tail_repairs").value == 0
+
+
+class TestCorruptionTelemetry:
+    def test_mid_log_corruption_emits_event_before_raising(self, store_dir):
+        wal = WriteAheadLog(store_dir, fsync="off")
+        for i in range(3):
+            wal.append(_ops(i))
+        wal.close()
+        path = os.path.join(store_dir, list_segments(store_dir)[0])
+        with open(path, "rb") as fp:
+            lines = fp.read().splitlines(keepends=True)
+        # flip one payload byte inside record 2: CRC mismatch mid-log,
+        # with a well-formed record following — corruption, not a tear
+        corrupt = bytearray(lines[1])
+        corrupt[len(corrupt) // 2] ^= 0x01
+        with open(path, "wb") as fp:
+            fp.write(lines[0] + bytes(corrupt) + lines[2])
+        sink = InMemorySink()
+        with observed(sink):
+            with pytest.raises(WalCorruptionError):
+                read_records(store_dir)
+        (event,) = sink.events("store.wal_corruption")
+        assert event["attrs"]["segment"]
+        assert event["attrs"]["valid_bytes"] >= 0
+
+
+class TestCheckpointTelemetry:
+    def test_write_and_prune_durations(self, store_dir):
+        graph = tiny_graph()
+        index = OneIndex.build(graph)
+        with observed() as obs:
+            for lsn in (1, 2, 3):
+                write_checkpoint(
+                    store_dir, graph, wal_lsn=lsn, version=lsn, index=index
+                )
+            removed = prune_checkpoints(store_dir, keep=1)
+            assert removed == 2
+            assert obs.metrics.histogram("store.checkpoint_write_seconds").count == 3
+            assert obs.metrics.histogram("store.checkpoint_prune_seconds").count == 1
+            assert obs.metrics.counter("store.checkpoints_pruned").value == 2
+
+
+class TestRecoveryTelemetry:
+    def test_recover_times_and_announces_itself(self, store_dir):
+        graph = tiny_graph()
+        index = OneIndex.build(graph)
+        write_checkpoint(store_dir, graph, wal_lsn=0, version=0, index=index)
+        wal = WriteAheadLog(store_dir, fsync="off")
+        root = min(graph.nodes())
+        wal.append([{"op": "insert_node", "args": [root, "y", None]}])
+        wal.close()
+        sink = InMemorySink()
+        with observed(sink) as obs:
+            result = recover(store_dir)
+            assert result.replayed_records == 1
+            histogram = obs.metrics.histogram("store.recovery_seconds")
+            assert histogram.count == 1
+        (event,) = sink.events("store.recovered")
+        assert event["attrs"]["replayed_records"] == 1
+        assert event["attrs"]["last_lsn"] == 1
+        assert event["attrs"]["seconds"] >= 0
+        json.dumps(event["attrs"])  # event payload must be JSON-able

@@ -8,11 +8,13 @@ import pytest
 
 import repro.graph.datagraph
 import repro.graph.xml_io
+import repro.obs
 import repro.query.path_expression
 
 MODULES = (
     repro.graph.datagraph,
     repro.graph.xml_io,
+    repro.obs,
     repro.query.path_expression,
 )
 
