@@ -1,0 +1,134 @@
+"""Replication benchmark: read scaling with replicas, convergence under faults.
+
+Runs the two ``repro.replication`` experiments at the session's scale
+and asserts the quantitative claims DESIGN.md §10 makes:
+
+* **aggregate query throughput scales with replica count** — the same
+  8-client closed loop served by 3 capacity-1 replicas sustains at
+  least 1.7x the throughput of 1, while a background writer keeps
+  shipping WAL records the replicas apply in flight (steady-state lag
+  is reported and bounded);
+* **fault-ridden links still converge** — followers tailing through
+  links whose every 2nd round-trip is dropped, truncated, corrupted,
+  duplicated or stalled end byte-identical (snapshot fingerprint) to
+  the primary, at the same version and LSN, for both index families.
+
+Also runnable directly for CI smoke::
+
+    PYTHONPATH=src python benchmarks/bench_replicate.py --smoke
+
+which runs at smoke scale, enforces the same gates, and writes the
+machine-readable baseline to ``BENCH_replicate.json`` at the repository
+root (schema ``repro.bench_replicate/1``; see DESIGN.md §10).  Without
+``--smoke`` the run uses small scale — that is the configuration whose
+output is committed as the repository's baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.experiments import bench_replicate, replicate
+
+#: the read-scaling acceptance bar at three replicas
+SCALING_GATE = 1.7
+
+#: default output path: <repo root>/BENCH_replicate.json
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_replicate.json"
+
+
+def test_throughput_scales_with_replicas(run_once, benchmark, scale):
+    result = run_once(lambda: bench_replicate.run(scale))
+    print()
+    assert {p.replicas for p in result.points} == set(bench_replicate.REPLICA_COUNTS)
+    for p in result.points:
+        assert p.queries == p.clients * bench_replicate.queries_per_client(scale)
+        # the writer ran the whole time, yet no replica fell far behind
+        assert p.steady_lag_lsns <= bench_replicate.MAX_LAG_LSNS
+    assert result.writer_commits > 0, "the background write load never committed"
+    scaling = result.scaling(max(bench_replicate.REPLICA_COUNTS))
+    assert scaling >= SCALING_GATE, (
+        f"3 replicas only {scaling:.2f}x the single-replica throughput "
+        f"(need >= {SCALING_GATE}x)"
+    )
+    benchmark.extra_info["scaling_3"] = round(scaling, 2)
+    benchmark.extra_info["max_steady_lag"] = result.max_steady_lag
+
+
+def test_faulty_links_converge(run_once, benchmark, scale):
+    result = run_once(lambda: replicate.run(scale))
+    print()
+    assert set(result.stats) == {"one", "ak"}
+    for family, stats in result.stats.items():
+        assert len(stats.followers) == replicate.NUM_FOLLOWERS
+        for position, follower in enumerate(stats.followers):
+            assert follower.converged, (
+                f"{family} follower {position} did not converge "
+                f"(applied {follower.applied_lsn} of {stats.wal_last_lsn})"
+            )
+            # the wire was actually hostile: at least one fault fired
+            assert follower.faults, f"{family} follower {position} saw no faults"
+        benchmark.extra_info[f"{family}_faults"] = sum(
+            count for f in stats.followers for count in f.faults.values()
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CI entry point: run both experiments, gate, write the baseline."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run at smoke scale (seconds); default is small scale, the "
+        "configuration of the committed BENCH_replicate.json baseline",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="PATH",
+        default=str(DEFAULT_OUTPUT),
+        help="where to write the JSON baseline (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.experiments import scale_by_name
+    from repro.obs import SummarySink, observed
+
+    scale = scale_by_name("smoke" if args.smoke else "small")
+    with observed(SummarySink(sys.stdout)) as obs:
+        with obs.span("bench.replicate", scale=scale.name):
+            bench_result = bench_replicate.run(scale)
+            print(bench_replicate.report(bench_result))
+            print()
+            converge_result = replicate.run(scale)
+            print(replicate.report(converge_result))
+
+    payload = bench_result.as_json()
+    payload["converged_under_faults"] = converge_result.all_converged
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+
+    failed = False
+    if not converge_result.all_converged:
+        print("FAIL: a follower did not converge to the primary's fingerprint")
+        failed = True
+    scaling = bench_result.scaling(max(bench_replicate.REPLICA_COUNTS))
+    if scaling < SCALING_GATE:
+        print(
+            f"FAIL: 3 replicas only {scaling:.2f}x the single-replica "
+            f"throughput (need >= {SCALING_GATE}x)"
+        )
+        failed = True
+    if bench_result.max_steady_lag > bench_replicate.MAX_LAG_LSNS:
+        print(
+            f"FAIL: steady-state lag {bench_result.max_steady_lag} exceeds "
+            f"the {bench_replicate.MAX_LAG_LSNS}-LSN staleness bound"
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -161,6 +161,56 @@ class RecoveryError(StoreError):
     """A store directory could not be recovered into a consistent state."""
 
 
+class ReplicationError(ReproError):
+    """Base class for the WAL-shipping replication layer (``repro.replication``)."""
+
+
+class ReplicationTimeoutError(ReplicationError):
+    """A replication fetch ran out of attempts or exceeded its deadline.
+
+    Raised by :class:`~repro.replication.link.ReplicationLink` after its
+    retry budget is spent; a single dropped or torn response is retried
+    silently (with capped exponential backoff) and never surfaces.
+    """
+
+
+class StaleEpochError(ReplicationError):
+    """A replication message carried an epoch older than one already seen.
+
+    A follower that has observed epoch *N* must refuse feed responses
+    stamped with an earlier epoch — they come from a demoted (zombie)
+    primary whose writes were fenced off, and applying them would fork
+    the replica from the promoted timeline.
+    """
+
+    def __init__(self, seen_epoch: int, frame_epoch: int):
+        super().__init__(
+            f"feed response from epoch {frame_epoch} but epoch "
+            f"{seen_epoch} was already observed (zombie primary?)"
+        )
+        self.seen_epoch = seen_epoch
+        self.frame_epoch = frame_epoch
+
+
+class StalePrimaryError(ReplicationError):
+    """A fenced (demoted) primary tried to commit a write.
+
+    After failover promotes a follower, the cluster epoch advances; the
+    old primary discovers this — through an explicit :meth:`fence` call
+    or the durable epoch check in its commit path — and every write
+    from then on raises this error instead of splitting the WAL's
+    history.  Reads remain allowed (they are just stale).
+    """
+
+    def __init__(self, own_epoch: int, current_epoch: int):
+        super().__init__(
+            f"primary at epoch {own_epoch} was superseded by epoch "
+            f"{current_epoch}; writes are fenced off"
+        )
+        self.own_epoch = own_epoch
+        self.current_epoch = current_epoch
+
+
 class WorkloadError(ReproError):
     """A workload generator was driven outside its prepared envelope."""
 

@@ -13,6 +13,7 @@ or programmatically::
 from repro.experiments import (
     ablation_worstcase,
     bench_hotpath,
+    bench_replicate,
     bench_serve,
     bench_store,
     fig09_imdb_quality,
@@ -22,6 +23,7 @@ from repro.experiments import (
     fig13_ak_quality,
     persist,
     recover,
+    replicate,
     serve,
     tab1_reconstruction_frequency,
     tab2_ak_times,
@@ -46,6 +48,8 @@ EXPERIMENTS = {
     "persist": persist,
     "recover": recover,
     "bench-store": bench_store,
+    "replicate": replicate,
+    "bench-replicate": bench_replicate,
 }
 
 __all__ = [

@@ -1,0 +1,354 @@
+"""``bench-replicate``: aggregate query throughput vs replica count.
+
+The read-scaling payoff claim of DESIGN.md §10: N replicas serve ~N
+times the aggregate query throughput of one, because each answers from
+its own snapshot.  Measured with the real replication stack — a durable
+primary under a live write load, followers bootstrapped over the wire
+and tailing in the background, a staleness-bounded
+:class:`~repro.replication.ReplicaRouter` spreading the clients.
+
+Pure-Python query evaluation is GIL-bound, so raw threads over
+in-process replicas cannot show the scaling a deployment would see.
+Each replica is therefore fronted by a **capacity-1 server model**: a
+lock plus a modeled per-query service time (a ``time.sleep``, which
+releases the GIL) sized to a few multiples of the measured in-process
+evaluation cost.  That models what replication actually buys — more
+independent servers — while every query still runs the real router →
+follower → snapshot path, and the followers really are applying shipped
+WAL records the whole time (the reported steady-state lag proves it).
+
+Reported per replica count: aggregate queries/sec from a fixed client
+pool, scaling vs the single-replica baseline, steady-state replication
+lag, and router fallbacks.  The CI gate (``benchmarks/bench_replicate.py``)
+requires >= 1.7x at three replicas.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+
+from repro.experiments.config import ExperimentScale
+from repro.experiments.reporting import format_table
+from repro.graph.datagraph import EdgeKind
+from repro.obs import current as current_obs
+from repro.replication import FollowerIndexService, Primary, ReplicaRouter, ReplicationLink
+from repro.service import ServiceConfig, Update
+from repro.store import DurableIndexService, StoreConfig
+from repro.workload.queries import QueryWorkload
+from repro.workload.updates import MixedUpdateWorkload
+from repro.workload.xmark import generate_xmark
+
+#: concurrent closed-loop query clients
+CLIENTS = 8
+
+#: replica counts swept (the gate compares the last against the first)
+REPLICA_COUNTS = (1, 2, 3)
+
+#: modeled per-query service time = this many multiples of the measured
+#: in-process evaluation cost (floored at MIN_SERVICE_SECONDS), so the
+#: capacity-1 model dominates the GIL-serialised evaluation share
+SERVICE_TIME_MULTIPLE = 3.0
+MIN_SERVICE_SECONDS = 0.002
+
+#: staleness bound handed to the router (generous: the write load is
+#: gentle; fallbacks to the primary are counted and reported)
+MAX_LAG_LSNS = 512
+
+
+def queries_per_client(scale: ExperimentScale) -> int:
+    """Closed-loop queries each client issues per replica count."""
+    if scale.name == "smoke":
+        return 25
+    if scale.name == "paper":
+        return 120
+    return 60
+
+
+def pairs_for(scale: ExperimentScale) -> int:
+    """Insert/delete pairs committed before the followers bootstrap."""
+    return max(16, scale.pairs_1index // 4)
+
+
+class _ModeledReplica:
+    """Capacity-1 server façade over a follower.
+
+    One query at a time (the lock), each costing a modeled service time
+    (the sleep — which releases the GIL, so independent replicas overlap)
+    plus the real snapshot evaluation.  Exposes the ``lag_lsns``/
+    ``query`` surface the router routes by.
+    """
+
+    def __init__(self, follower: FollowerIndexService, service_seconds: float):
+        self.follower = follower
+        self.service_seconds = service_seconds
+        self.served = 0
+        self._lock = threading.Lock()
+
+    @property
+    def lag_lsns(self) -> int:
+        return self.follower.lag_lsns
+
+    def query(self, query):
+        with self._lock:
+            time.sleep(self.service_seconds)
+            self.served += 1
+            return self.follower.query(query)
+
+
+@dataclass
+class ReplicaCountPoint:
+    """One client-pool run at one replica count."""
+
+    replicas: int
+    clients: int
+    queries: int
+    seconds: float
+    steady_lag_lsns: int
+    fallbacks: int
+
+    @property
+    def queries_per_second(self) -> float:
+        if self.seconds <= 0:
+            return float("inf")
+        return self.queries / self.seconds
+
+
+@dataclass
+class BenchReplicateResult:
+    """The full sweep plus the modeled service time it ran under."""
+
+    scale: str
+    service_ms: float
+    writer_commits: int
+    points: list[ReplicaCountPoint] = field(default_factory=list)
+
+    def scaling(self, replicas: int) -> float:
+        """Throughput at *replicas* over the single-replica baseline."""
+        by_count = {p.replicas: p for p in self.points}
+        if 1 not in by_count or replicas not in by_count:
+            return 0.0
+        base = by_count[1].queries_per_second
+        if base <= 0:
+            return 0.0
+        return by_count[replicas].queries_per_second / base
+
+    @property
+    def max_steady_lag(self) -> int:
+        if not self.points:
+            return 0
+        return max(p.steady_lag_lsns for p in self.points)
+
+    def as_json(self) -> dict:
+        """The ``BENCH_replicate.json`` payload (schema in DESIGN.md §10)."""
+        return {
+            "schema": "repro.bench_replicate/1",
+            "scale": self.scale,
+            "service_ms": round(self.service_ms, 3),
+            "writer_commits": self.writer_commits,
+            "points": [
+                {**asdict(p), "queries_per_second": round(p.queries_per_second, 1)}
+                for p in self.points
+            ],
+            "summary": {
+                "scaling_2": round(self.scaling(2), 2),
+                "scaling_3": round(self.scaling(3), 2),
+                "max_steady_lag_lsns": self.max_steady_lag,
+            },
+        }
+
+
+class _WriteLoad(threading.Thread):
+    """A gentle background writer: the replicas must tail while serving."""
+
+    def __init__(self, service: DurableIndexService, updates, pace_seconds: float = 0.005):
+        super().__init__(name="repro-bench-writer", daemon=True)
+        self.service = service
+        self.steps = updates.steps(1_000_000)  # effectively endless
+        self.pace_seconds = pace_seconds
+        self.commits = 0
+        self.stop_event = threading.Event()
+
+    def run(self) -> None:
+        while not self.stop_event.is_set():
+            try:
+                op, source, target = next(self.steps)
+            except StopIteration:  # pragma: no cover - workload exhausted
+                return
+            if op == "insert":
+                self.service.submit_nowait(Update.insert_edge(source, target, EdgeKind.IDREF))
+            else:
+                self.service.submit_nowait(Update.delete_edge(source, target))
+            self.service.flush()
+            self.commits += 1
+            self.stop_event.wait(self.pace_seconds)
+
+
+def _measure_service_seconds(replica: FollowerIndexService, queries) -> float:
+    """Size the modeled service time off the real evaluation cost."""
+    started = time.perf_counter()
+    for query in queries:
+        replica.query(query)
+    mean_eval = (time.perf_counter() - started) / max(1, len(queries))
+    return max(MIN_SERVICE_SECONDS, SERVICE_TIME_MULTIPLE * mean_eval)
+
+
+def _drive_clients(router: ReplicaRouter, queries, per_client: int) -> tuple[int, float]:
+    """CLIENTS closed-loop threads; returns (total queries, wall seconds)."""
+    barrier = threading.Barrier(CLIENTS + 1)
+    done: list[float] = []
+    done_lock = threading.Lock()
+
+    def client(position: int) -> None:
+        barrier.wait()
+        for i in range(per_client):
+            router.query(queries[(position + i) % len(queries)])
+        with done_lock:
+            done.append(time.perf_counter())
+
+    threads = [
+        threading.Thread(target=client, args=(position,), daemon=True)
+        for position in range(CLIENTS)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    return CLIENTS * per_client, max(done) - started
+
+
+def run(scale: ExperimentScale, seed: int = 103) -> BenchReplicateResult:
+    """The replica-count sweep over the real replication stack."""
+    batch_max_ops = 8
+    directory = tempfile.mkdtemp(prefix="repro-bench-replicate-")
+    followers: list[FollowerIndexService] = []
+    writer = None
+    try:
+        graph = generate_xmark(scale.xmark).graph
+        updates = MixedUpdateWorkload.prepare(graph, seed=seed)
+        service = DurableIndexService(
+            graph,
+            directory,
+            config=ServiceConfig(
+                family="one",
+                k=min(scale.ks),
+                batch_max_ops=batch_max_ops,
+                queue_capacity=0,
+            ),
+            store_config=StoreConfig(checkpoint_every_records=0),
+        )
+        # base load, then the checkpoint the followers bootstrap from
+        for op, source, target in updates.steps(pairs_for(scale)):
+            if op == "insert":
+                service.submit_nowait(Update.insert_edge(source, target, EdgeKind.IDREF))
+            else:
+                service.submit_nowait(Update.delete_edge(source, target))
+            if service.queue_depth() >= batch_max_ops:
+                service.flush()
+        service.drain()
+        service.checkpoint()
+
+        feed = Primary(service=service)
+        for position in range(max(REPLICA_COUNTS)):
+            link = ReplicationLink(feed, seed=seed + position)
+            follower = FollowerIndexService.bootstrap(link)
+            follower.catch_up(deadline_seconds=60.0)
+            followers.append(follower)
+
+        pool = QueryWorkload.generate(graph, count=16, seed=seed + 1)
+        queries = list(pool)
+        service_seconds = _measure_service_seconds(followers[0], queries)
+        replicas = [_ModeledReplica(f, service_seconds) for f in followers]
+
+        writer = _WriteLoad(service, updates)
+        writer.start()
+        for follower in followers:
+            follower.start_tailing(poll_interval=0.005)
+
+        result = BenchReplicateResult(
+            scale=scale.name,
+            service_ms=service_seconds * 1000.0,
+            writer_commits=0,
+        )
+        per_client = queries_per_client(scale)
+        obs = current_obs()
+        for count in REPLICA_COUNTS:
+            router = ReplicaRouter(
+                replicas[:count], primary=service, max_lag_lsns=MAX_LAG_LSNS
+            )
+            total, seconds = _drive_clients(router, queries, per_client)
+            steady_lag = max(f.lag_lsns for f in followers[:count])
+            result.points.append(
+                ReplicaCountPoint(
+                    replicas=count,
+                    clients=CLIENTS,
+                    queries=total,
+                    seconds=seconds,
+                    steady_lag_lsns=steady_lag,
+                    fallbacks=router.fallbacks,
+                )
+            )
+            obs.observe(f"bench.replicate.qps_{count}", total / seconds)
+
+        writer.stop_event.set()
+        writer.join()
+        result.writer_commits = writer.commits
+        writer = None
+        service.drain()
+        # the replicas must still be byte-identical clones once the
+        # writes stop — serving under load must not have corrupted them
+        fingerprint = service.snapshot.fingerprint()
+        for follower in followers:
+            follower.stop_tailing()
+            follower.catch_up(deadline_seconds=60.0)
+            if follower.snapshot.fingerprint() != fingerprint:  # pragma: no cover
+                raise AssertionError("replica diverged from primary under load")
+        return result
+    finally:
+        if writer is not None:
+            writer.stop_event.set()
+            writer.join()
+        for follower in followers:
+            follower.close()
+        try:
+            service.close()
+        except UnboundLocalError:  # pragma: no cover - constructor failed
+            pass
+        shutil.rmtree(directory, ignore_errors=True)
+
+
+def report(result: BenchReplicateResult) -> str:
+    """Render the scaling table."""
+    table = format_table(
+        ["replicas", "clients", "queries", "seconds", "qps", "scaling", "lag", "fallbacks"],
+        [
+            [
+                p.replicas,
+                p.clients,
+                p.queries,
+                f"{p.seconds:.2f}",
+                f"{p.queries_per_second:.0f}",
+                f"{result.scaling(p.replicas):.2f}x",
+                p.steady_lag_lsns,
+                p.fallbacks,
+            ]
+            for p in result.points
+        ],
+    )
+    header = (
+        f"modeled service time {result.service_ms:.1f} ms/query (capacity-1 "
+        f"replicas), {result.writer_commits} background commits shipped while "
+        f"serving; scaling at 3 replicas: {result.scaling(3):.2f}x"
+    )
+    return f"{header}\n\n{table}"
+
+
+def main(scale: ExperimentScale) -> str:
+    """CLI entry point."""
+    return report(run(scale))

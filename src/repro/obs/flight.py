@@ -42,6 +42,8 @@ DEFAULT_TRIGGERS = frozenset(
         "store.recovery_failed",
         "store.recovered",
         "slo.breach",
+        "replication.stall",
+        "failover.promoted",
     }
 )
 

@@ -16,6 +16,7 @@ are plain dicts (see :meth:`repro.obs.tracer.Span.to_record`).
 from __future__ import annotations
 
 import json
+import threading
 from typing import IO, Iterable, Optional, Protocol, runtime_checkable
 
 from repro.obs.metrics import percentile
@@ -76,6 +77,11 @@ class JsonlSink:
     Accepts a path or an open text stream; owns (and closes) the file
     only when given a path.  Non-JSON-able attribute values are
     stringified rather than crashing the traced run.
+
+    Emits are serialized by a lock: spans finish on whatever thread ran
+    them, and ``TextIOWrapper.write`` is not atomic — concurrent writes
+    through its pending-bytes buffer can interleave mid-line or flush
+    garbage into the file.  One record, one lock hold, one line.
     """
 
     def __init__(self, target: "str | IO[str]"):
@@ -85,20 +91,24 @@ class JsonlSink:
         else:
             self._fh = target
             self._owns = False
+        self._lock = threading.Lock()
         self.emitted = 0
         self.closed = False
 
     def emit(self, record: dict) -> None:
-        self._fh.write(json.dumps(record, default=str) + "\n")
-        self.emitted += 1
+        line = json.dumps(record, default=str) + "\n"
+        with self._lock:
+            self._fh.write(line)
+            self.emitted += 1
 
     def close(self) -> None:
-        if self.closed:
-            return
-        self.closed = True
-        self._fh.flush()
-        if self._owns:
-            self._fh.close()
+        with self._lock:
+            if self.closed:
+                return
+            self.closed = True
+            self._fh.flush()
+            if self._owns:
+                self._fh.close()
 
     def __enter__(self) -> "JsonlSink":
         return self

@@ -44,6 +44,7 @@ __all__ = [
     "SloWatchdog",
     "load_rules",
     "default_service_rules",
+    "default_replication_rules",
 ]
 
 OK = "ok"
@@ -342,5 +343,32 @@ def default_service_rules(
             op=">",
             threshold=fsync_p99_seconds,
             description="WAL fsync tail latency",
+        ),
+    ]
+
+
+def default_replication_rules(
+    max_lag_lsns: float = 256.0,
+    apply_p95_seconds: float = 0.5,
+) -> list[SloRule]:
+    """The stock objectives for a replica: staleness (how far behind the
+    primary's log the follower has applied) and apply latency (how long
+    one shipped batch takes to reach the local snapshot)."""
+    return [
+        SloRule(
+            name="replica-lag",
+            metric="replication.lag_lsns",
+            stat="max",
+            op=">",
+            threshold=max_lag_lsns,
+            description="LSNs the follower trails the primary's log end",
+        ),
+        SloRule(
+            name="apply-latency",
+            metric="replication.apply_seconds",
+            stat="p95",
+            op=">",
+            threshold=apply_p95_seconds,
+            description="shipped-batch apply latency on the follower",
         ),
     ]

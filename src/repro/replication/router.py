@@ -1,0 +1,97 @@
+"""`ReplicaRouter` — staleness-bounded query spreading over replicas.
+
+The read-scaling payoff of WAL shipping: N replicas each serve from
+their own snapshot, so aggregate query throughput grows with N while
+the primary keeps its write bandwidth.  The router's one hard job is
+**bounded staleness**: a replica that has fallen more than
+``max_lag_lsns`` behind the primary's log end is skipped until it
+catches up, so a reader never observes state older than the bound —
+the freshness knob the staleness SLO of the serving layer promises.
+
+Routing is round-robin over the currently-eligible replicas (cheap,
+fair, and deterministic enough for the tests); when *no* replica is
+eligible the query falls back to the primary if one was attached, and
+raises otherwise — failing loudly beats silently serving arbitrarily
+stale answers.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional, Sequence
+
+from repro.exceptions import ReplicationError
+from repro.obs import current as current_obs
+from repro.replication.follower import FollowerIndexService
+from repro.service.service import IndexService, ServedQuery
+
+
+class ReplicaRouter:
+    """Spread queries across follower replicas, primary as fallback."""
+
+    def __init__(
+        self,
+        replicas: Sequence[FollowerIndexService],
+        primary: Optional[IndexService] = None,
+        max_lag_lsns: Optional[int] = None,
+    ):
+        if not replicas and primary is None:
+            raise ReplicationError("a router needs at least one replica or a primary")
+        if max_lag_lsns is not None and max_lag_lsns < 0:
+            raise ReplicationError("max_lag_lsns must be >= 0")
+        self.replicas = list(replicas)
+        self.primary = primary
+        self.max_lag_lsns = max_lag_lsns
+        self._cursor = 0
+        self._lock = threading.Lock()
+        #: queries served per replica position (and the fallback tally)
+        self.routed = [0] * len(self.replicas)
+        self.fallbacks = 0
+
+    def eligible(self) -> list[int]:
+        """Replica positions currently inside the staleness bound."""
+        if self.max_lag_lsns is None:
+            return list(range(len(self.replicas)))
+        return [
+            position
+            for position, replica in enumerate(self.replicas)
+            if replica.lag_lsns <= self.max_lag_lsns
+        ]
+
+    def pick(self) -> IndexService:
+        """The service the next query goes to (round-robin, bounded lag)."""
+        candidates = self.eligible()
+        if candidates:
+            with self._lock:
+                position = candidates[self._cursor % len(candidates)]
+                self._cursor += 1
+                self.routed[position] += 1
+            return self.replicas[position]
+        if self.primary is not None:
+            with self._lock:
+                self.fallbacks += 1
+            current_obs().add("replication.router_fallbacks")
+            return self.primary
+        raise ReplicationError(
+            f"no replica within max_lag_lsns={self.max_lag_lsns} and no "
+            "primary to fall back to"
+        )
+
+    def query(self, query) -> ServedQuery:
+        """Answer one query from whichever service :meth:`pick` chose."""
+        return self.pick().query(query)
+
+    def stats(self) -> dict:
+        """Routing tallies plus the current per-replica lag picture."""
+        return {
+            "routed": list(self.routed),
+            "fallbacks": self.fallbacks,
+            "max_lag_lsns": self.max_lag_lsns,
+            "lags": [replica.lag_lsns for replica in self.replicas],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ReplicaRouter replicas={len(self.replicas)} "
+            f"max_lag={self.max_lag_lsns} fallbacks={self.fallbacks}>"
+        )

@@ -18,7 +18,7 @@ makes every maintenance operation all-or-nothing:
   for the chaos suite (``tests/resilience/``).
 """
 
-from repro.resilience.faults import PHASE_KINDS, FaultInjector
+from repro.resilience.faults import PHASE_KINDS, REPLICATION_FAULTS, FaultInjector
 from repro.resilience.guard import POLICIES, GuardConfig, GuardedMaintainer, GuardStats
 from repro.resilience.invariants import LEVELS, InvariantGuard
 from repro.resilience.journal import (
@@ -28,9 +28,14 @@ from repro.resilience.journal import (
     Transaction,
 )
 from repro.resilience.wire import (
+    FEED_FORMAT_VERSION,
     WIRE_OPS,
+    FeedFrame,
     batch_from_wire,
     batch_to_wire,
+    decode_feed_frame,
+    encode_feed_frame,
+    feed_record,
     op_from_wire,
     op_to_wire,
 )
@@ -41,6 +46,11 @@ __all__ = [
     "op_from_wire",
     "batch_to_wire",
     "batch_from_wire",
+    "FEED_FORMAT_VERSION",
+    "FeedFrame",
+    "feed_record",
+    "encode_feed_frame",
+    "decode_feed_frame",
     "MutationJournal",
     "Transaction",
     "TouchedSet",
@@ -53,4 +63,5 @@ __all__ = [
     "LEVELS",
     "FaultInjector",
     "PHASE_KINDS",
+    "REPLICATION_FAULTS",
 ]

@@ -25,15 +25,29 @@ Trigger modes, combinable:
   independent of the journal-record counter; ``rearm`` makes the trigger
   periodic here too.
 
-Every firing raises :class:`repro.exceptions.InjectedFaultError`.
+* ``at_replication=N`` — a **network** trigger kind: fire on the N-th
+  replication fetch observed through :meth:`FaultInjector.replication`.
+  Unlike the other hooks this one does not raise — it *returns* the
+  fault kind (one of :data:`REPLICATION_FAULTS`) and the caller
+  (:class:`repro.replication.link.ReplicationLink`) mangles the response
+  accordingly: drop the reply, truncate the payload mid-frame, flip a
+  byte inside one record, deliver the previous frame again, or stall
+  (advertise progress but ship no records).  ``replication_fault``
+  selects the kind; pass a sequence to cycle through several across a
+  rearmed run.
+
+Every raising trigger raises :class:`repro.exceptions.InjectedFaultError`.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Optional
+from typing import Optional, Sequence, Union
 
 from repro.exceptions import InjectedFaultError
+
+#: response manglings the replication hook can select
+REPLICATION_FAULTS = ("drop", "truncate", "corrupt", "duplicate", "stall")
 
 #: journal record kinds emitted by each named maintenance phase
 PHASE_KINDS: dict[str, frozenset[str]] = {
@@ -61,6 +75,8 @@ class FaultInjector:
         seed: int = 0,
         rearm: bool = False,
         at_io: Optional[int] = None,
+        at_replication: Optional[int] = None,
+        replication_fault: Union[str, Sequence[str]] = "drop",
     ):
         if at_record is not None and at_record < 1:
             raise ValueError("at_record must be >= 1")
@@ -70,13 +86,28 @@ class FaultInjector:
             raise ValueError("rate must lie in [0, 1]")
         if at_io is not None and at_io < 1:
             raise ValueError("at_io must be >= 1")
+        if at_replication is not None and at_replication < 1:
+            raise ValueError("at_replication must be >= 1")
+        if isinstance(replication_fault, str):
+            replication_fault = (replication_fault,)
+        else:
+            replication_fault = tuple(replication_fault)
+        for kind in replication_fault:
+            if kind not in REPLICATION_FAULTS:
+                raise ValueError(
+                    f"unknown replication fault {kind!r}; "
+                    f"choose from {REPLICATION_FAULTS}"
+                )
         self.at_record = at_record
         self.at_phase = at_phase
         self.rate = rate
         self.rearm = rearm
         self.at_io = at_io
+        self.at_replication = at_replication
+        self.replication_faults = replication_fault
         self.seen = 0
         self.io_seen = 0
+        self.replication_seen = 0
         self.fired = 0
         self._armed = True
         self._rng = random.Random(seed)
@@ -128,8 +159,36 @@ class FaultInjector:
         self.fired += 1
         raise InjectedFaultError(f"io {op}", self.io_seen)
 
+    def replication(self, op: str) -> Optional[str]:
+        """The replication link's network hook; returns a fault kind or ``None``.
+
+        Called once per fetch attempt (*op* names it, e.g. ``"feed.fetch"``).
+        A match returns the next kind from ``replication_fault`` (cycling
+        when several were given) instead of raising — the link owns the
+        response bytes, so it applies the mangling itself and the fault
+        exercises the *decode-and-retry* path rather than an exception
+        path the network would never take.
+        """
+        del op  # named for symmetry with io(); the count is global
+        self.replication_seen += 1
+        if not self._armed or self.at_replication is None:
+            return None
+        if self.rearm:
+            if self.replication_seen % self.at_replication != 0:
+                return None
+        elif self.replication_seen != self.at_replication:
+            return None
+        if not self.rearm:
+            self._armed = False
+        kind = self.replication_faults[
+            (self.fired) % len(self.replication_faults)
+        ]
+        self.fired += 1
+        return kind
+
     def reset(self) -> None:
         """Re-arm a one-shot injector and restart the record and io counts."""
         self.seen = 0
         self.io_seen = 0
+        self.replication_seen = 0
         self._armed = True

@@ -31,6 +31,9 @@ contract the graph and index formats follow.
 
 from __future__ import annotations
 
+import json
+import zlib
+from dataclasses import dataclass
 from typing import Any
 
 from repro.exceptions import SerializationError
@@ -145,3 +148,136 @@ def batch_from_wire(payload: list[dict[str, Any]]) -> list[tuple[str, tuple]]:
             f"malformed wire batch: expected a list, got {type(payload).__name__}"
         )
     return [op_from_wire(op) for op in payload]
+
+
+# ----------------------------------------------------------------------
+# Replication feed framing
+# ----------------------------------------------------------------------
+#
+# One feed response is one JSON frame::
+#
+#     {"crc": <frame crc>, "data": {
+#         "v": 1,
+#         "epoch": 3,            # the primary's fencing epoch
+#         "last_lsn": 42,        # end of the primary's log at fetch time
+#         "records": [
+#             {"crc": <record crc>, "lsn": 7, "ops": [...]},
+#             ...
+#         ]
+#     }}
+#
+# The frame CRC catches a truncated or bit-flipped response as a whole;
+# the per-record CRCs (same canonical-JSON convention as a WAL line, so
+# a record's integrity check is identical at rest and in flight) catch a
+# payload that was re-framed around damaged records — a corrupt proxy
+# can produce a frame whose envelope checks out but whose cargo does
+# not.  Either failure is a SerializationError; the link treats it as a
+# retriable torn response, never applying a partial frame.
+
+#: current feed frame format version; bump on structural changes
+FEED_FORMAT_VERSION = 1
+
+
+def _canonical_crc(body: dict[str, Any]) -> int:
+    """CRC32 over compact sorted-key JSON (the WAL record convention).
+
+    Deliberately a local copy of ``repro.store.wal._record_crc`` rather
+    than an import: ``repro.store`` imports this module while building
+    its service layer, so importing back would cycle.  The convention is
+    tiny and frozen by the WAL format contract.
+    """
+    payload = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(payload.encode("utf-8"))
+
+
+def feed_record(lsn: int, ops: list[dict[str, Any]]) -> dict[str, Any]:
+    """One CRC-stamped feed record (shape-compatible with a WAL line)."""
+    body = {"lsn": lsn, "ops": ops, "v": FEED_FORMAT_VERSION}
+    record = dict(body)
+    record["crc"] = _canonical_crc(body)
+    return record
+
+
+@dataclass(frozen=True)
+class FeedFrame:
+    """One decoded, CRC-verified replication feed response."""
+
+    epoch: int
+    last_lsn: int
+    #: ``(lsn, wire-encoded ops)`` pairs, in LSN order
+    records: list[tuple[int, list[dict[str, Any]]]]
+
+
+def encode_feed_frame(
+    epoch: int,
+    last_lsn: int,
+    records: list[dict[str, Any]],
+) -> bytes:
+    """Encode one feed response; *records* are :func:`feed_record` dicts."""
+    data = {
+        "v": FEED_FORMAT_VERSION,
+        "epoch": epoch,
+        "last_lsn": last_lsn,
+        "records": records,
+    }
+    payload = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    crc = zlib.crc32(payload.encode("utf-8"))
+    return f'{{"crc": {crc}, "data": {payload}}}'.encode("utf-8")
+
+
+def decode_feed_frame(raw: bytes) -> FeedFrame:
+    """Verify and decode one feed response.
+
+    Checks, in order: frame JSON, frame CRC, format version, then every
+    record's shape and CRC.  Any failure raises
+    :class:`SerializationError` — the caller must treat the whole frame
+    as undelivered and re-fetch from its own applied LSN.
+    """
+    try:
+        document = json.loads(raw)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise SerializationError(f"feed frame is not valid JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise SerializationError(
+            f"malformed feed frame: expected an object, got {type(document).__name__}"
+        )
+    try:
+        crc = document["crc"]
+        data = document["data"]
+    except KeyError as exc:
+        raise SerializationError(f"malformed feed frame: {exc!r}") from exc
+    payload = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    if zlib.crc32(payload.encode("utf-8")) != crc:
+        raise SerializationError("feed frame failed its CRC check")
+    version = data.get("v", 0)
+    if not isinstance(version, int) or version > FEED_FORMAT_VERSION:
+        raise SerializationError(
+            f"feed frame format version {version!r} is newer than the "
+            f"supported version {FEED_FORMAT_VERSION}"
+        )
+    try:
+        epoch = data["epoch"]
+        last_lsn = data["last_lsn"]
+        raw_records = data["records"]
+    except KeyError as exc:
+        raise SerializationError(f"malformed feed frame: {exc!r}") from exc
+    if not isinstance(epoch, int) or not isinstance(last_lsn, int):
+        raise SerializationError("malformed feed frame: epoch/last_lsn not ints")
+    if not isinstance(raw_records, list):
+        raise SerializationError("malformed feed frame: records is not a list")
+    records: list[tuple[int, list[dict[str, Any]]]] = []
+    for item in raw_records:
+        if not isinstance(item, dict):
+            raise SerializationError("malformed feed record: not an object")
+        body = dict(item)
+        record_crc = body.pop("crc", None)
+        if record_crc is None or record_crc != _canonical_crc(body):
+            raise SerializationError(
+                f"feed record lsn={body.get('lsn')!r} failed its CRC check"
+            )
+        lsn = body.get("lsn")
+        ops = body.get("ops")
+        if not isinstance(lsn, int) or not isinstance(ops, list):
+            raise SerializationError("malformed feed record: bad lsn/ops")
+        records.append((lsn, ops))
+    return FeedFrame(epoch=epoch, last_lsn=last_lsn, records=records)

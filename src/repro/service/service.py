@@ -40,7 +40,12 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
-from repro.exceptions import QueueFullError, ServiceClosedError, ServiceError
+from repro.exceptions import (
+    QueueFullError,
+    ServiceClosedError,
+    ServiceError,
+    StalePrimaryError,
+)
 from repro.graph.datagraph import DataGraph
 from repro.index.akindex import AkIndexFamily
 from repro.index.oneindex import OneIndex
@@ -195,6 +200,7 @@ class IndexService:
         self._queries_this_version = 0
         self._query_count_lock = threading.Lock()
         self._closed = False
+        self._fenced_epoch: Optional[int] = None  # set by fence(); see below
         self._writer_thread: Optional[threading.Thread] = None
         self._writer_stop = threading.Event()
         self._telemetry = None  # LiveTelemetry bundle, see start_telemetry()
@@ -250,6 +256,7 @@ class IndexService:
         """
         if self._closed:
             raise ServiceClosedError("service is closed")
+        self._check_fence()
         obs = current_obs()
         # stamp the submitter's trace context so the writer-side commit
         # span stays a descendant of whatever span enqueued the work
@@ -280,6 +287,7 @@ class IndexService:
         """Enqueue or raise :class:`QueueFullError` (no policy applied)."""
         if self._closed:
             raise ServiceClosedError("service is closed")
+        self._check_fence()
         if not self.queue.offer(update):
             raise QueueFullError(self.queue.capacity)
         self.stats.submitted += 1
@@ -307,8 +315,32 @@ class IndexService:
                 return results
             results.append(result)
 
+    def fence(self, epoch: int) -> None:
+        """Demote this service: refuse every write from now on.
+
+        Called on the old primary when failover promotes a follower at
+        *epoch*.  Queries keep working (they are merely stale); any
+        :meth:`submit` or commit raises
+        :class:`~repro.exceptions.StalePrimaryError`.  The in-memory
+        flag is the fast path — a durable subclass additionally checks
+        the store's epoch file in its commit hook, which catches the
+        partitioned zombie that never heard the :meth:`fence` call.
+        """
+        self._fenced_epoch = epoch
+        current_obs().event("service.fenced", epoch=epoch)
+
+    @property
+    def fenced(self) -> bool:
+        """Has this service been demoted by a failover?"""
+        return self._fenced_epoch is not None
+
+    def _check_fence(self) -> None:
+        if self._fenced_epoch is not None:
+            raise StalePrimaryError(self._fenced_epoch - 1, self._fenced_epoch)
+
     def _commit(self, batch: list[Update]) -> BatchResult:
         """Apply one drained batch and publish the next version."""
+        self._check_fence()
         obs = current_obs()
         if self.config.coalesce:
             survivors, pass_stats = coalesce(batch, self.graph)

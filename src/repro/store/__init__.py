@@ -26,12 +26,14 @@ from repro.store.checkpoint import (
     CHECKPOINT_FORMAT_VERSION,
     Checkpoint,
     Checkpointer,
+    checkpoint_from_bytes,
     latest_checkpoint,
     list_checkpoints,
     load_checkpoint,
     prune_checkpoints,
     write_checkpoint,
 )
+from repro.store.epoch import EPOCH_FILE, read_epoch, write_epoch
 from repro.store.recovery import RecoveryResult, apply_ops_raw, recover
 from repro.store.service import DurableIndexService, StoreConfig
 from repro.store.wal import (
@@ -41,8 +43,10 @@ from repro.store.wal import (
     WalRecord,
     WriteAheadLog,
     encode_record,
+    last_lsn_on_disk,
     list_segments,
     read_records,
+    read_records_since,
 )
 
 __all__ = [
@@ -50,10 +54,14 @@ __all__ = [
     "Checkpoint",
     "Checkpointer",
     "latest_checkpoint",
+    "checkpoint_from_bytes",
     "list_checkpoints",
     "load_checkpoint",
     "prune_checkpoints",
     "write_checkpoint",
+    "EPOCH_FILE",
+    "read_epoch",
+    "write_epoch",
     "RecoveryResult",
     "apply_ops_raw",
     "recover",
@@ -65,6 +73,8 @@ __all__ = [
     "WalRecord",
     "WriteAheadLog",
     "encode_record",
+    "last_lsn_on_disk",
     "list_segments",
     "read_records",
+    "read_records_since",
 ]

@@ -156,27 +156,30 @@ def write_checkpoint(
     return final_path
 
 
-def load_checkpoint(path: str) -> Checkpoint:
-    """Load and verify one checkpoint file.
+def checkpoint_from_bytes(raw: bytes, origin: str = "<bytes>") -> Checkpoint:
+    """Verify and parse a checkpoint from its raw file bytes.
 
-    Raises :class:`CheckpointError` on truncation, CRC mismatch, missing
-    fields, or a format version newer than this library understands.
+    The shared validation core of :func:`load_checkpoint`, factored out
+    so the replication feed can ship a checkpoint over the wire and the
+    follower can verify it (CRC, format version, field shape) without
+    the bytes ever touching the follower's disk.  *origin* names the
+    source in error messages — a path for local loads, a feed label for
+    shipped bootstraps.
     """
     try:
-        with open(path, "r", encoding="utf-8") as fp:
-            document = json.load(fp)
-    except OSError as exc:
-        raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
-    except ValueError as exc:
-        raise CheckpointError(f"checkpoint {path!r} is not valid JSON: {exc}") from exc
+        document = json.loads(raw)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise CheckpointError(
+            f"checkpoint {origin!r} is not valid JSON: {exc}"
+        ) from exc
     try:
         crc = document["crc"]
         data = document["data"]
     except (KeyError, TypeError) as exc:
-        raise CheckpointError(f"malformed checkpoint {path!r}: {exc!r}") from exc
+        raise CheckpointError(f"malformed checkpoint {origin!r}: {exc!r}") from exc
     payload = json.dumps(data, sort_keys=True, separators=(",", ":"))
     if zlib.crc32(payload.encode("utf-8")) != crc:
-        raise CheckpointError(f"checkpoint {path!r} failed its CRC check")
+        raise CheckpointError(f"checkpoint {origin!r} failed its CRC check")
     check_format_version(data, CHECKPOINT_FORMAT_VERSION, CheckpointError)
     try:
         kind = data["kind"]
@@ -186,9 +189,9 @@ def load_checkpoint(path: str) -> Checkpoint:
         graph_dict = data["graph"]
         index_dict = data["index"]
     except (KeyError, TypeError) as exc:
-        raise CheckpointError(f"malformed checkpoint {path!r}: {exc!r}") from exc
+        raise CheckpointError(f"malformed checkpoint {origin!r}: {exc!r}") from exc
     if kind not in ("one", "ak"):
-        raise CheckpointError(f"checkpoint {path!r} has unknown kind {kind!r}")
+        raise CheckpointError(f"checkpoint {origin!r} has unknown kind {kind!r}")
     return Checkpoint(
         kind=kind,
         k=k,
@@ -196,8 +199,22 @@ def load_checkpoint(path: str) -> Checkpoint:
         version=version,
         graph_dict=graph_dict,
         index_dict=index_dict,
-        path=path,
+        path=origin,
     )
+
+
+def load_checkpoint(path: str) -> Checkpoint:
+    """Load and verify one checkpoint file.
+
+    Raises :class:`CheckpointError` on truncation, CRC mismatch, missing
+    fields, or a format version newer than this library understands.
+    """
+    try:
+        with open(path, "rb") as fp:
+            raw = fp.read()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
+    return checkpoint_from_bytes(raw, origin=path)
 
 
 def latest_checkpoint(directory: str) -> Optional[Checkpoint]:

@@ -43,7 +43,7 @@ from repro.resilience.guard import GuardConfig, GuardedMaintainer
 from repro.resilience.invariants import InvariantGuard
 from repro.resilience.wire import batch_from_wire
 from repro.store.checkpoint import Checkpoint, latest_checkpoint
-from repro.store.wal import read_records
+from repro.store.wal import read_records_since
 
 
 @dataclass
@@ -109,9 +109,7 @@ def recover(
         replayed_ops = 0
         last_lsn = ckpt.wal_lsn
         expected = ckpt.wal_lsn + 1
-        for record in read_records(store_dir, repair=repair):
-            if record.lsn <= ckpt.wal_lsn:
-                continue  # superseded by the checkpoint (truncation raced a crash)
+        for record in read_records_since(store_dir, ckpt.wal_lsn, repair=repair):
             if record.lsn != expected:
                 raise RecoveryError(
                     f"WAL gap during replay: expected lsn {expected}, "

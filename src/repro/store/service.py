@@ -38,7 +38,7 @@ import os
 from dataclasses import dataclass, replace
 from typing import Optional
 
-from repro.exceptions import StoreError
+from repro.exceptions import StalePrimaryError, StoreError
 from repro.graph.datagraph import DataGraph
 from repro.obs import current as current_obs
 from repro.resilience.faults import FaultInjector
@@ -46,6 +46,7 @@ from repro.resilience.wire import batch_to_wire
 from repro.service.queue import Update
 from repro.service.service import IndexService, ServiceConfig
 from repro.store.checkpoint import Checkpointer, latest_checkpoint
+from repro.store.epoch import read_epoch
 from repro.store.recovery import RecoveryResult, recover
 from repro.store.wal import FSYNC_POLICIES, WriteAheadLog
 
@@ -131,6 +132,9 @@ class DurableIndexService(IndexService):
             keep=self.store_config.keep_checkpoints,
             fault_injector=fault_injector,
         )
+        #: the fencing epoch this writer was opened under; a promotion
+        #: bumps the durable epoch file past this and fences us off
+        self.epoch = read_epoch(store_dir)
         if not _recovered:
             # checkpoint 0: the store is recoverable before any commit
             self.checkpoint()
@@ -147,7 +151,17 @@ class DurableIndexService(IndexService):
         does not yet name it — a cadence checkpoint here must carry the
         version the batch is about to become, or recovery would report
         an off-by-one version.
+
+        The epoch check runs **before** the append: a zombie primary —
+        demoted by a failover it never heard about — re-reads the
+        durable epoch here and refuses to extend a WAL history that a
+        promoted follower now owns.  The in-memory apply is lost, which
+        is exactly the abandoned-instance crash model above.
         """
+        current = read_epoch(self.store_dir)
+        if current > self.epoch:
+            self.fence(current)
+            raise StalePrimaryError(self.epoch, current)
         self.wal.append(batch_to_wire([u.as_call() for u in survivors]))
         if self.checkpointer.note_record():
             self._checkpoint_at(self.version + 1)
@@ -178,6 +192,9 @@ class DurableIndexService(IndexService):
         doc = super().health()
         doc["store"] = {
             "dir": self.store_dir,
+            "epoch": self.epoch,
+            "last_lsn": self.wal.last_lsn,
+            "durable_lsn": self.wal.durable_lsn,
             "wal_last_lsn": self.wal.last_lsn,
             "wal_active_segment": self.wal.active_segment,
             "wal_fsync_policy": self.wal.fsync,

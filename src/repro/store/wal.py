@@ -278,6 +278,107 @@ def read_records(directory: str, repair: bool = False) -> list[WalRecord]:
     return records
 
 
+def read_records_since(
+    directory: str, lsn: int, repair: bool = False
+) -> Iterator[WalRecord]:
+    """Yield every surviving record with ``record.lsn > lsn``, lazily.
+
+    The streaming counterpart of :func:`read_records` for consumers that
+    only need a suffix of the log — recovery replaying past a checkpoint,
+    and the replication feed serving a follower's ``since=LSN`` catch-up
+    fetch.  Two costs are saved over ``read_records``:
+
+    * **whole segments are skipped by name**: segment *i* holds LSNs
+      ``[first_i, first_{i+1})``, so any segment whose successor's
+      name-encoded first LSN is ``<= lsn + 1`` cannot contain a wanted
+      record and is never even opened;
+    * **records are yielded one at a time**, one segment resident in
+      memory at once, instead of materialising the whole log up front.
+
+    Corruption semantics match :func:`read_records` exactly over the
+    segments actually scanned: a torn tail is tolerated (and repaired
+    with ``repair=True``) only in the final segment; a bad line followed
+    by valid records raises :class:`WalCorruptionError`; LSNs must
+    increase by exactly one within the scanned suffix.  ``lsn`` past the
+    end of the log yields nothing — an empty feed, not an error.
+    """
+    obs = current_obs()
+    segments = list_segments(directory)
+    expected: Optional[int] = None
+    for position, name in enumerate(segments):
+        # skip whole segments that end at or before the requested LSN;
+        # bounds come from the *successor's* name, so the last segment
+        # (no successor) is always scanned
+        if position + 1 < len(segments):
+            if segment_first_lsn(segments[position + 1]) <= lsn + 1:
+                continue
+        path = os.path.join(directory, name)
+        scan = _scan_segment(path)
+        if scan.bad_reason is not None:
+            if position != len(segments) - 1 or not scan.tail_only:
+                obs.event(
+                    "store.wal_corruption",
+                    segment=name,
+                    valid_bytes=scan.valid_bytes,
+                    reason=scan.bad_reason,
+                )
+                raise WalCorruptionError(name, scan.valid_bytes, scan.bad_reason)
+            if repair:
+                with open(path, "rb+") as fp:
+                    fp.truncate(scan.valid_bytes)
+                obs.add("store.wal_tail_repairs")
+                obs.event(
+                    "store.wal_tail_repaired",
+                    segment=name,
+                    valid_bytes=scan.valid_bytes,
+                    reason=scan.bad_reason,
+                )
+        elif scan.missing_newline and repair:
+            with open(path, "ab") as fp:
+                fp.write(b"\n")
+            obs.add("store.wal_tail_repairs")
+            obs.event(
+                "store.wal_tail_repaired",
+                segment=name,
+                valid_bytes=scan.valid_bytes,
+                reason="missing newline on final record",
+            )
+        for record in scan.records:
+            if expected is not None and record.lsn != expected:
+                obs.event(
+                    "store.wal_corruption",
+                    segment=name,
+                    valid_bytes=scan.valid_bytes,
+                    reason=f"LSN gap: expected {expected}, found {record.lsn}",
+                )
+                raise WalCorruptionError(
+                    name,
+                    scan.valid_bytes,
+                    f"LSN gap: expected {expected}, found {record.lsn}",
+                )
+            expected = record.lsn + 1
+            if record.lsn > lsn:
+                yield record
+
+
+def last_lsn_on_disk(directory: str) -> int:
+    """The LSN of the last surviving record in *directory* (0 when empty).
+
+    Reads only the final segment (plus its name): the replication feed
+    stamps every response with the log's current end so followers can
+    compute their lag without the primary process being alive.
+    """
+    segments = list_segments(directory)
+    if not segments:
+        return 0
+    scan = _scan_segment(os.path.join(directory, segments[-1]))
+    if scan.records:
+        return scan.records[-1].lsn
+    # an empty active segment (post-truncation) is named for the next
+    # LSN, so the log ends just before it
+    return segment_first_lsn(segments[-1]) - 1
+
+
 def _fsync_dir(directory: str) -> None:
     """Persist directory entries (segment creation/unlink); best-effort."""
     try:
@@ -346,6 +447,9 @@ class WriteAheadLog:
         # the next recovery, silently dropping an acknowledged commit
         floor = segment_first_lsn(segments[-1]) if segments else 1
         self.next_lsn = max(existing[-1].lsn + 1 if existing else 1, floor)
+        # everything that survived the open scan is on disk already; it
+        # is the durability floor until the next fsync moves it forward
+        self.synced_lsn = self.next_lsn - 1
         self._segment = segments[-1] if segments else None
         self._fp = None
         if self._segment is not None:
@@ -359,6 +463,18 @@ class WriteAheadLog:
     def last_lsn(self) -> int:
         """LSN of the most recently appended record (0 when empty)."""
         return self.next_lsn - 1
+
+    @property
+    def durable_lsn(self) -> int:
+        """LSN of the last record known to have reached stable storage.
+
+        Advances only when an fsync actually runs, so under ``fsync="off"``
+        it stays at the value observed at open — appended records live in
+        the page cache and would not survive power loss.  ``last_lsn -
+        durable_lsn`` is the acknowledged-but-volatile window that
+        ``/health`` exposes.
+        """
+        return self.synced_lsn
 
     @property
     def active_segment(self) -> Optional[str]:
@@ -414,6 +530,7 @@ class WriteAheadLog:
             os.fsync(self._fp.fileno())
         self.fsyncs_performed += 1
         self._unsynced = 0
+        self.synced_lsn = self.last_lsn
         obs.add("store.fsyncs")
         obs.observe("store.fsync_seconds", time.perf_counter() - started)
 

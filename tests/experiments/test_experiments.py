@@ -41,6 +41,7 @@ class TestConfig:
             "tab1", "tab2", "tab3", "ablation",
             "serve", "bench-serve", "bench-hotpath",
             "persist", "recover", "bench-store",
+            "replicate", "bench-replicate",
         }
 
 

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import io
+import threading
 
 from repro.obs import (
     InMemorySink,
@@ -64,6 +65,38 @@ class TestJsonlSink:
         path = tmp_path / "trace.jsonl"
         path.write_text('{"a": 1}\n\n{"b": 2}\n')
         assert read_jsonl(str(path)) == [{"a": 1}, {"b": 2}]
+
+    def test_concurrent_emit_keeps_lines_whole(self, tmp_path):
+        """Regression: spans finish on whatever thread ran them, and
+        unlocked TextIOWrapper writes can interleave mid-line (or flush
+        raw buffer garbage) under contention.  Every emitted record
+        must come back as one parseable line."""
+        path = str(tmp_path / "trace.jsonl")
+        sink = JsonlSink(path)
+        writers, per_thread = 8, 200
+        start = threading.Barrier(writers)
+
+        def hammer(thread_id: int) -> None:
+            start.wait()
+            for i in range(per_thread):
+                sink.emit(
+                    {"type": "event", "name": f"t{thread_id}", "attrs": {"i": i}}
+                )
+
+        threads = [
+            threading.Thread(target=hammer, args=(t,)) for t in range(writers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        sink.close()
+
+        records = read_jsonl(path)  # decodes + parses every line or dies
+        assert len(records) == sink.emitted == writers * per_thread
+        for thread_id in range(writers):
+            mine = [r for r in records if r["name"] == f"t{thread_id}"]
+            assert [r["attrs"]["i"] for r in mine] == list(range(per_thread))
 
 
 class TestSummarize:

@@ -1,0 +1,159 @@
+"""The hostile wire: every fault kind, retried; backoff; epoch fencing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ReplicationError, ReplicationTimeoutError, StaleEpochError
+from repro.replication import Primary, ReplicationLink
+from repro.resilience.faults import REPLICATION_FAULTS, FaultInjector
+
+from tests.replication.conftest import commit_inserts, every_fetch_fault, make_primary
+
+
+@pytest.fixture
+def primary(store_dir):
+    service = make_primary(store_dir)
+    commit_inserts(service, 4)
+    yield Primary(service=service)
+    service.close(checkpoint=False)
+
+
+def make_link(feed, injector=None, **overrides):
+    """A link whose backoff sleeps are recorded, not slept."""
+    sleeps: list[float] = []
+    defaults = dict(fault_injector=injector, sleep=sleeps.append)
+    defaults.update(overrides)
+    link = ReplicationLink(feed, **defaults)
+    link.recorded_sleeps = sleeps
+    return link
+
+
+class TestValidation:
+    def test_bad_parameters(self, primary):
+        with pytest.raises(ReplicationError):
+            ReplicationLink(primary, max_attempts=0)
+        with pytest.raises(ReplicationError):
+            ReplicationLink(primary, jitter=1.0)
+
+
+class TestFaultKinds:
+    def test_drop_is_retried(self, primary):
+        link = make_link(primary, FaultInjector(at_replication=1))
+        frame = link.fetch(0)
+        assert [lsn for lsn, _ in frame.records] == [1, 2, 3, 4]
+        assert link.retries == 1
+        assert link.faults_applied == {"drop": 1}
+        assert len(link.recorded_sleeps) == 1
+
+    def test_truncate_is_discarded_whole_and_refetched(self, primary):
+        link = make_link(
+            primary, FaultInjector(at_replication=1, replication_fault="truncate")
+        )
+        frame = link.fetch(0)
+        assert len(frame.records) == 4
+        assert link.faults_applied == {"truncate": 1}
+        assert link.retries == 1
+
+    def test_corrupt_record_is_caught_by_its_crc(self, primary):
+        link = make_link(
+            primary, FaultInjector(at_replication=1, replication_fault="corrupt")
+        )
+        frame = link.fetch(0)
+        assert [lsn for lsn, _ in frame.records] == [1, 2, 3, 4]
+        assert link.faults_applied == {"corrupt": 1}
+
+    def test_stall_delivers_progress_without_cargo(self, primary):
+        link = make_link(primary, every_fetch_fault("stall"))
+        frame = link.fetch(0)
+        assert frame.records == []
+        assert frame.last_lsn == 4  # the end is advertised...
+        assert link.retries == 0  # ...and a stall is not a retryable error
+
+    def test_duplicate_replays_the_previous_response(self, primary):
+        link = make_link(
+            primary, FaultInjector(at_replication=2, replication_fault="duplicate", rearm=True)
+        )
+        first = link.fetch(0)
+        replay = link.fetch(first.records[-1][0])  # 2nd round-trip: duplicated
+        assert replay == first
+        assert link.faults_applied == {"duplicate": 1}
+
+    def test_duplicate_with_nothing_to_replay_passes_through(self, primary):
+        link = make_link(primary, every_fetch_fault("duplicate"))
+        frame = link.fetch(0)  # no previous response: honest delivery
+        assert len(frame.records) == 4
+        assert link.faults_applied == {"duplicate": 1}
+
+    def test_all_kinds_are_known(self):
+        assert set(REPLICATION_FAULTS) == {
+            "drop",
+            "truncate",
+            "corrupt",
+            "duplicate",
+            "stall",
+        }
+
+
+class TestRetryBudget:
+    def test_permanent_drop_exhausts_attempts(self, primary):
+        link = make_link(primary, every_fetch_fault("drop"), max_attempts=3)
+        with pytest.raises(ReplicationTimeoutError):
+            link.fetch(0)
+        assert link.retries == 2
+        assert link.faults_applied == {"drop": 3}
+
+    def test_deadline_beats_attempts(self, primary):
+        link = make_link(
+            primary, every_fetch_fault("drop"), max_attempts=100, deadline_seconds=0.0
+        )
+        with pytest.raises(ReplicationTimeoutError):
+            link.fetch(0)
+        assert link.retries == 0  # the deadline fired before any retry
+
+    def test_backoff_is_capped_and_deterministic(self, primary):
+        kwargs = dict(
+            max_attempts=8, backoff_base=0.01, backoff_cap=0.04, jitter=0.25, seed=7
+        )
+        first = make_link(primary, every_fetch_fault("drop"), **kwargs)
+        second = make_link(primary, every_fetch_fault("drop"), **kwargs)
+        for link in (first, second):
+            with pytest.raises(ReplicationTimeoutError):
+                link.fetch(0)
+        assert first.recorded_sleeps == second.recorded_sleeps
+        assert all(s <= 0.04 * 1.25 for s in first.recorded_sleeps)
+        assert first.recorded_sleeps[-1] > first.recorded_sleeps[0] * 0.5
+
+    def test_checkpoint_fetch_is_retried(self, store_dir):
+        service = make_primary(store_dir)
+        commit_inserts(service, 1)
+        service.checkpoint()
+        feed = Primary(service=service)
+        link = make_link(feed, FaultInjector(at_replication=1))
+        raw = link.fetch_checkpoint()
+        assert raw == feed.checkpoint_bytes()
+        assert link.retries == 1
+        service.close()
+
+
+class TestEpochMonotonicity:
+    def test_lower_epoch_frame_is_rejected(self, primary):
+        link = make_link(primary)
+        link.fetch(0)
+        assert link.highest_epoch == 0
+        # a verified frame from epoch 2 raises the bar...
+        link.highest_epoch = 2
+        # ...and the feed (still at epoch 0) now reads as a zombie
+        with pytest.raises(StaleEpochError):
+            link.fetch(0)
+
+    def test_injector_rides_along_from_the_feed(self, store_dir):
+        service = make_primary(store_dir)
+        commit_inserts(service, 1)
+        injector = FaultInjector(at_replication=1)
+        feed = Primary(service=service, fault_injector=injector)
+        link = ReplicationLink(feed, sleep=lambda _s: None)
+        assert link.fault_injector is injector
+        link.fetch(0)
+        assert link.faults_applied == {"drop": 1}
+        service.close(checkpoint=False)

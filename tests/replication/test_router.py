@@ -1,0 +1,98 @@
+"""The router: round-robin spreading under a staleness bound."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ReplicationError
+from repro.replication import FollowerIndexService, Primary, ReplicaRouter, ReplicationLink
+
+from tests.replication.conftest import commit_inserts, make_primary
+
+
+@pytest.fixture
+def topology(store_dir):
+    """A primary with 2 caught-up followers; everything closed after."""
+    service = make_primary(store_dir)
+    commit_inserts(service, 3)
+    service.checkpoint()
+    followers = []
+    for _ in range(2):
+        link = ReplicationLink(Primary(service=service), sleep=lambda _s: None)
+        follower = FollowerIndexService.bootstrap(link)
+        follower.catch_up()
+        followers.append(follower)
+    yield service, followers
+    for follower in followers:
+        follower.close()
+    service.close()
+
+
+class TestRouting:
+    def test_round_robin_spreads_evenly(self, topology):
+        service, followers = topology
+        router = ReplicaRouter(followers)
+        for _ in range(10):
+            router.query("//n")
+        assert router.routed == [5, 5]
+        assert router.fallbacks == 0
+
+    def test_answers_match_the_primary(self, topology):
+        service, followers = topology
+        router = ReplicaRouter(followers, primary=service)
+        assert router.query("//n").matches == service.query("//n").matches
+
+    def test_validation(self, topology):
+        service, followers = topology
+        with pytest.raises(ReplicationError):
+            ReplicaRouter([])
+        with pytest.raises(ReplicationError):
+            ReplicaRouter(followers, max_lag_lsns=-1)
+
+
+class TestStalenessBound:
+    def test_lagging_replica_is_skipped(self, topology):
+        service, followers = topology
+        fresh, stale = followers
+        commit_inserts(service, 3, tag="more")
+        fresh.catch_up()
+        stale.sync(max_records=1)  # learns the new end, applies 1 of 3
+        assert stale.lag_lsns == 2
+        router = ReplicaRouter(followers, max_lag_lsns=1)
+        assert router.eligible() == [0]
+        for _ in range(4):
+            router.query("//n")
+        assert router.routed == [4, 0]
+        # once it catches up it rejoins the rotation
+        stale.catch_up()
+        assert router.eligible() == [0, 1]
+
+    def test_all_stale_falls_back_to_the_primary(self, topology):
+        service, followers = topology
+        commit_inserts(service, 4, tag="more")
+        for follower in followers:
+            follower.sync(max_records=1)  # both now lag by 3
+        router = ReplicaRouter(followers, primary=service, max_lag_lsns=0)
+        served = router.query("//n")
+        assert served.version == service.version
+        assert router.fallbacks == 1
+        assert router.routed == [0, 0]
+
+    def test_all_stale_without_a_primary_raises(self, topology):
+        service, followers = topology
+        commit_inserts(service, 2, tag="more")
+        for follower in followers:
+            follower.sync(max_records=1)
+        router = ReplicaRouter(followers, max_lag_lsns=0)
+        with pytest.raises(ReplicationError):
+            router.pick()
+
+    def test_stats_shape(self, topology):
+        service, followers = topology
+        router = ReplicaRouter(followers, primary=service, max_lag_lsns=8)
+        router.query("//n")
+        stats = router.stats()
+        assert stats["routed"] == [1, 0]
+        assert stats["fallbacks"] == 0
+        assert stats["max_lag_lsns"] == 8
+        assert stats["lags"] == [0, 0]

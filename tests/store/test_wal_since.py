@@ -1,0 +1,174 @@
+"""Streaming WAL reads from an LSN: segment skipping and boundaries.
+
+``read_records_since`` is the feed's (and recovery's) read path: it
+must skip whole segments by their name-encoded first LSN, never open
+what it can prove irrelevant, and treat the boundary cases exactly:
+``since`` at a segment's first LSN, ``since`` past the log's end, and
+a torn final record.  ``durable_lsn`` is the fsync-truth companion the
+health document reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import StoreError
+from repro.store import last_lsn_on_disk, read_records_since
+from repro.store import wal as wal_module
+from repro.store.wal import WriteAheadLog, list_segments, read_records, segment_first_lsn
+
+
+def make_log(directory: str, records: int, segment_max_bytes: int = 64) -> WriteAheadLog:
+    """A log with one tiny op per record; small segments force rotation."""
+    log = WriteAheadLog(directory, fsync="off", segment_max_bytes=segment_max_bytes)
+    for i in range(records):
+        log.append([{"i": i}])
+    return log
+
+
+class TestReadSince:
+    def test_yields_strictly_after_lsn(self, tmp_path):
+        log = make_log(str(tmp_path), 10)
+        log.close()
+        for since in range(0, 11):
+            lsns = [r.lsn for r in read_records_since(str(tmp_path), since)]
+            assert lsns == list(range(since + 1, 11))
+
+    def test_since_past_last_lsn_is_empty_not_an_error(self, tmp_path):
+        log = make_log(str(tmp_path), 4)
+        log.close()
+        assert list(read_records_since(str(tmp_path), 4)) == []
+        assert list(read_records_since(str(tmp_path), 99)) == []
+
+    def test_empty_directory(self, tmp_path):
+        assert list(read_records_since(str(tmp_path), 0)) == []
+
+    def test_matches_full_read(self, tmp_path):
+        log = make_log(str(tmp_path), 8)
+        log.close()
+        full = [(r.lsn, r.ops) for r in read_records(str(tmp_path))]
+        since = [(r.lsn, r.ops) for r in read_records_since(str(tmp_path), 0)]
+        assert since == full
+
+    def test_is_lazy(self, tmp_path):
+        log = make_log(str(tmp_path), 6)
+        log.close()
+        iterator = read_records_since(str(tmp_path), 0)
+        assert next(iterator).lsn == 1
+        assert next(iterator).lsn == 2
+
+
+class TestSegmentSkipping:
+    def _scan_counts(self, monkeypatch):
+        """Instrument ``_scan_segment`` to record which files it opens."""
+        opened: list[str] = []
+        real = wal_module._scan_segment
+
+        def counting(path: str):
+            opened.append(path.rsplit("/", 1)[-1])
+            return real(path)
+
+        monkeypatch.setattr(wal_module, "_scan_segment", counting)
+        return opened
+
+    def test_skips_whole_segments_by_name(self, tmp_path, monkeypatch):
+        log = make_log(str(tmp_path), 12)
+        log.close()
+        segments = list_segments(str(tmp_path))
+        assert len(segments) >= 3, "rotation must have produced several segments"
+        # ask from deep inside the log: every segment that provably ends
+        # before `since + 1` must never be opened
+        since = segment_first_lsn(segments[-1])
+        opened = self._scan_counts(monkeypatch)
+        lsns = [r.lsn for r in read_records_since(str(tmp_path), since)]
+        assert lsns == list(range(since + 1, 13))
+        assert opened, "the suffix still has to be scanned"
+        assert all(segment_first_lsn(name) + 1 > since for name in opened), (
+            f"since={since} opened a provably-irrelevant segment: {opened}"
+        )
+        skipped = [name for name in segments if name not in opened]
+        assert skipped, "nothing was skipped — the test set-up is wrong"
+
+    def test_since_at_segment_first_lsn_boundary(self, tmp_path, monkeypatch):
+        """`since` exactly at a segment's first LSN: that record is NOT
+        yielded (it is `<= since`), but its segment holds the successor
+        and must be scanned."""
+        log = make_log(str(tmp_path), 12)
+        log.close()
+        segments = list_segments(str(tmp_path))
+        boundary = segment_first_lsn(segments[1])
+        lsns = [r.lsn for r in read_records_since(str(tmp_path), boundary)]
+        assert lsns == list(range(boundary + 1, 13))
+
+    def test_skip_tolerates_corrupt_skipped_segment(self, tmp_path):
+        """Corruption strictly before `since` is never even read."""
+        log = make_log(str(tmp_path), 12)
+        log.close()
+        segments = list_segments(str(tmp_path))
+        victim = tmp_path / segments[0]
+        victim.write_bytes(b"garbage\n")
+        since = segment_first_lsn(segments[-1])
+        lsns = [r.lsn for r in read_records_since(str(tmp_path), since)]
+        assert lsns == list(range(since + 1, 13))
+        # but a full read from 0 must still object
+        with pytest.raises(StoreError):
+            list(read_records_since(str(tmp_path), 0))
+
+
+class TestLastLsnOnDisk:
+    def test_tracks_the_log_end(self, tmp_path):
+        assert last_lsn_on_disk(str(tmp_path)) == 0
+        log = make_log(str(tmp_path), 7)
+        log.close()
+        assert last_lsn_on_disk(str(tmp_path)) == 7
+
+    def test_reads_only_the_final_segment(self, tmp_path, monkeypatch):
+        log = make_log(str(tmp_path), 12)
+        log.close()
+        segments = list_segments(str(tmp_path))
+        assert len(segments) >= 3
+        opened: list[str] = []
+        real = wal_module._scan_segment
+
+        def counting(path: str):
+            opened.append(path.rsplit("/", 1)[-1])
+            return real(path)
+
+        monkeypatch.setattr(wal_module, "_scan_segment", counting)
+        assert last_lsn_on_disk(str(tmp_path)) == 12
+        assert opened == [segments[-1]]
+
+
+class TestDurableLsn:
+    def test_fsync_off_never_advances(self, tmp_path):
+        log = WriteAheadLog(str(tmp_path), fsync="off")
+        for i in range(5):
+            log.append([{"i": i}])
+        assert log.last_lsn == 5
+        assert log.durable_lsn == 0  # nothing fsynced since open
+        log.close()
+
+    def test_explicit_sync_advances(self, tmp_path):
+        log = WriteAheadLog(str(tmp_path), fsync="batch", sync_every=100)
+        log.append([{"i": 0}])
+        log.append([{"i": 1}])
+        log.sync()
+        assert log.durable_lsn == 2
+        log.append([{"i": 2}])
+        assert log.durable_lsn == 2
+        log.close()
+
+    def test_fsync_always_keeps_pace(self, tmp_path):
+        log = WriteAheadLog(str(tmp_path), fsync="always")
+        for i in range(3):
+            log.append([{"i": i}])
+            assert log.durable_lsn == log.last_lsn
+        log.close()
+
+    def test_reopen_resumes_at_the_scanned_floor(self, tmp_path):
+        log = WriteAheadLog(str(tmp_path), fsync="off")
+        log.append([{"i": 0}])
+        log.close()
+        reopened = WriteAheadLog(str(tmp_path), fsync="off")
+        assert reopened.durable_lsn == 1  # survived the open scan
+        reopened.close()
