@@ -1,0 +1,151 @@
+"""Corpus benchmark: bulk-load A/B, ingest equivalence, churn staleness.
+
+Runs the two ``repro.corpus`` experiments at the session's scale and
+asserts the quantitative claims DESIGN.md §11 makes:
+
+* **all ingest strategies agree** — bulk (splice then one refinement
+  pass), per-document incremental, and the naive per-edge baseline land
+  on the identical oid-independent corpus fingerprint;
+* **bulk beats per-edge** — splice-then-refine must be strictly faster
+  than per-edge maintenance over the same documents;
+* **churn converges with bounded staleness** — a seeded arrival/expiry/
+  replacement schedule under live queries ends fingerprint-identical to
+  a from-scratch rebuild over the surviving documents, for both index
+  families, and the sampled update-queue depth stays bounded while the
+  background writer drains.
+
+Also runnable directly for CI smoke::
+
+    PYTHONPATH=src python benchmarks/bench_corpus.py --smoke
+
+which runs at smoke scale, enforces the same gates, and writes the
+machine-readable baseline to ``BENCH_corpus.json`` at the repository
+root (schema ``repro.bench_corpus/1``; see DESIGN.md §11).  Without
+``--smoke`` the run uses small scale — that is the configuration whose
+output is committed as the repository's baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.experiments import bench_corpus, corpus
+
+#: the bulk-vs-per-edge acceptance bar (wall-clock ratio)
+SPEEDUP_GATE = 1.5
+
+#: ceiling on the sampled queue depth during paced churn; generous —
+#: typical smoke/small runs stay below 100 — but low enough to catch a
+#: writer that stops draining
+STALENESS_GATE = 1024
+
+#: default output path: <repo root>/BENCH_corpus.json
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_corpus.json"
+
+
+def test_ingest_ab_and_churn(run_once, benchmark, scale):
+    result = run_once(lambda: bench_corpus.run(scale))
+    print()
+    assert {p.strategy for p in result.ingest} == {
+        "bulk", "per-document", "per-edge"
+    }
+    assert result.fingerprints_match, (
+        "ingest strategies disagree on the corpus fingerprint"
+    )
+    speedup = result.speedup("per-edge", "bulk")
+    assert speedup >= SPEEDUP_GATE, (
+        f"bulk load only {speedup:.2f}x the per-edge baseline "
+        f"(need >= {SPEEDUP_GATE}x)"
+    )
+    assert result.churn.converged, (
+        "churned corpus does not match its from-scratch rebuild"
+    )
+    assert result.churn.max_depth <= STALENESS_GATE
+    benchmark.extra_info["bulk_speedup"] = round(speedup, 2)
+    benchmark.extra_info["churn_depth_max"] = result.churn.max_depth
+
+
+def test_both_families_converge(run_once, benchmark, scale):
+    result = run_once(lambda: corpus.run(scale))
+    print()
+    assert set(result.stats) == set(corpus.FAMILIES)
+    for family, stats in result.stats.items():
+        assert stats.report.converged, (
+            f"family {family!r}: evolved corpus diverged from its rebuild"
+        )
+        assert stats.report.max_depth <= STALENESS_GATE
+        benchmark.extra_info[f"{family}_depth_max"] = stats.report.max_depth
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CI entry point: run both experiments, gate, write the baseline."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run at smoke scale (seconds); default is small scale, the "
+        "configuration of the committed BENCH_corpus.json baseline",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="PATH",
+        default=str(DEFAULT_OUTPUT),
+        help="where to write the JSON baseline (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.experiments import scale_by_name
+    from repro.obs import SummarySink, observed
+
+    scale = scale_by_name("smoke" if args.smoke else "small")
+    with observed(SummarySink(sys.stdout)) as obs:
+        with obs.span("bench.corpus", scale=scale.name):
+            bench_result = bench_corpus.run(scale)
+            print(bench_corpus.report(bench_result))
+            print()
+            family_result = corpus.run(scale)
+            print(corpus.report(family_result))
+
+    payload = bench_result.as_json()
+    payload["families"] = {
+        family: {
+            "converged": stats.report.converged,
+            "depth_max": stats.report.max_depth,
+            "documents_surviving": stats.documents,
+        }
+        for family, stats in family_result.stats.items()
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+
+    failed = False
+    if not bench_result.fingerprints_match:
+        print("FAIL: ingest strategies disagree on the corpus fingerprint")
+        failed = True
+    speedup = bench_result.speedup("per-edge", "bulk")
+    if speedup < SPEEDUP_GATE:
+        print(
+            f"FAIL: bulk load only {speedup:.2f}x the per-edge baseline "
+            f"(need >= {SPEEDUP_GATE}x)"
+        )
+        failed = True
+    if not bench_result.churn.converged:
+        print("FAIL: churned corpus does not match its from-scratch rebuild")
+        failed = True
+    if bench_result.churn.max_depth > STALENESS_GATE:
+        print(
+            f"FAIL: churn queue depth peaked at {bench_result.churn.max_depth} "
+            f"(staleness bound {STALENESS_GATE})"
+        )
+        failed = True
+    if not family_result.all_converged:
+        print("FAIL: a family's evolved corpus diverged from its rebuild")
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

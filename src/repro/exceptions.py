@@ -253,7 +253,61 @@ class ServiceClosedError(ServiceError):
 
 
 class XmlFormatError(ReproError, ValueError):
-    """Malformed XML input or unresolvable IDREF."""
+    """Malformed XML input or unresolvable IDREF.
+
+    Carries optional context so a failure inside a multi-document parse
+    names its origin instead of a bare identifier: *source* is the
+    document's display name (file name, document id), *ordinal* its
+    0-based position in the batch, *path* the ``/tag[i]/...`` element
+    path the error anchors to.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        source: "str | None" = None,
+        ordinal: "int | None" = None,
+        path: "str | None" = None,
+    ):
+        details = []
+        if source is not None and ordinal is not None:
+            details.append(f"document #{ordinal} ({source})")
+        elif source is not None:
+            details.append(f"document {source}")
+        elif ordinal is not None:
+            details.append(f"document #{ordinal}")
+        if path is not None:
+            details.append(f"at {path}")
+        if details:
+            message = f"{message} [{', '.join(details)}]"
+        super().__init__(message)
+        self.source = source
+        self.ordinal = ordinal
+        self.path = path
+
+
+class CorpusError(ReproError):
+    """Base class for the multi-document corpus layer (``repro.corpus``)."""
+
+
+class DocumentNotFoundError(CorpusError, KeyError):
+    """A document id was referenced that is not in the corpus."""
+
+    def __init__(self, doc_id: str):
+        super().__init__(f"document {doc_id!r} is not in the corpus")
+        self.doc_id = doc_id
+
+
+class DuplicateDocumentError(CorpusError, ValueError):
+    """A document id was added to a corpus that already holds it."""
+
+    def __init__(self, doc_id: str):
+        super().__init__(
+            f"document {doc_id!r} already exists in the corpus; use "
+            "replace_document to change its content"
+        )
+        self.doc_id = doc_id
 
 
 class PathSyntaxError(ReproError, ValueError):

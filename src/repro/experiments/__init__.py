@@ -12,10 +12,12 @@ or programmatically::
 
 from repro.experiments import (
     ablation_worstcase,
+    bench_corpus,
     bench_hotpath,
     bench_replicate,
     bench_serve,
     bench_store,
+    corpus,
     fig09_imdb_quality,
     fig10_xmark_quality,
     fig11_running_times,
@@ -50,6 +52,8 @@ EXPERIMENTS = {
     "bench-store": bench_store,
     "replicate": replicate,
     "bench-replicate": bench_replicate,
+    "corpus": corpus,
+    "bench-corpus": bench_corpus,
 }
 
 __all__ = [

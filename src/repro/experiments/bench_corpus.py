@@ -1,0 +1,268 @@
+"""``bench-corpus``: bulk-load A/B plus churn staleness for the corpus engine.
+
+Three ingest strategies build the *same* corpus (same documents, same
+oids — the compiler allocates them, not the maintainer) and must land on
+the *same* index, verified by the oid-independent corpus fingerprint:
+
+* **bulk** — splice every document subgraph under ROOT with raw graph
+  surgery, then build the index once over the finished graph: one
+  refinement pass (:meth:`~repro.corpus.service.CorpusService.bulk_load`);
+* **per-document** — start empty and feed each compiled
+  ``add_subgraph`` through the serving path, so the index is repaired
+  incrementally per document (Figure 6's batched subgraph addition);
+* **per-edge** — the naive baseline: every node arrives as a singleton
+  subgraph and every reference edge as an individual ``insert_edge``,
+  driving the raw maintainer one repair at a time.
+
+The expected ordering is bulk < per-document < per-edge; the CI gate
+(``benchmarks/bench_corpus.py``) requires bulk to beat per-edge.  The
+second half measures churn serving: a seeded arrival/expiry/replacement
+schedule under live queries with the background writer draining, the
+sampled queue depth bounding staleness, and the final corpus required
+to fingerprint identically to a from-scratch rebuild.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.corpus import (
+    ChurnReport,
+    CorpusCatalog,
+    CorpusChurnWorkload,
+    CorpusService,
+    corpus_fingerprint,
+    parse_document,
+)
+from repro.experiments.config import ExperimentScale
+from repro.experiments.reporting import format_table
+from repro.graph.datagraph import DataGraph, EdgeKind
+from repro.index.akindex import AkIndexFamily
+from repro.maintenance.ak_split_merge import AkSplitMergeMaintainer
+from repro.service import ServiceConfig
+
+#: the A/B runs the A(k) family: its split/merge maintains the *minimum*
+#: family on arbitrary graphs, so all three strategies must agree on the
+#: full (graph + partition) fingerprint even on cyclic XMark
+FAMILY = "ak"
+
+
+def documents_for(scale: ExperimentScale) -> int:
+    """Pseudo-documents the XMark database is split into."""
+    return {"smoke": 5, "paper": 12}.get(scale.name, 8)
+
+
+def churn_steps(scale: ExperimentScale) -> int:
+    """Churn schedule length."""
+    return {"smoke": 24, "paper": 150}.get(scale.name, 60)
+
+
+@dataclass
+class IngestPoint:
+    """One ingest strategy's run."""
+
+    strategy: str
+    seconds: float
+    fingerprint: str
+    #: total index-repair steps the maintainer ran (splits + merges not
+    #: broken out; per-edge pays one repair per node and per edge)
+    repairs: int
+
+
+@dataclass
+class BenchCorpusResult:
+    """The ingest A/B plus the churn serving run."""
+
+    scale: str
+    family: str
+    k: int
+    documents: int
+    dnodes: int
+    dedges: int
+    ingest: list[IngestPoint] = field(default_factory=list)
+    churn: ChurnReport = field(default_factory=ChurnReport)
+
+    def point(self, strategy: str) -> IngestPoint:
+        return next(p for p in self.ingest if p.strategy == strategy)
+
+    @property
+    def fingerprints_match(self) -> bool:
+        return len({p.fingerprint for p in self.ingest}) == 1
+
+    def speedup(self, slow: str, fast: str) -> float:
+        """Wall-clock ratio ``slow / fast`` (> 1 means *fast* wins)."""
+        fast_seconds = self.point(fast).seconds
+        if fast_seconds <= 0:
+            return float("inf")
+        return self.point(slow).seconds / fast_seconds
+
+    def as_json(self) -> dict:
+        """The ``BENCH_corpus.json`` payload (schema in DESIGN.md §11)."""
+        return {
+            "schema": "repro.bench_corpus/1",
+            "scale": self.scale,
+            "family": self.family,
+            "k": self.k,
+            "documents": self.documents,
+            "dnodes": self.dnodes,
+            "dedges": self.dedges,
+            "ingest": [
+                {
+                    "strategy": p.strategy,
+                    "seconds": round(p.seconds, 3),
+                    "repairs": p.repairs,
+                }
+                for p in self.ingest
+            ],
+            "summary": {
+                "fingerprints_match": self.fingerprints_match,
+                "bulk_speedup_vs_per_edge": round(
+                    self.speedup("per-edge", "bulk"), 2
+                ),
+                "bulk_speedup_vs_per_document": round(
+                    self.speedup("per-document", "bulk"), 2
+                ),
+            },
+            "churn": {
+                "steps": self.churn.steps,
+                "adds": self.churn.adds,
+                "removes": self.churn.removes,
+                "replaces": self.churn.replaces,
+                "updates_submitted": self.churn.updates_submitted,
+                "queries_served": self.churn.queries_served,
+                "depth_max": self.churn.max_depth,
+                "depth_mean": round(self.churn.mean_depth, 2),
+                "converged": self.churn.converged,
+            },
+        }
+
+
+def _per_edge_ingest(documents, k: int):
+    """The naive baseline: singleton-subgraph nodes, one edge at a time."""
+    graph = DataGraph()
+    root = graph.add_root()
+    catalog = CorpusCatalog(next_oid=graph._next_oid)
+    family = AkIndexFamily.build(graph, k)
+    maintainer = AkSplitMergeMaintainer(family)
+    repairs = 0
+    for doc_id, text in documents:
+        document = parse_document(doc_id, text)
+        (update,) = catalog.compile_add(document, root)
+        sub, sub_root, cross = update.args[:3]
+        tree_parent = {}
+        ref_edges = []
+        for source, target in sub.edges():
+            if sub.edge_kind(source, target) is EdgeKind.TREE:
+                tree_parent[target] = source
+            else:
+                ref_edges.append((source, target))
+        splice, *cross_refs = cross
+        for oid in sub.nodes():  # insertion order: parents precede children
+            single = DataGraph()
+            single.add_node(sub.label(oid), sub.value(oid), oid=oid)
+            parent = splice[0] if oid == sub_root else tree_parent[oid]
+            maintainer.add_subgraph(
+                single, oid, [(parent, oid, EdgeKind.TREE)], preserve_oids=True
+            )
+            repairs += 1
+        for source, target in ref_edges:
+            maintainer.insert_edge(source, target, EdgeKind.IDREF)
+            repairs += 1
+        for source, target, kind in cross_refs:
+            maintainer.insert_edge(source, target, kind)
+            repairs += 1
+    extents = [set(e) for e in family.levels[-1].extents.values()]
+    return corpus_fingerprint(graph, catalog, extents), repairs
+
+
+def run(scale: ExperimentScale, seed: int = 223) -> BenchCorpusResult:
+    """The ingest A/B, then churn serving on the bulk-loaded corpus."""
+    from repro.workload.xmark import generate_xmark
+
+    k = min(scale.ks)
+    documents = generate_xmark(scale.xmark).as_documents(documents_for(scale))
+    config = ServiceConfig(family=FAMILY, k=k)
+    result = BenchCorpusResult(
+        scale=scale.name, family=FAMILY, k=k,
+        documents=len(documents), dnodes=0, dedges=0,
+    )
+
+    started = time.perf_counter()
+    fingerprint, repairs = _per_edge_ingest(documents, k)
+    result.ingest.append(IngestPoint(
+        strategy="per-edge",
+        seconds=time.perf_counter() - started,
+        fingerprint=fingerprint,
+        repairs=repairs,
+    ))
+
+    started = time.perf_counter()
+    incremental = CorpusService.empty(config=config)
+    for doc_id, text in documents:
+        incremental.add_document(doc_id, text)
+    incremental.await_quiescent()
+    seconds = time.perf_counter() - started
+    result.ingest.append(IngestPoint(
+        strategy="per-document",
+        seconds=seconds,
+        fingerprint=incremental.fingerprint(),
+        repairs=len(documents),
+    ))
+    incremental.close()
+
+    started = time.perf_counter()
+    corpus = CorpusService.bulk_load(documents, config=config)
+    seconds = time.perf_counter() - started
+    result.ingest.append(IngestPoint(
+        strategy="bulk",
+        seconds=seconds,
+        fingerprint=corpus.fingerprint(),
+        repairs=1,
+    ))
+    result.dnodes = corpus.service.graph.num_nodes
+    result.dedges = corpus.service.graph.num_edges
+
+    try:
+        corpus.start()
+        churn = CorpusChurnWorkload(
+            pool=documents, steps=churn_steps(scale), seed=seed,
+            pace_seconds=0.01,
+        )
+        result.churn = churn.run(corpus, compare="full")
+        corpus.stop()
+        corpus.check()
+    finally:
+        corpus.close()
+    return result
+
+
+def report(result: BenchCorpusResult) -> str:
+    """Render the A/B table plus the churn line."""
+    table = format_table(
+        ["strategy", "seconds", "repairs", "vs bulk"],
+        [
+            [
+                p.strategy,
+                f"{p.seconds:.3f}",
+                p.repairs,
+                f"{result.speedup(p.strategy, 'bulk'):.1f}x",
+            ]
+            for p in result.ingest
+        ],
+    )
+    match = (
+        "all three strategies agree on the corpus fingerprint"
+        if result.fingerprints_match
+        else "FINGERPRINT MISMATCH between ingest strategies"
+    )
+    header = (
+        f"{result.documents} documents -> {result.dnodes} dnodes / "
+        f"{result.dedges} dedges, family {result.family} (k={result.k})"
+    )
+    return f"{header}\n\n{table}\n\n{match}\n{result.churn.summary()}"
+
+
+def main(scale: ExperimentScale) -> str:
+    """CLI entry point."""
+    return report(run(scale))

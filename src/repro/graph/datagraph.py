@@ -412,7 +412,7 @@ class DataGraph:
         clone._num_edges = self._num_edges
         return clone
 
-    def add_subgraph(self, other: "DataGraph") -> dict[int, int]:
+    def add_subgraph(self, other: "DataGraph", preserve_oids: bool = False) -> dict[int, int]:
         """Disjoint-union *other* into this graph.
 
         Every node of *other* (including its root, which loses its special
@@ -420,13 +420,24 @@ class DataGraph:
         edge is copied.  Returns the oid translation map
         ``old oid in other -> new oid in self``.
 
+        With ``preserve_oids=True`` nodes keep their oids from *other*
+        (the mapping is the identity); a collision with an existing node
+        raises :class:`DuplicateNodeError`.  This lets callers that
+        allocate oids up front — the corpus layer compiles document
+        diffs against known oids before the op is applied — ship a
+        subgraph through an asynchronous update stream and still know
+        where every node landed.
+
         This is the raw graph-surgery part of subgraph addition
         (Section 5.2); index maintenance is layered on top by
         :meth:`repro.maintenance.split_merge.SplitMergeMaintainer.add_subgraph`.
         """
         mapping: dict[int, int] = {}
         for oid in other.nodes():
-            mapping[oid] = self.add_node(other.label(oid), other.value(oid))
+            if preserve_oids:
+                mapping[oid] = self.add_node(other.label(oid), other.value(oid), oid=oid)
+            else:
+                mapping[oid] = self.add_node(other.label(oid), other.value(oid))
         for source, target in other.edges():
             self.add_edge(mapping[source], mapping[target], other.edge_kind(source, target))
         return mapping

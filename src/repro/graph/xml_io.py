@@ -54,26 +54,45 @@ def parse_documents(
     id_attributes: Sequence[str] = DEFAULT_ID_ATTRIBUTES,
     ref_attributes: Sequence[str] = DEFAULT_REF_ATTRIBUTES,
     attribute_nodes: bool = True,
+    names: Optional[Sequence[str]] = None,
 ) -> DataGraph:
-    """Parse several XML documents into one data graph with a shared ROOT."""
+    """Parse several XML documents into one data graph with a shared ROOT.
+
+    Identifiers share one registry across documents (that is what makes
+    cross-document IDREFs resolvable here); a colliding id — within one
+    document or across two — is an error either way, but the message
+    names the offending document's ordinal (and its entry in *names*,
+    when given) and distinguishes the two cases.  For file-scoped id
+    isolation use :mod:`repro.corpus` instead.
+    """
     graph = DataGraph()
     root = graph.add_root()
     by_id: dict[str, int] = {}
-    pending_refs: list[tuple[int, str]] = []
+    pending_refs: list[tuple[int, str, str, int, Optional[str]]] = []
     id_set = set(id_attributes)
     ref_set = set(ref_attributes)
 
-    for text in texts:
+    for ordinal, text in enumerate(texts):
+        name = names[ordinal] if names is not None and ordinal < len(names) else None
         try:
             element = ET.fromstring(text)
         except ET.ParseError as exc:
-            raise XmlFormatError(f"malformed XML: {exc}") from exc
-        _walk(graph, root, element, by_id, pending_refs, id_set, ref_set, attribute_nodes)
+            raise XmlFormatError(
+                f"malformed XML: {exc}", source=name, ordinal=ordinal
+            ) from exc
+        _walk(
+            graph, root, element, by_id, pending_refs, id_set, ref_set,
+            attribute_nodes, path="", sibling_tally={}, document_ids=set(),
+            ordinal=ordinal, name=name,
+        )
 
-    for source, ident in pending_refs:
+    for source, ident, path, ordinal, name in pending_refs:
         target = by_id.get(ident)
         if target is None:
-            raise XmlFormatError(f"unresolvable IDREF {ident!r}")
+            raise XmlFormatError(
+                f"unresolvable IDREF {ident!r} referenced from {path}",
+                source=name, ordinal=ordinal, path=path,
+            )
         if not graph.has_edge(source, target):
             graph.add_edge(source, target, EdgeKind.IDREF)
     return graph
@@ -84,27 +103,50 @@ def _walk(
     parent: int,
     element: ET.Element,
     by_id: dict[str, int],
-    pending_refs: list[tuple[int, str]],
+    pending_refs: list[tuple[int, str, str, int, Optional[str]]],
     id_set: set[str],
     ref_set: set[str],
     attribute_nodes: bool,
+    path: str,
+    sibling_tally: dict[str, int],
+    document_ids: set[str],
+    ordinal: int,
+    name: Optional[str],
 ) -> int:
+    position = sibling_tally.get(element.tag, 0)
+    sibling_tally[element.tag] = position + 1
+    element_path = f"{path}/{element.tag}[{position}]"
     text = element.text.strip() if element.text and element.text.strip() else None
     oid = graph.add_node(element.tag, value=text)
     graph.add_edge(parent, oid)
-    for name, raw in element.attrib.items():
-        if name in id_set:
+    for attr_name, raw in element.attrib.items():
+        if attr_name in id_set:
+            if raw in document_ids:
+                raise XmlFormatError(
+                    f"duplicate id {raw!r} within one document",
+                    source=name, ordinal=ordinal, path=element_path,
+                )
             if raw in by_id:
-                raise XmlFormatError(f"duplicate id {raw!r}")
+                raise XmlFormatError(
+                    f"id {raw!r} already defined by an earlier document "
+                    "(repro.corpus keeps ids file-scoped)",
+                    source=name, ordinal=ordinal, path=element_path,
+                )
+            document_ids.add(raw)
             by_id[raw] = oid
-        elif name in ref_set:
+        elif attr_name in ref_set:
             for ident in raw.split():
-                pending_refs.append((oid, ident))
+                pending_refs.append((oid, ident, element_path, ordinal, name))
         elif attribute_nodes:
-            attr_oid = graph.add_node(name, value=raw)
+            attr_oid = graph.add_node(attr_name, value=raw)
             graph.add_edge(oid, attr_oid)
+    child_tally: dict[str, int] = {}
     for child in element:
-        _walk(graph, oid, child, by_id, pending_refs, id_set, ref_set, attribute_nodes)
+        _walk(
+            graph, oid, child, by_id, pending_refs, id_set, ref_set,
+            attribute_nodes, path=element_path, sibling_tally=child_tally,
+            document_ids=document_ids, ordinal=ordinal, name=name,
+        )
     return oid
 
 

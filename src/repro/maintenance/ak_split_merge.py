@@ -146,6 +146,11 @@ class AkSplitMergeMaintainer:
         stats.absorb(self._propagate(entry_points))
         return stats
 
+    def set_value(self, dnode: int, value: object) -> UpdateStats:
+        """Change a dnode's value (values never affect A(k) equivalence)."""
+        self.graph.set_value(dnode, value)
+        return UpdateStats()
+
     # ------------------------------------------------------------------
     # Subgraph addition / deletion
     # ------------------------------------------------------------------
@@ -155,6 +160,7 @@ class AkSplitMergeMaintainer:
         subgraph: DataGraph,
         subgraph_root: int,
         cross_edges: Iterable[tuple[int, int]] = (),
+        preserve_oids: bool = False,
     ) -> tuple[dict[int, int], UpdateStats]:
         """Add a rooted subgraph and its cross edges in one batch.
 
@@ -163,17 +169,18 @@ class AkSplitMergeMaintainer:
         updates, with every new dnode marked changed — one pass over the
         family instead of one per cross edge (the batching Section 6
         inherits from Section 5.2).  Returns the oid translation map and
-        the aggregated stats.
+        the aggregated stats.  ``preserve_oids=True`` keeps the
+        subgraph's oids in the host graph (identity mapping).
         """
         if subgraph.num_nodes == 0:
             raise MaintenanceError("cannot add an empty subgraph")
         from repro.maintenance.split_merge import _require_disjoint_oids
 
         cross_edges = list(cross_edges)
-        _require_disjoint_oids(self.graph, subgraph, cross_edges)
+        _require_disjoint_oids(self.graph, subgraph, cross_edges, preserve_oids)
         del subgraph_root  # the batched A(k) path needs no special root handling
         graph = self.graph
-        mapping = graph.add_subgraph(subgraph)
+        mapping = graph.add_subgraph(subgraph, preserve_oids)
         new_nodes = set(mapping.values())
         entry_points: set[int] = set()
         from repro.maintenance.split_merge import _normalise_cross_edges

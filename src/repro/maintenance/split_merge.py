@@ -57,9 +57,13 @@ def _normalise_cross_edges(
 
 
 def _require_disjoint_oids(
-    graph: DataGraph, subgraph: DataGraph, cross_edges: Iterable[tuple[int, int]]
+    graph: DataGraph,
+    subgraph: DataGraph,
+    cross_edges: Iterable[tuple[int, int]],
+    preserve_oids: bool = False,
 ) -> None:
-    """Reject ambiguous cross-edge endpoints.
+    """Reject ambiguous cross-edge endpoints (and, when the subgraph's
+    oids are to be preserved, any oid collision at all).
 
     Cross edges are resolved "subgraph oid first, host oid otherwise", so
     when a subgraph oid is *also* a live host oid the reference is
@@ -68,13 +72,17 @@ def _require_disjoint_oids(
     disjoint (their oids just left the host); hand-built subgraphs should
     pass explicit non-colliding oids to ``DataGraph.add_node``.
     """
-    if not cross_edges:
+    if not cross_edges and not preserve_oids:
         return
     colliding = [oid for oid in subgraph.nodes() if graph.has_node(oid)]
     if colliding:
         raise MaintenanceError(
             f"subgraph oids {sorted(colliding)[:5]} also exist in the host graph; "
-            "cross-edge endpoints would be ambiguous — use disjoint oids"
+            + (
+                "cannot preserve them — use disjoint oids"
+                if preserve_oids
+                else "cross-edge endpoints would be ambiguous — use disjoint oids"
+            )
         )
 
 
@@ -286,6 +294,18 @@ class SplitMergeMaintainer:
         stats.peak_inodes = max(stats.peak_inodes, index.num_inodes)
         return stats
 
+    def set_value(self, dnode: int, value) -> UpdateStats:
+        """Change a dnode's value.
+
+        Values are not part of the bisimulation signature, so the index
+        is untouched; the mutation still flows through the maintainer so
+        it is journaled, batched, and replicated like every other op.
+        """
+        self.graph.set_value(dnode, value)
+        stats = UpdateStats()
+        stats.peak_inodes = self.index.num_inodes
+        return stats
+
     # ------------------------------------------------------------------
     # Subgraph addition / deletion (Section 5.2)
     # ------------------------------------------------------------------
@@ -295,6 +315,7 @@ class SplitMergeMaintainer:
         subgraph: DataGraph,
         subgraph_root: int,
         cross_edges: Iterable[tuple[int, int]] = (),
+        preserve_oids: bool = False,
     ) -> tuple[dict[int, int], UpdateStats]:
         """Figure 6: add a rooted subgraph plus its cross edges.
 
@@ -308,16 +329,23 @@ class SplitMergeMaintainer:
         calls out; every other cross edge goes through
         :meth:`insert_edge`.
 
+        With ``preserve_oids=True`` the subgraph's nodes keep their oids
+        in the host graph (the corpus layer relies on this to know node
+        locations before the op commits); the disjointness check then
+        covers every subgraph oid, not just cross-edge endpoints.
+
         Returns the oid translation map and the aggregated stats.
         """
         if subgraph.num_nodes == 0:
             raise MaintenanceError("cannot add an empty subgraph")
-        _require_disjoint_oids(self.graph, subgraph, cross_edges)
+        _require_disjoint_oids(self.graph, subgraph, cross_edges, preserve_oids)
         obs = current_obs()
         index = self.index
         stats = UpdateStats()
         with obs.span("one.add_subgraph", nodes=subgraph.num_nodes) as span:
-            mapping = self._add_subgraph(subgraph, subgraph_root, cross_edges, stats)
+            mapping = self._add_subgraph(
+                subgraph, subgraph_root, cross_edges, stats, preserve_oids
+            )
             span.set(splits=stats.splits, merges=stats.merges)
         if obs.enabled:
             obs.add("one.subgraph_adds")
@@ -330,13 +358,14 @@ class SplitMergeMaintainer:
         subgraph_root: int,
         cross_edges: Iterable[tuple[int, int]],
         stats: UpdateStats,
+        preserve_oids: bool = False,
     ) -> dict[int, int]:
         """Figure 6's body (split out so :meth:`add_subgraph` can trace it)."""
         index = self.index
 
         # 1. Graph surgery + adopt the subgraph's own (minimum) 1-index.
         sub_partition = blocks_of(bisimulation_partition(subgraph))
-        mapping = self.graph.add_subgraph(subgraph)
+        mapping = self.graph.add_subgraph(subgraph, preserve_oids)
         mapped_blocks = [[mapping[w] for w in block] for block in sub_partition]
         index.absorb_blocks(mapped_blocks)
         stats.peak_inodes = index.num_inodes

@@ -161,13 +161,21 @@ class GuardedMaintainer:
         subgraph: DataGraph,
         subgraph_root: int,
         cross_edges: tuple = (),
+        preserve_oids: bool = False,
     ) -> tuple[dict[int, int], UpdateStats]:
         """Add a rooted subgraph transactionally."""
-        return self._call("add_subgraph", (subgraph, subgraph_root, tuple(cross_edges)))
+        args: tuple = (subgraph, subgraph_root, tuple(cross_edges))
+        if preserve_oids:
+            args += (True,)
+        return self._call("add_subgraph", args)
 
     def delete_subgraph(self, subgraph_root: int) -> UpdateStats:
         """Delete the subtree rooted at *subgraph_root* transactionally."""
         return self._call("delete_subgraph", (subgraph_root,))
+
+    def set_value(self, dnode: int, value: object) -> UpdateStats:
+        """Change a dnode's value transactionally."""
+        return self._call("set_value", (dnode, value))
 
     def apply_batch(self, operations: Sequence[tuple[str, tuple]]) -> UpdateStats:
         """Apply a whole sequence of mutations in **one** transaction.
@@ -273,15 +281,23 @@ class GuardedMaintainer:
                 return UpdateStats()
 
         elif method == "add_subgraph":
-            subgraph, _subgraph_root, cross_edges = args
+            subgraph, _subgraph_root, cross_edges = args[:3]
+            preserve_oids = args[3] if len(args) > 3 else False
 
             def raw() -> tuple[dict[int, int], UpdateStats]:
                 from repro.maintenance.split_merge import _normalise_cross_edges
 
-                mapping = self.graph.add_subgraph(subgraph)
+                mapping = self.graph.add_subgraph(subgraph, preserve_oids)
                 for a, b, kind in _normalise_cross_edges(cross_edges):
                     self.graph.add_edge(mapping.get(a, a), mapping.get(b, b), kind)
                 return mapping, UpdateStats()
+
+        elif method == "set_value":
+            dnode, value = args
+
+            def raw() -> UpdateStats:
+                self.graph.set_value(dnode, value)
+                return UpdateStats()
 
         elif method == "delete_subgraph":
             (subgraph_root,) = args

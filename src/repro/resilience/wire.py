@@ -21,8 +21,12 @@ Wire shapes (``{"op": <name>, "args": [...]}``):
 * ``delete_node``    — ``[dnode]``
 * ``add_subgraph``   — ``[graph_dict, subgraph_root, [[a, b, kind], ...]]``
   (the subgraph in the :func:`repro.graph.serialize.graph_to_dict`
-  format; cross edges normalised to explicit kinds)
+  format; cross edges normalised to explicit kinds) — an optional
+  fourth element ``true`` marks an oid-preserving addition (absent
+  means the pre-existing remapping behaviour, so old logs replay
+  unchanged)
 * ``delete_subgraph`` — ``[subgraph_root]``
+* ``set_value``       — ``[dnode, value]`` (value JSON-serialisable)
 
 Malformed payloads raise :class:`SerializationError`, never a bare
 ``KeyError`` / ``TypeError`` / ``ValueError`` — the same hardened-loader
@@ -49,6 +53,7 @@ WIRE_OPS = (
     "delete_node",
     "add_subgraph",
     "delete_subgraph",
+    "set_value",
 )
 
 
@@ -80,15 +85,20 @@ def op_to_wire(method: str, args: tuple) -> dict[str, Any]:
         (dnode,) = args
         wire_args = [dnode]
     elif method == "add_subgraph":
-        subgraph, subgraph_root, cross_edges = args
+        subgraph, subgraph_root, cross_edges = args[:3]
         wire_args = [
             graph_to_dict(subgraph),
             subgraph_root,
             _cross_edges_to_wire(tuple(cross_edges)),
         ]
+        if len(args) > 3 and args[3]:
+            wire_args.append(True)
     elif method == "delete_subgraph":
         (subgraph_root,) = args
         wire_args = [subgraph_root]
+    elif method == "set_value":
+        dnode, value = args
+        wire_args = [dnode, value]
     else:
         raise SerializationError(
             f"cannot encode unknown operation {method!r}; choose from {WIRE_OPS}"
@@ -117,14 +127,20 @@ def op_from_wire(payload: dict[str, Any]) -> tuple[str, tuple]:
             (dnode,) = wire_args
             return method, (dnode,)
         if method == "add_subgraph":
-            graph_dict, subgraph_root, cross_wire = wire_args
+            graph_dict, subgraph_root, cross_wire = wire_args[:3]
             cross_edges = tuple(
                 (a, b, EdgeKind(kind)) for a, b, kind in cross_wire
             )
-            return method, (graph_from_dict(graph_dict), subgraph_root, cross_edges)
+            decoded: tuple = (graph_from_dict(graph_dict), subgraph_root, cross_edges)
+            if len(wire_args) > 3 and wire_args[3]:
+                decoded += (True,)
+            return method, decoded
         if method == "delete_subgraph":
             (subgraph_root,) = wire_args
             return method, (subgraph_root,)
+        if method == "set_value":
+            dnode, value = wire_args
+            return method, (dnode, value)
     except SerializationError:
         raise
     except (ValueError, TypeError) as exc:

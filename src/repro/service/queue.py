@@ -42,7 +42,8 @@ from repro.graph.datagraph import DataGraph, EdgeKind
 EDGE_OPS = ("insert_edge", "delete_edge")
 SUBGRAPH_OPS = ("add_subgraph", "delete_subgraph")
 NODE_OPS = ("insert_node", "delete_node")
-ALL_OPS = EDGE_OPS + SUBGRAPH_OPS + NODE_OPS
+VALUE_OPS = ("set_value",)
+ALL_OPS = EDGE_OPS + SUBGRAPH_OPS + NODE_OPS + VALUE_OPS
 
 
 @dataclass(frozen=True)
@@ -91,15 +92,34 @@ class Update:
 
     @classmethod
     def add_subgraph(
-        cls, subgraph: DataGraph, subgraph_root: int, cross_edges: Iterable = ()
+        cls,
+        subgraph: DataGraph,
+        subgraph_root: int,
+        cross_edges: Iterable = (),
+        preserve_oids: bool = False,
     ) -> "Update":
-        """A rooted subgraph addition."""
-        return cls("add_subgraph", (subgraph, subgraph_root, tuple(cross_edges)))
+        """A rooted subgraph addition.
+
+        ``preserve_oids=True`` keeps the subgraph's oids in the host
+        graph (the corpus layer pre-allocates oids so it can compile
+        later diffs before this op commits); the flag is only appended
+        to the args when set, keeping the wire encoding of the common
+        case unchanged.
+        """
+        args: tuple = (subgraph, subgraph_root, tuple(cross_edges))
+        if preserve_oids:
+            args += (True,)
+        return cls("add_subgraph", args)
 
     @classmethod
     def delete_subgraph(cls, subgraph_root: int) -> "Update":
         """A rooted subgraph deletion."""
         return cls("delete_subgraph", (subgraph_root,))
+
+    @classmethod
+    def set_value(cls, dnode: int, value: object) -> "Update":
+        """A dnode value change (index-neutral, but journaled/replicated)."""
+        return cls("set_value", (dnode, value))
 
     # -- classification ------------------------------------------------
 

@@ -1,5 +1,6 @@
 """Synthetic datasets and update workloads (the Section 7 protocol)."""
 
+from repro.workload.documents import split_into_documents
 from repro.workload.imdb import GENRES, IMDBConfig, IMDBDataset, generate_imdb
 from repro.workload.random_graphs import (
     WorstCaseGadget,
@@ -44,4 +45,5 @@ __all__ = [
     "extract_subgraphs",
     "remove_subgraph_raw",
     "average_size",
+    "split_into_documents",
 ]

@@ -74,6 +74,15 @@ class IMDBDataset:
             f"({self.config.num_communities} communities)"
         )
 
+    def as_documents(self, n: int) -> list[tuple[str, str]]:
+        """Split into *n* pseudo-documents for the corpus layer.
+
+        See :func:`repro.workload.documents.split_into_documents`.
+        """
+        from repro.workload.documents import split_into_documents
+
+        return split_into_documents(self.graph, n)
+
 
 def generate_imdb(config: IMDBConfig | None = None) -> IMDBDataset:
     """Generate a synthetic IMDB-like database (deterministic per config)."""

@@ -84,6 +84,15 @@ class XMarkDataset:
             f"{self.graph.num_edges} dedges, among which {idref} are IDREF edges"
         )
 
+    def as_documents(self, n: int) -> list[tuple[str, str]]:
+        """Split into *n* pseudo-documents for the corpus layer.
+
+        See :func:`repro.workload.documents.split_into_documents`.
+        """
+        from repro.workload.documents import split_into_documents
+
+        return split_into_documents(self.graph, n)
+
 
 def generate_xmark(config: XMarkConfig | None = None) -> XMarkDataset:
     """Generate a synthetic XMark-like database.

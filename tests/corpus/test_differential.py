@@ -1,0 +1,148 @@
+"""Differential corpus tests: evolved == from-scratch at every step.
+
+The corpus engine's correctness claim: after **every** document
+operation (arrival, expiry, replacement), the evolved corpus must be
+fingerprint-identical — oid-independent scoped names, graph *and* index
+partition — to a from-scratch bulk load over exactly the documents
+resident at that moment.  Runs a seeded scripted schedule for both
+index families, and again with a fault injector forcing mid-batch
+rollbacks under the ``degrade`` policy.
+
+The document generator keeps every corpus **acyclic**: reference edges
+only target identified *leaf* elements (no children, no outgoing refs),
+so no IDREF can close a cycle.  That matters for the 1-index family,
+whose split/merge maintains the *minimum* index only on DAGs; the A(k)
+family needs no such restriction but shares the corpora so both
+families run the identical schedule.
+
+``CORPUS_SEED`` (the CI matrix knob) offsets every seed in the file.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.corpus import CorpusService, mutate_document
+from repro.resilience.faults import FaultInjector
+from repro.resilience.guard import GuardConfig
+from repro.service import ServiceConfig
+
+CORPUS_SEED = int(os.environ.get("CORPUS_SEED", "0"))
+
+NUM_DOCS = 4
+STEPS = 24
+
+
+def make_pool(seed: int) -> list[tuple[str, str]]:
+    """Seeded acyclic document pool with intra- and cross-document refs.
+
+    Layout per document: a handful of identified leaf targets
+    (``<t id='dN_tM'>``), some anonymous filler, and reference leaves
+    pointing at targets of its own and of other documents.  Targets are
+    leaves, so the corpus stays acyclic for any resident subset.
+    """
+    rng = random.Random(seed)
+    doc_ids = [f"d{n}" for n in range(NUM_DOCS)]
+    pool = []
+    for n, doc_id in enumerate(doc_ids):
+        parts = [f"<{doc_id}>"]
+        for m in range(rng.randint(2, 4)):
+            parts.append(f"<t id='{doc_id}_t{m}'>target{m}</t>")
+        for m in range(rng.randint(1, 3)):
+            parts.append(f"<filler><leaf>f{m}</leaf></filler>")
+        # intra-document ref
+        parts.append(f"<r idref='{doc_id}_t0'/>")
+        # cross-document refs (possibly to documents not yet resident)
+        for _ in range(rng.randint(1, 2)):
+            other = rng.choice([d for d in doc_ids if d != doc_id])
+            target = rng.randrange(2)  # targets t0/t1 always exist
+            parts.append(f"<r idref='{other}/{other}_t{target}'/>")
+        parts.append(f"</{doc_id}>")
+        pool.append((doc_id, "".join(parts)))
+    return pool
+
+
+def run_schedule(family: str, injector=None, guard=None):
+    """The scripted schedule, checking the differential oracle per step."""
+    seed = 41 + CORPUS_SEED
+    pool = make_pool(seed)
+    texts = dict(pool)
+    config_kwargs = {"family": family, "k": 2, "batch_max_ops": 16}
+    if guard is not None:
+        config_kwargs["guard"] = guard
+    config = ServiceConfig(**config_kwargs)
+    corpus = CorpusService.bulk_load(
+        pool, config=config, fault_injector=injector
+    )
+    rng = random.Random(seed + 1)
+    checked = 0
+    try:
+        for _ in range(STEPS):
+            resident = corpus.document_ids()
+            absent = sorted(set(texts) - set(resident))
+            moves = (["add"] if absent else []) \
+                + (["remove"] if len(resident) > 1 else []) \
+                + (["replace"] if resident else [])
+            move = rng.choice(moves)
+            if move == "add":
+                doc_id = rng.choice(absent)
+                corpus.add_document(doc_id, texts[doc_id])
+            elif move == "remove":
+                corpus.remove_document(rng.choice(resident))
+            else:
+                doc_id = rng.choice(resident)
+                texts[doc_id] = mutate_document(texts[doc_id], rng)
+                corpus.replace_document(doc_id, texts[doc_id])
+            corpus.await_quiescent()
+
+            # the differential oracle: scratch rebuild over the survivors
+            surviving = [(d, texts[d]) for d in corpus.document_ids()]
+            scratch = CorpusService.bulk_load(surviving, config=ServiceConfig(
+                family=family, k=2
+            ))
+            try:
+                assert corpus.fingerprint() == scratch.fingerprint(), (
+                    f"step {checked}: evolved corpus diverged after {move!r}"
+                )
+            finally:
+                scratch.close()
+            corpus.check()
+            checked += 1
+        assert checked == STEPS
+        return corpus
+    finally:
+        corpus.close()
+
+
+@pytest.mark.parametrize("family", ["one", "ak"])
+def test_every_step_matches_scratch_build(family):
+    run_schedule(family)
+
+
+@pytest.mark.parametrize("family", ["one", "ak"])
+def test_differential_survives_forced_rollbacks(family):
+    injector = FaultInjector(at_record=20 + CORPUS_SEED, rearm=True)
+    corpus = run_schedule(
+        family, injector=injector, guard=GuardConfig(policy="degrade")
+    )
+    # the run must actually have exercised rollback + degrade-rebuild
+    assert injector.fired >= 1
+    assert corpus.service.guarded.stats.rollbacks >= 1
+    assert corpus.service.guarded.stats.degradations >= 1
+
+
+def test_mutations_preserve_acyclicity_invariant():
+    """mutate_document never introduces refs, so targets stay leaves."""
+    rng = random.Random(CORPUS_SEED)
+    text = make_pool(7 + CORPUS_SEED)[0][1]
+    for _ in range(20):
+        text = mutate_document(text, rng)
+        assert "idref" not in text.split("</")[-1]  # sanity: still a doc
+    # every original identified target must still be present or the doc
+    # must still parse — mutate_document never deletes id-bearing subtrees
+    from repro.corpus import parse_document
+
+    parse_document("d0", text)

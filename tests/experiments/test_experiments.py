@@ -42,6 +42,7 @@ class TestConfig:
             "serve", "bench-serve", "bench-hotpath",
             "persist", "recover", "bench-store",
             "replicate", "bench-replicate",
+            "corpus", "bench-corpus",
         }
 
 

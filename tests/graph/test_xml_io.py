@@ -123,6 +123,89 @@ class TestSerialize:
             to_xml(g)
 
 
+class TestRoundTrip:
+    """Parse -> serialise -> reload must be a fixpoint."""
+
+    def fingerprint(self, g) -> str:
+        """Canonical text form: stable because parsing assigns oids in
+        document order and ``to_xml`` emits children in oid order."""
+        return to_xml(g)
+
+    def test_reload_is_fingerprint_identical(self):
+        g = parse_xml(WITH_REF, attribute_nodes=False)
+        assert self.fingerprint(roundtrip(g)) == self.fingerprint(g)
+
+    def test_roundtrip_is_idempotent(self):
+        g = roundtrip(parse_xml(WITH_REF, attribute_nodes=False))
+        assert self.fingerprint(roundtrip(g)) == self.fingerprint(g)
+
+    def test_idrefs_fan_out_survives_roundtrip(self):
+        text = "<r><a id='x'>1</a><a id='y'>2</a><b idrefs='x y'/></r>"
+        g = parse_xml(text, attribute_nodes=False)
+        g2 = roundtrip(g)
+        (b,) = g2.nodes_with_label("b")
+        targets = [t for t in g2.iter_succ(b) if g2.edge_kind(b, t) is EdgeKind.IDREF]
+        assert len(targets) == 2
+        assert "idrefs=" in to_xml(g2)
+        assert self.fingerprint(g2) == self.fingerprint(g)
+
+    def test_values_survive_roundtrip(self):
+        g = parse_xml("<r><a>alpha</a><b>beta</b></r>", attribute_nodes=False)
+        g2 = roundtrip(g)
+        assert sorted(
+            g2.value(n) for n in g2.nodes() if g2.value(n) is not None
+        ) == ["alpha", "beta"]
+
+    def test_attribute_nodes_false_roundtrip(self):
+        # ordinary attributes are dropped up front, so the remaining
+        # structure must round-trip exactly
+        g = parse_xml(
+            "<r myattr='ignored'><a id='x' other='also'/><b idref='x'/></r>",
+            attribute_nodes=False,
+        )
+        g2 = roundtrip(g)
+        assert g2.num_nodes == g.num_nodes
+        assert self.fingerprint(g2) == self.fingerprint(g)
+
+    def test_cross_file_id_collision_rejected_by_parse_documents(self):
+        with pytest.raises(XmlFormatError) as err:
+            parse_documents(
+                ["<a><x id='p1'/></a>", "<b><y id='p1'/></b>"],
+                names=["first.xml", "second.xml"],
+            )
+        message = str(err.value)
+        assert "earlier document" in message
+        assert "second.xml" in message  # the offender is named...
+        assert "#1" in message  # ...and its ordinal reported
+
+    def test_cross_file_id_collision_isolated_by_corpus(self):
+        # the corpus layer keeps ids file-scoped: the same id in two
+        # documents is legal and stays two distinct nodes
+        from repro.corpus import CorpusService
+
+        corpus = CorpusService.bulk_load([
+            ("a", "<a><x id='p1'>1</x></a>"),
+            ("b", "<b><y id='p1'>2</y></b>"),
+        ])
+        graph = corpus.service.graph
+        a_oid = corpus.catalog.manifest("a").oid_of["p1"]
+        b_oid = corpus.catalog.manifest("b").oid_of["p1"]
+        assert a_oid != b_oid
+        assert {graph.value(a_oid), graph.value(b_oid)} == {"1", "2"}
+        corpus.close()
+
+    def test_malformed_document_error_carries_ordinal_and_name(self):
+        with pytest.raises(XmlFormatError) as err:
+            parse_documents(["<fine/>", "<open>"], names=["ok.xml", "bad.xml"])
+        message = str(err.value)
+        assert "bad.xml" in message and "#1" in message
+
+    def test_unresolvable_idref_error_names_the_element_path(self):
+        with pytest.raises(XmlFormatError) as err:
+            parse_xml("<r><deep><b idref='nope'/></deep></r>")
+        assert "/r[0]/deep[0]/b[0]" in str(err.value)
+
+
 class TestDescribe:
     def test_describe_counts(self):
         g = parse_xml(WITH_REF, attribute_nodes=False)

@@ -63,9 +63,32 @@ class TestRoundTrip:
         # bare pairs are normalised to explicit TREE kind
         assert decoded_cross == ((1, root, EdgeKind.TREE), (2, root, EdgeKind.IDREF))
 
+    def test_add_subgraph_preserve_oids_flag_round_trips(self):
+        sub = _subgraph()
+        root = next(iter(sub.nodes()))
+        wire = op_to_wire("add_subgraph", (sub, root, (), True))
+        assert wire["args"][3] is True
+        method, args = op_from_wire(json.loads(json.dumps(wire)))
+        assert method == "add_subgraph"
+        assert len(args) == 4 and args[3] is True
+
+    def test_add_subgraph_three_arg_wire_still_decodes(self):
+        # old logs (pre preserve_oids) carry three args; decode must not change
+        sub = _subgraph()
+        root = next(iter(sub.nodes()))
+        wire = op_to_wire("add_subgraph", (sub, root, ()))
+        assert len(wire["args"]) == 3
+        method, args = op_from_wire(json.loads(json.dumps(wire)))
+        assert len(args) == 3
+
     def test_delete_subgraph(self):
         method, args = op_from_wire(op_to_wire("delete_subgraph", (11,)))
         assert (method, args) == ("delete_subgraph", (11,))
+
+    def test_set_value(self):
+        wire = op_to_wire("set_value", (7, {"price": 3}))
+        method, args = op_from_wire(json.loads(json.dumps(wire)))
+        assert (method, args) == ("set_value", (7, {"price": 3}))
 
     def test_batch_round_trip_covers_every_op(self):
         sub = _subgraph()
@@ -77,12 +100,15 @@ class TestRoundTrip:
             ("delete_node", (4,)),
             ("add_subgraph", (sub, root, ())),
             ("delete_subgraph", (5,)),
+            ("set_value", (6, "text")),
         ]
         assert {method for method, _ in batch} == set(WIRE_OPS)
         wire = batch_to_wire(batch)
         decoded = batch_from_wire(json.loads(json.dumps(wire)))
         assert [m for m, _ in decoded] == [m for m, _ in batch]
-        for (_, original), (_, restored) in zip(batch[:4] + batch[5:], decoded[:4] + decoded[5:]):
+        for (method, original), (_, restored) in zip(batch, decoded):
+            if method == "add_subgraph":
+                continue  # graph equality checked via fingerprint above
             assert tuple(original) == restored
 
 
