@@ -1,0 +1,135 @@
+"""Adaptive serving benchmark: routing/caching A/B, equivalence, triggers.
+
+Runs the ``bench-adaptive`` experiment at the session's scale and
+asserts the quantitative claims DESIGN.md §12 makes:
+
+* **answers are identical** — the routed+cached adaptive service and
+  the fixed-k baseline, driven through seed-identical closed-loop
+  sessions, agree byte-for-byte on every pooled expression at
+  quiescence (routing and caching change where an answer is computed,
+  never the answer);
+* **the cache earns its keep** — the result cache's lifetime hit rate
+  over the shifting mix clears a floor;
+* **the cost-based trigger is no more eager than flat 5 %** — on the
+  propagate baseline over cyclic XMark it fires at most as many times
+  as the flat policy while sampling equal-or-better bloat against the
+  true minimum;
+* **routing does not lose** — adaptive query p95 stays within a small
+  factor of fixed-k serving (the committed small-scale baseline shows
+  it strictly winning; the smoke gate allows timer noise).
+
+Also runnable directly for CI smoke::
+
+    PYTHONPATH=src python benchmarks/bench_adaptive.py --smoke
+
+which runs at smoke scale, enforces the same gates, and writes the
+machine-readable baseline to ``BENCH_adaptive.json`` at the repository
+root (schema ``repro.bench_adaptive/1``; see DESIGN.md §12).  Without
+``--smoke`` the run uses small scale — that is the configuration whose
+output is committed as the repository's baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.experiments import bench_adaptive
+
+#: floor on the result cache's lifetime hit rate over the shifting mix
+HIT_RATE_GATE = 0.5
+
+#: ceiling on adaptive/fixed query p95 in gated runs; the committed
+#: small-scale baseline shows the ratio well below 1, but a CI smoke run
+#: on a noisy machine gets headroom
+P95_RATIO_GATE = 1.25
+
+#: cost-side bloat may exceed the flat side's by at most this much
+#: (absolute, in bloat units — both sample the same trajectory, so any
+#: gap comes from deliberately skipped low-yield reconstructions)
+BLOAT_SLACK = 0.02
+
+#: default output path: <repo root>/BENCH_adaptive.json
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_adaptive.json"
+
+
+def _gate(result) -> list[str]:
+    """Every violated acceptance gate, as human-readable failures."""
+    failures: list[str] = []
+    if not result.answers_identical:
+        failures.append(
+            "adaptive and fixed-k serving disagree on a pooled expression"
+        )
+    if result.cache_hit_rate < HIT_RATE_GATE:
+        failures.append(
+            f"cache hit rate {result.cache_hit_rate:.2f} below {HIT_RATE_GATE}"
+        )
+    if result.p95_ratio > P95_RATIO_GATE:
+        failures.append(
+            f"adaptive query p95 is {result.p95_ratio:.2f}x fixed-k "
+            f"(gate {P95_RATIO_GATE}x)"
+        )
+    if result.cost.triggers > result.flat.triggers:
+        failures.append(
+            f"cost-based trigger fired {result.cost.triggers}x vs the flat "
+            f"policy's {result.flat.triggers}x on the same trajectory"
+        )
+    if result.cost.mean_bloat > result.flat.mean_bloat + BLOAT_SLACK:
+        failures.append(
+            f"cost-side mean bloat {result.cost.mean_bloat:.3f} exceeds flat "
+            f"{result.flat.mean_bloat:.3f} + {BLOAT_SLACK}"
+        )
+    return failures
+
+
+def test_adaptive_ab(run_once, benchmark, scale):
+    result = run_once(lambda: bench_adaptive.run(scale))
+    print()
+    print(bench_adaptive.report(result))
+    failures = _gate(result)
+    assert not failures, "; ".join(failures)
+    benchmark.extra_info["p95_ratio"] = round(result.p95_ratio, 3)
+    benchmark.extra_info["cache_hit_rate"] = round(result.cache_hit_rate, 3)
+    benchmark.extra_info["cost_triggers"] = result.cost.triggers
+    benchmark.extra_info["flat_triggers"] = result.flat.triggers
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CI entry point: run the A/Bs, gate, write the baseline."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run at smoke scale (seconds); default is small scale, the "
+        "configuration of the committed BENCH_adaptive.json baseline",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="PATH",
+        default=str(DEFAULT_OUTPUT),
+        help="where to write the JSON baseline (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.experiments import scale_by_name
+    from repro.obs import SummarySink, observed
+
+    scale = scale_by_name("smoke" if args.smoke else "small")
+    with observed(SummarySink(sys.stdout)) as obs:
+        with obs.span("bench.adaptive", scale=scale.name):
+            result = bench_adaptive.run(scale)
+            print(bench_adaptive.report(result))
+
+    Path(args.output).write_text(json.dumps(result.as_json(), indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+
+    failures = _gate(result)
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""Adaptive serving: ladder routing, footprint caching, cost control.
+
+The subsystem between queries and :class:`repro.service.IndexService`
+(DESIGN.md §12).  Four cooperating pieces:
+
+* :mod:`repro.adaptive.ladder` — derive coarser A(j) evaluation
+  surfaces from the published leaf snapshot per commit;
+* :mod:`repro.adaptive.router` — classify each path expression and
+  dispatch it to the smallest level that answers exactly;
+* :mod:`repro.adaptive.result_cache` — versioned result cache
+  invalidated by TouchedSet/footprint intersection, not by flushing;
+* :mod:`repro.adaptive.cost_model` / :mod:`repro.adaptive.controller` —
+  the closed loop replacing the paper's flat 5 % reconstruction
+  trigger with a yield- and pressure-aware policy plus ladder retuning.
+
+Entry point: :class:`repro.adaptive.AdaptiveIndexService`.
+"""
+
+from repro.adaptive.controller import AdaptiveController
+from repro.adaptive.cost_model import (
+    CostBasedPolicy,
+    CostConfig,
+    CostInputs,
+    CostModel,
+    LadderAdvice,
+)
+from repro.adaptive.ladder import (
+    LadderLevel,
+    LadderState,
+    build_ladder_state,
+    invalidation_sets,
+    validate_ladder_levels,
+)
+from repro.adaptive.result_cache import (
+    CacheEntry,
+    CacheStats,
+    DEFAULT_CAPACITY,
+    ResultCache,
+)
+from repro.adaptive.router import QueryRouter, Route, SAFE
+from repro.adaptive.service import (
+    AdaptiveConfig,
+    AdaptiveIndexService,
+    default_ladder,
+)
+
+__all__ = [
+    "AdaptiveConfig",
+    "AdaptiveController",
+    "AdaptiveIndexService",
+    "CacheEntry",
+    "CacheStats",
+    "CostBasedPolicy",
+    "CostConfig",
+    "CostInputs",
+    "CostModel",
+    "DEFAULT_CAPACITY",
+    "LadderAdvice",
+    "LadderLevel",
+    "LadderState",
+    "QueryRouter",
+    "ResultCache",
+    "Route",
+    "SAFE",
+    "build_ladder_state",
+    "default_ladder",
+    "invalidation_sets",
+    "validate_ladder_levels",
+]

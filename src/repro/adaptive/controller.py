@@ -1,0 +1,137 @@
+"""The adaptive controller: the loop that closes serving back onto itself.
+
+Runs at two cadences against one :class:`AdaptiveIndexService`:
+
+* **per commit** — :meth:`AdaptiveController.on_commit` is invoked by
+  the service's flush hook after the writer lock is released.  It folds
+  the latest serving signals (commit/query p95, cache hit rate, ladder
+  sizes) into the :class:`~repro.adaptive.cost_model.CostModel`, asks
+  the reconstruction policy whether the observed bloat is worth a
+  rebuild, and performs the rebuild through
+  :meth:`AdaptiveIndexService.reconstruct_now` when it is.  Every
+  ``retune_every`` commits it also snapshots the router's demand window
+  and applies the model's ladder advice (add a rung under-served demand
+  keeps landing far coarser than it needs, drop a rung nobody uses).
+* **on alert** — :meth:`AdaptiveController.on_alert` plugs into
+  :class:`repro.obs.slo.SloWatchdog` ``on_alert``: a CRITICAL
+  transition on a latency rule marks the model pressured, so the very
+  next commit may fire a reconstruction the relaxed policy would still
+  have deferred.
+
+The controller never takes the writer lock itself — all mutation goes
+through the service's own entry points — so it can be driven from the
+writer thread, a flush() caller or a watchdog tick interchangeably.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.adaptive.cost_model import CostBasedPolicy, CostInputs, CostModel
+from repro.maintenance.reconstruction import ReconstructionPolicyProtocol
+from repro.obs import current as current_obs
+from repro.obs.slo import CRITICAL
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.adaptive.service import AdaptiveIndexService
+    from repro.obs.slo import SloStatus
+    from repro.service.service import BatchResult
+
+#: how many trailing samples the p95 estimates look at
+_WINDOW = 64
+
+
+def _p95(samples: list[float]) -> Optional[float]:
+    """p95 of the trailing window of *samples* (None when empty)."""
+    tail = samples[-_WINDOW:]
+    if not tail:
+        return None
+    ordered = sorted(tail)
+    return ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))]
+
+
+@dataclass
+class AdaptiveController:
+    """Cost-based reconstruction + ladder retuning for one service."""
+
+    service: "AdaptiveIndexService"
+    policy: ReconstructionPolicyProtocol = field(default_factory=CostBasedPolicy)
+    model: CostModel = field(default_factory=CostModel)
+    #: apply ladder advice every this many commits (0 = never retune)
+    retune_every: int = 32
+    commits_seen: int = 0
+    retunes: int = 0
+    #: alert names that most recently went CRITICAL (cleared on recovery)
+    critical: set = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        self.policy.start(self.service.snapshot.num_inodes)
+
+    # ------------------------------------------------------------------
+
+    def on_commit(self, result: "BatchResult") -> None:
+        """One committed batch: feed the model, maybe reconstruct/retune."""
+        self.commits_seen += 1
+        service = self.service
+        inputs = CostInputs(
+            commit_p95_seconds=_p95(service.stats.commit_seconds),
+            query_p95_seconds=_p95(service.stats.query_seconds),
+            cache_hit_rate=service.cache.stats.hit_rate,
+            sizes=dict(service.ladder_sizes()),
+            slo_critical=bool(self.critical),
+        )
+        if isinstance(self.policy, CostBasedPolicy):
+            self.model.update(inputs, self.policy)
+        if self.policy.should_reconstruct(service.snapshot.num_inodes):
+            started = time.perf_counter()
+            service.reconstruct_now(reason="cost-policy")
+            elapsed = time.perf_counter() - started
+            self.policy.reconstructed(service.snapshot.num_inodes)
+            if isinstance(self.policy, CostBasedPolicy):
+                self.policy.note_reconstruction_seconds(elapsed)
+            current_obs().observe("adaptive.reconstruction_seconds", elapsed)
+        if self.retune_every and self.commits_seen % self.retune_every == 0:
+            self.retune()
+
+    def retune(self) -> bool:
+        """Apply the model's ladder advice from the current router window.
+
+        Returns whether the ladder changed.  Safe to call at any cadence;
+        the router window resets on every call, so frequent calls only
+        make the advice more conservative (it needs ``min_window``
+        decisions to say anything).
+        """
+        service = self.service
+        window = service.router.window()
+        advice = self.model.ladder_advice(window)
+        if not advice:
+            return False
+        current = set(window["levels"])
+        wanted = (current - set(advice.drop)) | set(advice.add)
+        if wanted == current:
+            return False
+        self.retunes += 1
+        obs = current_obs()
+        obs.add("adaptive.retunes")
+        obs.event(
+            "adaptive.ladder_retuned",
+            add=sorted(advice.add),
+            drop=sorted(advice.drop),
+            levels=sorted(wanted),
+        )
+        service.set_ladder_levels(tuple(sorted(wanted)))
+        return True
+
+    # ------------------------------------------------------------------
+
+    def on_alert(self, status: "SloStatus") -> None:
+        """SLO watchdog hook: track CRITICAL transitions as pressure."""
+        name = status.rule.name
+        if status.status == CRITICAL:
+            self.critical.add(name)
+        else:
+            self.critical.discard(name)
+        if isinstance(self.policy, CostBasedPolicy):
+            self.policy.note_pressure(bool(self.critical))

@@ -12,6 +12,8 @@ or programmatically::
 
 from repro.experiments import (
     ablation_worstcase,
+    adaptive,
+    bench_adaptive,
     bench_corpus,
     bench_hotpath,
     bench_replicate,
@@ -54,6 +56,8 @@ EXPERIMENTS = {
     "bench-replicate": bench_replicate,
     "corpus": corpus,
     "bench-corpus": bench_corpus,
+    "adaptive": adaptive,
+    "bench-adaptive": bench_adaptive,
 }
 
 __all__ = [

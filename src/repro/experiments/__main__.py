@@ -113,6 +113,14 @@ def main(argv: list[str] | None = None) -> int:
         "the end and reflected in /health when --serve-metrics is on",
     )
     parser.add_argument(
+        "--reconstruct-threshold",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="growth fraction that triggers baseline reconstruction in the "
+        "reconstruction experiments (default: the paper's 0.05, i.e. 5%%)",
+    )
+    parser.add_argument(
         "--guard",
         action="store_true",
         help="run maintainers inside transactions (repro.resilience) so every "
@@ -143,6 +151,10 @@ def main(argv: list[str] | None = None) -> int:
     scale = scale_by_name(args.scale)
     if args.store_dir:
         scale = replace(scale, store_dir=args.store_dir)
+    if args.reconstruct_threshold is not None:
+        if args.reconstruct_threshold <= 0:
+            parser.error("--reconstruct-threshold must be > 0")
+        scale = replace(scale, reconstruct_threshold=args.reconstruct_threshold)
     if args.guard:
         scale = replace(
             scale,

@@ -1,0 +1,187 @@
+"""``adaptive``: a closed-loop run through the adaptive serving plane.
+
+Not a paper figure — the adaptive plane (:mod:`repro.adaptive`) is this
+reproduction's extension toward the ROADMAP north star — but it follows
+the experiment protocol: one XMark dataset at the chosen scale, the
+Section 7 mixed update workload, and a fixed session roster driven
+closed-loop, exactly like the ``serve`` experiment.  Two things differ:
+
+* the service is an :class:`~repro.adaptive.AdaptiveIndexService`, so
+  queries are ladder-routed, results are cached with footprint-based
+  invalidation, and the cost-based controller governs reconstruction;
+* the query traffic is a :class:`~repro.workload.queries.ShiftingQueryPool`
+  — a short child-only phase giving way to a deeper descendant-heavy
+  phase — so the router's demand window actually moves mid-run.
+
+Reported per family: the usual driver numbers plus where the traffic
+routed, the result-cache effectiveness (hit rate, revalidations across
+commits), the published ladder sizes, and what the controller did
+(cost-based reconstructions, ladder retunes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.adaptive import AdaptiveConfig, AdaptiveIndexService
+from repro.experiments.config import ExperimentScale
+from repro.experiments.reporting import format_table
+from repro.service import ServiceConfig
+from repro.workload.queries import QueryWorkload, ShiftingQueryPool
+from repro.workload.sessions import ClosedLoopDriver, DriverReport, SessionMix
+from repro.workload.updates import MixedUpdateWorkload
+from repro.workload.xmark import generate_xmark
+
+#: session roster of the standard adaptive run (same as ``serve``)
+QUERY_SESSIONS = 3
+UPDATE_SESSIONS = 1
+
+
+@dataclass
+class AdaptiveRun:
+    """One family's closed-loop run through the adaptive plane."""
+
+    family: str
+    report: DriverReport
+    #: lifetime route-key tallies (level -> count, plus ``"safe"``)
+    routed: dict
+    cache: dict
+    ladder_sizes: dict
+    reconstructions: int
+    retunes: int
+    final_version: int
+    final_inodes: int
+
+
+@dataclass
+class AdaptiveResult:
+    """One :class:`AdaptiveRun` per served family."""
+
+    runs: dict[str, AdaptiveRun]
+
+
+def steps_for(scale: ExperimentScale) -> int:
+    """Closed-loop steps for a scale (sized like the serve experiment)."""
+    return max(200, 4 * scale.pairs_1index)
+
+
+def shifting_pool(graph, k: int, steps: int, seed: int) -> ShiftingQueryPool:
+    """The standard two-phase mix: short child-only, then deep + descendant.
+
+    Phase budgets split the run's expected query draws in half, so the
+    shift lands mid-run whatever the scale.
+    """
+    short = QueryWorkload.generate(
+        graph, count=24, seed=seed, max_depth=max(2, k // 2), descendant_fraction=0.0
+    )
+    deep = QueryWorkload.generate(
+        graph, count=24, seed=seed + 1, max_depth=max(3, k), descendant_fraction=0.35
+    )
+    roster = QUERY_SESSIONS + UPDATE_SESSIONS
+    budget = max(1, (steps * QUERY_SESSIONS) // (2 * roster))
+    return ShiftingQueryPool([(budget, short), (budget, deep)])
+
+
+def run(
+    scale: ExperimentScale,
+    batch_max_ops: int = 32,
+    queue_capacity: int = 128,
+    seed: int = 29,
+) -> AdaptiveResult:
+    """Run the closed-loop adaptive session for both families."""
+    runs: dict[str, AdaptiveRun] = {}
+    steps = steps_for(scale)
+    k = max(scale.ks)
+    for family in ("ak", "one"):
+        graph = generate_xmark(scale.xmark).graph
+        updates = MixedUpdateWorkload.prepare(graph, seed=seed)
+        pool = shifting_pool(graph, k, steps, seed + 1)
+        service = AdaptiveIndexService(
+            graph,
+            ServiceConfig(
+                family=family,
+                k=k,
+                batch_max_ops=batch_max_ops,
+                queue_capacity=queue_capacity,
+                guard=scale.guard if scale.guard is not None else ServiceConfig().guard,
+            ),
+            AdaptiveConfig(),
+        )
+        driver = ClosedLoopDriver(
+            service,
+            updates,
+            pool,
+            SessionMix(
+                steps=steps,
+                query_sessions=QUERY_SESSIONS,
+                update_sessions=UPDATE_SESSIONS,
+                seed=seed + 2,
+            ),
+        )
+        report = driver.run()
+        runs[family] = AdaptiveRun(
+            family=family,
+            report=report,
+            routed=dict(service.router.lifetime_routed),
+            cache=service.cache.stats.as_dict(),
+            ladder_sizes=service.ladder_sizes(),
+            reconstructions=service.controller.policy.reconstructions,
+            retunes=service.controller.retunes,
+            final_version=service.version,
+            final_inodes=service.snapshot.num_inodes,
+        )
+        service.close()
+    return AdaptiveResult(runs=runs)
+
+
+def _routed_summary(routed: dict) -> str:
+    parts = [f"{key}:{count}" for key, count in sorted(routed.items(), key=str)]
+    return " ".join(parts) if parts else "-"
+
+
+def _ladder_summary(sizes: dict) -> str:
+    return " ".join(f"A({j})={n}" for j, n in sorted(sizes.items()))
+
+
+def report(result: AdaptiveResult) -> str:
+    """Render the adaptive serving table plus per-family detail lines."""
+    headers = [
+        "family",
+        "queries/s",
+        "query p50/p95 ms",
+        "commit p50/p95 ms",
+        "cache hit rate",
+        "revalidated",
+        "recons",
+        "retunes",
+        "versions",
+        "inodes",
+    ]
+    rows = []
+    details = []
+    for family, run_ in result.runs.items():
+        rep = run_.report
+        rows.append(
+            [
+                family,
+                f"{rep.queries_per_second:.0f}",
+                f"{rep.query_p50_ms:.2f}/{rep.query_p95_ms:.2f}",
+                f"{rep.commit_p50_ms:.2f}/{rep.commit_p95_ms:.2f}",
+                f"{run_.cache['hit_rate']:.2f}",
+                run_.cache["revalidated"],
+                run_.reconstructions,
+                run_.retunes,
+                run_.final_version,
+                run_.final_inodes,
+            ]
+        )
+        details.append(
+            f"{family}: routed {_routed_summary(run_.routed)}; "
+            f"ladder {_ladder_summary(run_.ladder_sizes)}"
+        )
+    return format_table(headers, rows) + "\n\n" + "\n".join(details)
+
+
+def main(scale: ExperimentScale) -> str:
+    """CLI entry point."""
+    return report(run(scale))

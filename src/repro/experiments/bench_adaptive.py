@@ -1,0 +1,391 @@
+"""``bench-adaptive``: A/B measurements of the adaptive serving plane.
+
+Three claims get numbers here (the CI gates live in
+``benchmarks/bench_adaptive.py``; the committed baseline is
+``BENCH_adaptive.json``, schema ``repro.bench_adaptive/1``):
+
+1. **Routing + caching win.**  The *same* closed-loop session — same
+   XMark graph, same mixed update stream, same shifting query pool,
+   seed-identical draw sequences — runs once against a plain
+   :class:`~repro.service.IndexService` at the leaf A(k) (fixed-k
+   serving: every query pays a full leaf evaluation) and once against
+   an :class:`~repro.adaptive.AdaptiveIndexService` (short child-only
+   paths evaluate on coarse ladder levels, repeats come from the
+   footprint-invalidated result cache).  Reported: query p50/p95 per
+   side and the p95 ratio.
+
+2. **Answers are identical.**  Both runs commit the same operation
+   sequence, so they end on the same graph; at quiescence every pooled
+   expression is evaluated on both services and the match sets must be
+   equal, expression by expression.  (The differential suite holds the
+   same line at *every* version boundary; this is the end-to-end check
+   on the benchmarked configuration.)
+
+3. **The cost-based trigger is no more eager than the flat 5 %.**  The
+   paper's propagate baseline replays the same mixed workload twice on
+   cyclic XMark — once under the flat
+   :class:`~repro.maintenance.ReconstructionPolicy`, once under the
+   :class:`~repro.adaptive.CostBasedPolicy` (whose floor *is* the flat
+   threshold) — and the cost side must fire at most as many times while
+   sampling equal-or-better bloat against the true minimum.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.adaptive import AdaptiveConfig, AdaptiveIndexService, CostBasedPolicy, CostConfig
+from repro.experiments.adaptive import (
+    QUERY_SESSIONS,
+    UPDATE_SESSIONS,
+    shifting_pool,
+    steps_for,
+)
+from repro.experiments.config import ExperimentScale
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import MixedRunResult, run_mixed_updates
+from repro.index.oneindex import OneIndex
+from repro.maintenance.propagate import PropagateMaintainer
+from repro.maintenance.reconstruction import (
+    ReconstructionPolicy,
+    reconstruct_via_index_graph,
+)
+from repro.metrics.quality import minimum_1index_size_of
+from repro.service import IndexService, ServiceConfig
+from repro.workload.sessions import ClosedLoopDriver, DriverReport, SessionMix
+from repro.workload.updates import MixedUpdateWorkload
+from repro.workload.xmark import generate_xmark
+
+#: seed of the routing A/B (graph, workload, pool and roster draws)
+ROUTING_SEED = 47
+#: seed of the reconstruction A/B workload
+RECON_SEED = 53
+
+
+@dataclass
+class RoutingSide:
+    """One side of the routing A/B."""
+
+    mode: str
+    report: DriverReport
+    final_version: int
+    #: adaptive side only: route tallies and cache counters
+    routed: dict = field(default_factory=dict)
+    cache: dict = field(default_factory=dict)
+    reconstructions: int = 0
+    retunes: int = 0
+
+
+@dataclass
+class ReconstructionSide:
+    """One side of the flat-vs-cost reconstruction A/B."""
+
+    mode: str
+    result: MixedRunResult
+    mean_interval: float
+    #: mean sampled bloat (index size over true minimum, minus one)
+    mean_bloat: float
+    final_bloat: float
+    skipped_low_yield: int = 0
+    expected_yield: float | None = None
+
+    @property
+    def triggers(self) -> int:
+        return self.result.reconstructions
+
+
+@dataclass
+class BenchAdaptiveResult:
+    """All three A/Bs at one scale."""
+
+    scale: str
+    k: int
+    levels: tuple[int, ...]
+    steps: int
+    fixed: RoutingSide
+    adaptive: RoutingSide
+    queries_compared: int
+    answers_identical: bool
+    compare_seconds: float
+    flat: ReconstructionSide
+    cost: ReconstructionSide
+
+    @property
+    def p95_ratio(self) -> float:
+        """Adaptive / fixed query p95 (< 1 means routing wins)."""
+        if self.fixed.report.query_p95_ms <= 0:
+            return float("inf")
+        return self.adaptive.report.query_p95_ms / self.fixed.report.query_p95_ms
+
+    @property
+    def p50_ratio(self) -> float:
+        """Adaptive / fixed query p50."""
+        if self.fixed.report.query_p50_ms <= 0:
+            return float("inf")
+        return self.adaptive.report.query_p50_ms / self.fixed.report.query_p50_ms
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.adaptive.cache.get("hit_rate", 0.0)
+
+    def as_json(self) -> dict:
+        """The ``BENCH_adaptive.json`` payload (schema in DESIGN.md §12)."""
+
+        def side(s: RoutingSide) -> dict:
+            return {
+                "query_p50_ms": round(s.report.query_p50_ms, 3),
+                "query_p95_ms": round(s.report.query_p95_ms, 3),
+                "queries": s.report.queries,
+                "queries_per_second": round(s.report.queries_per_second, 1),
+                "commit_p95_ms": round(s.report.commit_p95_ms, 3),
+                "versions": s.final_version,
+            }
+
+        def recon(s: ReconstructionSide) -> dict:
+            doc = {
+                "triggers": s.triggers,
+                "mean_interval": (
+                    None if s.mean_interval == float("inf") else round(s.mean_interval, 1)
+                ),
+                "mean_bloat": round(s.mean_bloat, 4),
+                "final_bloat": round(s.final_bloat, 4),
+            }
+            if s.mode == "cost":
+                doc["skipped_low_yield"] = s.skipped_low_yield
+                doc["expected_yield"] = (
+                    None if s.expected_yield is None else round(s.expected_yield, 3)
+                )
+            return doc
+
+        return {
+            "schema": "repro.bench_adaptive/1",
+            "scale": self.scale,
+            "k": self.k,
+            "levels": list(self.levels),
+            "steps": self.steps,
+            "routing": {
+                "fixed": side(self.fixed),
+                "adaptive": side(self.adaptive),
+                "routed": {str(key): n for key, n in sorted(self.adaptive.routed.items(), key=lambda kv: str(kv[0]))},
+                "cache": self.adaptive.cache,
+                "reconstructions": self.adaptive.reconstructions,
+                "retunes": self.adaptive.retunes,
+            },
+            "equivalence": {
+                "queries_compared": self.queries_compared,
+                "answers_identical": self.answers_identical,
+                "compare_seconds": round(self.compare_seconds, 3),
+            },
+            "reconstruction": {
+                "flat": recon(self.flat),
+                "cost": recon(self.cost),
+            },
+            "summary": {
+                "p95_ratio": round(self.p95_ratio, 3),
+                "p50_ratio": round(self.p50_ratio, 3),
+                "cache_hit_rate": round(self.cache_hit_rate, 3),
+                "cost_triggers_vs_flat": f"{self.cost.triggers}/{self.flat.triggers}",
+                "answers_identical": self.answers_identical,
+            },
+        }
+
+
+def run_routing_ab(
+    scale: ExperimentScale, seed: int = ROUTING_SEED
+) -> tuple[RoutingSide, RoutingSide, int, bool, float, int, tuple[int, ...]]:
+    """Fixed-k vs adaptive over seed-identical closed-loop sessions."""
+    k = max(scale.ks)
+    steps = steps_for(scale)
+
+    # A: fixed-k — the base service, every query on the leaf A(k).  The
+    # workload mutates the graph (it removes its pooled IDREF edges), so
+    # it is prepared before the service captures v0.
+    graph = generate_xmark(scale.xmark).graph
+    pool = shifting_pool(graph, k, steps, seed + 1)
+    updates = MixedUpdateWorkload.prepare(graph, seed=seed)
+    fixed_service = IndexService(graph, ServiceConfig(family="ak", k=k))
+    fixed_report = ClosedLoopDriver(
+        fixed_service,
+        updates,
+        pool,
+        SessionMix(
+            steps=steps,
+            query_sessions=QUERY_SESSIONS,
+            update_sessions=UPDATE_SESSIONS,
+            seed=seed + 2,
+        ),
+    ).run()
+    fixed = RoutingSide(
+        mode="fixed", report=fixed_report, final_version=fixed_service.version
+    )
+
+    # B: adaptive — same seeds end to end, so the same ops and the same
+    # query draw sequence hit the adaptive plane instead
+    graph = generate_xmark(scale.xmark).graph
+    pool = shifting_pool(graph, k, steps, seed + 1)
+    updates = MixedUpdateWorkload.prepare(graph, seed=seed)
+    adaptive_service = AdaptiveIndexService(
+        graph, ServiceConfig(family="ak", k=k), AdaptiveConfig()
+    )
+    levels = adaptive_service.router.levels
+    adaptive_report = ClosedLoopDriver(
+        adaptive_service,
+        updates,
+        pool,
+        SessionMix(
+            steps=steps,
+            query_sessions=QUERY_SESSIONS,
+            update_sessions=UPDATE_SESSIONS,
+            seed=seed + 2,
+        ),
+    ).run()
+    adaptive = RoutingSide(
+        mode="adaptive",
+        report=adaptive_report,
+        final_version=adaptive_service.version,
+        routed=dict(adaptive_service.router.lifetime_routed),
+        cache=adaptive_service.cache.stats.as_dict(),
+        reconstructions=adaptive_service.controller.policy.reconstructions,
+        retunes=adaptive_service.controller.retunes,
+    )
+
+    # equivalence sweep: both sides are quiescent on the same final
+    # graph, so every pooled expression must answer identically
+    started = time.perf_counter()
+    expressions = sorted(set(pool))
+    identical = True
+    for text in expressions:
+        if (
+            fixed_service.query(text).report.matches
+            != adaptive_service.query(text).report.matches
+        ):
+            identical = False
+            break
+    compare_seconds = time.perf_counter() - started
+    fixed_service.close()
+    adaptive_service.close()
+    return fixed, adaptive, len(expressions), identical, compare_seconds, steps, levels
+
+
+def run_reconstruction_ab(
+    scale: ExperimentScale, seed: int = RECON_SEED
+) -> tuple[ReconstructionSide, ReconstructionSide]:
+    """Flat 5 % vs cost-based trigger on the propagate baseline.
+
+    Propagate is the paper's 1-index algorithm that genuinely drifts
+    from minimum on cyclic data, so the trigger actually has work to do;
+    both sides replay the identical workload (same seeds, own graph
+    copies).
+    """
+    sides: list[ReconstructionSide] = []
+    threshold = scale.reconstruct_threshold
+    for mode in ("flat", "cost"):
+        graph = generate_xmark(scale.xmark_at(1.0)).graph
+        workload = MixedUpdateWorkload.prepare(graph, seed=seed)
+        index = OneIndex.build(graph)
+        maintainer = PropagateMaintainer(index)
+        if mode == "flat":
+            policy = ReconstructionPolicy(threshold=threshold)
+        else:
+            policy = CostBasedPolicy(
+                config=CostConfig(min_bloat=threshold, hard_bloat=4 * threshold)
+            )
+        result = run_mixed_updates(
+            name=f"bench-adaptive/recon-{mode}",
+            maintainer=maintainer,
+            workload=workload,
+            num_pairs=scale.pairs_1index,
+            sample_every=scale.sample_every,
+            minimum_size_fn=minimum_1index_size_of,
+            policy=policy,
+            reconstruct=lambda idx=index: reconstruct_via_index_graph(idx),
+        )
+        bloats = [point.quality for point in result.points]
+        sides.append(
+            ReconstructionSide(
+                mode=mode,
+                result=result,
+                mean_interval=policy.mean_interval,
+                mean_bloat=sum(bloats) / len(bloats) if bloats else result.final_quality,
+                final_bloat=result.final_quality,
+                skipped_low_yield=getattr(policy, "skipped_low_yield", 0),
+                expected_yield=getattr(policy, "expected_yield", None),
+            )
+        )
+    return sides[0], sides[1]
+
+
+def run(scale: ExperimentScale) -> BenchAdaptiveResult:
+    """Run all three A/Bs at the given scale."""
+    fixed, adaptive, compared, identical, compare_seconds, steps, levels = (
+        run_routing_ab(scale)
+    )
+    flat, cost = run_reconstruction_ab(scale)
+    return BenchAdaptiveResult(
+        scale=scale.name,
+        k=max(scale.ks),
+        levels=levels,
+        steps=steps,
+        fixed=fixed,
+        adaptive=adaptive,
+        queries_compared=compared,
+        answers_identical=identical,
+        compare_seconds=compare_seconds,
+        flat=flat,
+        cost=cost,
+    )
+
+
+def report(result: BenchAdaptiveResult) -> str:
+    """Render the routing table, the equivalence line, the trigger table."""
+    routing = format_table(
+        ["mode", "queries", "p50 ms", "p95 ms", "queries/s", "versions"],
+        [
+            [
+                side.mode,
+                side.report.queries,
+                f"{side.report.query_p50_ms:.2f}",
+                f"{side.report.query_p95_ms:.2f}",
+                f"{side.report.queries_per_second:.0f}",
+                side.final_version,
+            ]
+            for side in (result.fixed, result.adaptive)
+        ],
+    )
+    cache = result.adaptive.cache
+    routed = " ".join(
+        f"{key}:{n}"
+        for key, n in sorted(result.adaptive.routed.items(), key=lambda kv: str(kv[0]))
+    )
+    equivalence = (
+        f"{result.queries_compared} pooled expressions compared at quiescence: "
+        + ("identical answers" if result.answers_identical else "ANSWER MISMATCH")
+    )
+    recon = format_table(
+        ["trigger", "fires", "mean interval", "mean bloat", "final bloat"],
+        [
+            [
+                side.mode,
+                side.triggers,
+                "-" if side.mean_interval == float("inf") else f"{side.mean_interval:.1f}",
+                f"{side.mean_bloat:.3f}",
+                f"{side.final_bloat:.3f}",
+            ]
+            for side in (result.flat, result.cost)
+        ],
+    )
+    header = (
+        f"A(k={result.k}) ladder {list(result.levels)}, {result.steps} closed-loop "
+        f"steps; p95 ratio {result.p95_ratio:.2f} (adaptive/fixed), cache hit rate "
+        f"{cache['hit_rate']:.2f} ({cache['revalidated']} revalidated across commits)"
+    )
+    return (
+        f"{header}\n\n{routing}\n\nrouted: {routed}\n{equivalence}\n\n"
+        f"propagate baseline, cyclic XMark — reconstruction triggers:\n{recon}"
+    )
+
+
+def main(scale: ExperimentScale) -> str:
+    """CLI entry point."""
+    return report(run(scale))

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from repro.maintenance.reconstruction import DEFAULT_THRESHOLD
 from repro.resilience.guard import GuardConfig
 from repro.workload.imdb import IMDBConfig
 from repro.workload.xmark import XMarkConfig
@@ -52,6 +53,10 @@ class ExperimentScale:
     #: directory for the durable-store experiments (``--store-dir`` on
     #: the CLI); ``None`` = a throwaway temporary directory per run
     store_dir: Optional[str] = None
+    #: growth fraction that triggers reconstruction in the baseline
+    #: experiments (``--reconstruct-threshold`` on the CLI; the paper
+    #: hard-codes 5 %)
+    reconstruct_threshold: float = DEFAULT_THRESHOLD
 
     def xmark_at(self, cyclicity: float) -> XMarkConfig:
         """The scale's XMark config with the given cyclicity."""

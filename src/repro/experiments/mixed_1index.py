@@ -73,7 +73,7 @@ def run_dataset_comparison(
             # transaction/check overhead lands in the same per-update
             # stopwatch, so Figure 11's table reports it directly.
             maintainer = GuardedMaintainer(maintainer, scale.guard)
-        policy = ReconstructionPolicy()
+        policy = ReconstructionPolicy(threshold=scale.reconstruct_threshold)
         results[algorithm] = run_mixed_updates(
             name=f"{dataset}/{algorithm}",
             maintainer=maintainer,

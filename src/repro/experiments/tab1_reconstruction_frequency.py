@@ -62,7 +62,7 @@ def run(scale: ExperimentScale) -> Tab1Result:
                 graph, blocks_of(ak_class_maps(graph, k)[k])
             )
             maintainer = SimpleAkMaintainer(index, k, memoize=scale.simple_ak_memoize)
-            policy = ReconstructionPolicy()
+            policy = ReconstructionPolicy(threshold=scale.reconstruct_threshold)
             result = run_mixed_updates(
                 name=f"{dataset}/simple A({k})",
                 maintainer=maintainer,

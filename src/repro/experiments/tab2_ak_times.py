@@ -76,7 +76,7 @@ def run(scale: ExperimentScale) -> Tab2Result:
                     maintainer = SimpleAkMaintainer(
                         index, k, memoize=scale.simple_ak_memoize
                     )
-                    policy = ReconstructionPolicy()
+                    policy = ReconstructionPolicy(threshold=scale.reconstruct_threshold)
                     reconstruct = maintainer.reconstruct
                 result = run_mixed_updates(
                     name=f"{dataset}/{algorithm}/A({k})",

@@ -7,6 +7,7 @@ from repro.maintenance.propagate import PropagateMaintainer
 from repro.maintenance.reconstruction import (
     DEFAULT_THRESHOLD,
     ReconstructionPolicy,
+    ReconstructionPolicyProtocol,
     quotient_graph,
     reconstruct_from_scratch,
     reconstruct_via_index_graph,
@@ -22,6 +23,7 @@ __all__ = [
     "AkSplitMergeMaintainer",
     "SimpleAkMaintainer",
     "ReconstructionPolicy",
+    "ReconstructionPolicyProtocol",
     "reconstruct_via_index_graph",
     "reconstruct_from_scratch",
     "quotient_graph",

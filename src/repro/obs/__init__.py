@@ -96,6 +96,7 @@ __all__ = [
     "SloWatchdog",
     "load_rules",
     "default_service_rules",
+    "default_adaptive_rules",
     "MetricsServer",
     "JsonlReporter",
     "LiveTelemetry",
@@ -319,6 +320,7 @@ from repro.obs.flight import FlightRecorder  # noqa: E402
 from repro.obs.slo import (  # noqa: E402
     SloRule,
     SloWatchdog,
+    default_adaptive_rules,
     default_service_rules,
     load_rules,
 )

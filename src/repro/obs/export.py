@@ -69,9 +69,24 @@ def render_prometheus(
     Cumulative metrics keep their lifetime semantics (counters and
     histogram summaries over the whole process); plane instruments are
     emitted under ``<prefix>_live_*`` with ``window``/``stat`` labels,
-    which is what dashboards alert on.
+    which is what dashboards alert on.  The compiled-path LRU's
+    process-wide hit/miss statistics are always included as
+    ``<prefix>_path_cache_*`` gauges — the read path's cheapest cache
+    deserves the same visibility as the serving-layer ones.
     """
+    from repro.query.automaton import path_cache_info  # late: avoid cycle
+
     lines: list[str] = []
+    info = path_cache_info()
+    for field_name, value in (
+        ("hits", info.hits),
+        ("misses", info.misses),
+        ("size", info.currsize),
+        ("maxsize", info.maxsize or 0),
+    ):
+        metric = _prom_name(f"path_cache_{field_name}", prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {value}")
     if registry is not None:
         for name, counter in sorted(registry.counters.items()):
             metric = _prom_name(name, prefix)

@@ -45,6 +45,7 @@ __all__ = [
     "load_rules",
     "default_service_rules",
     "default_replication_rules",
+    "default_adaptive_rules",
 ]
 
 OK = "ok"
@@ -370,5 +371,38 @@ def default_replication_rules(
             op=">",
             threshold=apply_p95_seconds,
             description="shipped-batch apply latency on the follower",
+        ),
+    ]
+
+
+def default_adaptive_rules(
+    query_p95_seconds: float = 0.25,
+    min_cache_hit_rate: float = 0.05,
+) -> list[SloRule]:
+    """The stock objectives for the adaptive serving plane.
+
+    Routed-query latency is the signal the cost-based reconstruction
+    controller treats as pressure (its ``on_alert`` hook); the cache
+    hit-rate floor catches an invalidation bug or a workload shift the
+    ladder has not been retuned for (a healthy steady mix revalidates
+    most entries across commits, so a sustained near-zero rate is a
+    plane problem, not a traffic problem).
+    """
+    return [
+        SloRule(
+            name="adaptive-query-latency",
+            metric="adaptive.query_seconds",
+            stat="p95",
+            op=">",
+            threshold=query_p95_seconds,
+            description="routed query p95 within budget",
+        ),
+        SloRule(
+            name="adaptive-cache-hit-rate",
+            metric="adaptive.cache_hit_rate",
+            stat="value",
+            op="<",
+            threshold=min_cache_hit_rate,
+            description="result-cache lifetime hit rate floor",
         ),
     ]

@@ -15,6 +15,7 @@ from repro.query.evaluator import (
     evaluate_on_subgraph,
 )
 from repro.query.index_evaluator import (
+    EvalFootprint,
     evaluate_on_ak,
     evaluate_on_family,
     evaluate_on_index,
@@ -33,6 +34,7 @@ __all__ = [
     "clear_path_cache",
     "PATH_CACHE_SIZE",
     "EvaluationReport",
+    "EvalFootprint",
     "evaluate_on_graph",
     "evaluate_on_subgraph",
     "evaluate_on_index",

@@ -18,6 +18,8 @@ return the union of the extents of the matching inodes.
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.graph.datagraph import ROOT_LABEL
 from repro.index.akindex import AkIndexFamily
@@ -34,8 +36,29 @@ from repro.query.path_expression import PathExpression
 _as_nfa = as_nfa
 
 
+@dataclass
+class EvalFootprint:
+    """Everything one evaluation *read* — the result's dependency set.
+
+    ``inodes`` collects every inode whose label, iedges or extent the
+    fixpoint consulted: the seeded roots, every inode that entered the
+    worklist, and every child reached through an iedge even when its
+    label killed all NFA states (its label was still read, so a later
+    relabel/split there can change the answer).  ``dnodes`` collects the
+    ancestor cone a validation pass walked.  If none of these entries
+    changed between two versions, the evaluation is guaranteed to return
+    the same matches on the later version — the invariant the adaptive
+    result cache's TouchedSet intersection relies on.
+    """
+
+    inodes: set[int] = field(default_factory=set)
+    dnodes: set[int] = field(default_factory=set)
+
+
 def evaluate_on_index(
-    index: StructuralIndex, query: str | PathExpression | PathNfa
+    index: StructuralIndex,
+    query: str | PathExpression | PathNfa,
+    footprint: Optional[EvalFootprint] = None,
 ) -> EvaluationReport:
     """Run the expression on the index graph; return the extent union.
 
@@ -52,6 +75,9 @@ def evaluate_on_index(
     ]
     if not roots:
         return report
+    read = footprint.inodes if footprint is not None else None
+    if read is not None:
+        read.update(roots)
     states_of: dict[int, frozenset[int]] = {
         inode: frozenset({nfa.start}) for inode in roots
     }
@@ -62,6 +88,8 @@ def evaluate_on_index(
         current = states_of[inode]
         for child in index.isucc(inode):
             report.edges_followed += 1
+            if read is not None:
+                read.add(child)
             advanced = nfa.step(current, index.label_of(child))
             if not advanced:
                 continue
@@ -112,6 +140,7 @@ def evaluate_on_ak(
     k: int,
     query: str | PathExpression | PathNfa,
     validate: bool | None = None,
+    footprint: Optional[EvalFootprint] = None,
 ) -> EvaluationReport:
     """Evaluate on an A(k)-index, validating when the expression needs it.
 
@@ -124,7 +153,7 @@ def evaluate_on_ak(
     candidate set, not the database.
     """
     nfa = _as_nfa(query)
-    report = evaluate_on_index(index, nfa)
+    report = evaluate_on_index(index, nfa, footprint=footprint)
     needs_validation = not nfa.expression.answerable_exactly_by_ak(k)
     if validate is None:
         validate = needs_validation
@@ -132,6 +161,8 @@ def evaluate_on_ak(
         return report
     candidates = set(report.matches)
     cone = ancestors_of(index.graph, candidates)
+    if footprint is not None:
+        footprint.dnodes.update(cone)
     exact = evaluate_on_subgraph(index.graph, nfa, cone)
     return EvaluationReport(
         matches=frozenset(exact.matches & candidates),

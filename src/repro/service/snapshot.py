@@ -145,6 +145,28 @@ class FrozenGraph:
         """Whether *oid* existed at capture time."""
         return oid in self._label
 
+    def same_node(self, other: "FrozenGraph", oid: int) -> bool:
+        """Whether *oid*'s captured label and adjacency agree with *other*.
+
+        Identity-fast: :meth:`evolve` shares untouched entries between
+        versions, so the common case is three pointer comparisons.
+        Content comparison is order-insensitive (re-capturing an
+        unchanged node may reorder its adjacency tuples).  Used by the
+        adaptive plane to refine a batch's conservative touched-dnode
+        superset down to the dnodes whose serialized form actually
+        differs.
+        """
+        here, there = oid in self._label, oid in other._label
+        if not (here and there):
+            return here == there
+        mine, theirs = self._succ[oid], other._succ[oid]
+        if mine is not theirs and sorted(mine) != sorted(theirs):
+            return False
+        mine, theirs = self._pred[oid], other._pred[oid]
+        if mine is not theirs and sorted(mine) != sorted(theirs):
+            return False
+        return self._label[oid] == other._label[oid]
+
     @property
     def num_nodes(self) -> int:
         """Number of captured dnodes."""
@@ -278,6 +300,27 @@ class FrozenIndex:
                 {class_of[c] for w in members for c in live.iter_succ(w)}
             )
         return cls(graph, extent, label, isucc)
+
+    def same_entry(self, other: "FrozenIndex", token: int) -> bool:
+        """Whether *token*'s captured extent/label/iedges agree with *other*.
+
+        Identity-fast (evolve shares untouched entries) with
+        order-insensitive iedge comparison (re-capturing an unchanged
+        token may reorder its tuple).  Lets the adaptive plane refine a
+        batch's conservative touched-token superset down to the tokens
+        whose serialized form actually differs — the difference between
+        near-total and footprint-precise cache invalidation.
+        """
+        here, there = token in self._extent, token in other._extent
+        if not (here and there):
+            return here == there
+        mine, theirs = self._extent[token], other._extent[token]
+        if mine is not theirs and mine != theirs:
+            return False
+        if self._label[token] != other._label[token]:
+            return False
+        mine, theirs = self._isucc[token], other._isucc[token]
+        return mine is theirs or set(mine) == set(theirs)
 
     # -- the evaluation surface of StructuralIndex ---------------------
 
@@ -489,3 +532,10 @@ def _touched_leaf_tokens(family: AkIndexFamily, touched: "TouchedSet") -> set[in
         for p in graph.iter_pred(w):
             tokens.add(class_of[p])
     return tokens
+
+
+#: Public name: the adaptive serving plane (repro.adaptive) resolves each
+#: commit's TouchedSet to leaf tokens through the same superset logic the
+#: evolve path uses, so snapshot publication and result-cache
+#: invalidation can never disagree about what a batch may have changed.
+touched_leaf_tokens = _touched_leaf_tokens

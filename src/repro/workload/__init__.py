@@ -10,7 +10,7 @@ from repro.workload.random_graphs import (
     random_tree,
     worst_case_gadget,
 )
-from repro.workload.queries import QueryWorkload
+from repro.workload.queries import QueryWorkload, ShiftingQueryPool
 from repro.workload.sessions import ClosedLoopDriver, DriverReport, SessionMix
 from repro.workload.updates import (
     ExtractedSubgraph,
@@ -38,6 +38,7 @@ __all__ = [
     "worst_case_gadget",
     "MixedUpdateWorkload",
     "QueryWorkload",
+    "ShiftingQueryPool",
     "ClosedLoopDriver",
     "SessionMix",
     "DriverReport",

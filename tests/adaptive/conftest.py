@@ -1,0 +1,34 @@
+"""Shared fixtures for the adaptive-serving suite.
+
+``ADAPT_SEED`` (env var, default 0) shifts the seeded randomness of the
+closed-loop adaptive runs so the CI matrix explores different
+interleavings per run, exactly like ``SOAK_SEED`` does for the serving
+suite.  Tests that assert *exact* counters (e.g. "this run revalidates
+cache entries") pin their own seeds instead.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.graph.datagraph import DataGraph
+from repro.workload.xmark import XMarkConfig, generate_xmark
+
+#: CI matrix seed — shifts workload, query and roster randomness
+ADAPT_SEED = int(os.environ.get("ADAPT_SEED", "0"))
+
+#: small-but-nontrivial dataset for adaptive tests (hundreds of dnodes)
+ADAPTIVE_XMARK = XMarkConfig(
+    num_items=30,
+    num_persons=40,
+    num_open_auctions=25,
+    num_closed_auctions=15,
+    num_categories=8,
+)
+
+
+@pytest.fixture
+def xmark_graph() -> DataGraph:
+    return generate_xmark(ADAPTIVE_XMARK).graph

@@ -1,0 +1,122 @@
+"""Unit tests for the versioned result cache (repro.adaptive.result_cache)."""
+
+from __future__ import annotations
+
+from repro.adaptive.result_cache import ResultCache
+from repro.adaptive.router import SAFE
+from repro.query.evaluator import EvaluationReport
+
+
+def report(*matches: int, validated: bool = False) -> EvaluationReport:
+    return EvaluationReport(matches=frozenset(matches), validated=validated)
+
+
+def store(cache, key, text, version, tokens=(), dnodes=(), matches=(1,)):
+    cache.store(
+        key, text, version, report(*matches),
+        frozenset(tokens), frozenset(dnodes),
+    )
+
+
+class TestLookupStore:
+    def test_hit_at_matching_version(self):
+        cache = ResultCache()
+        store(cache, 2, "/a", version=5, tokens={10}, matches=(1, 2))
+        entry = cache.lookup(2, "/a", 5)
+        assert entry is not None and entry.matches == frozenset({1, 2})
+        assert cache.stats.hits == 1 and cache.stats.misses == 0
+
+    def test_miss_on_version_mismatch(self):
+        cache = ResultCache()
+        store(cache, 2, "/a", version=5)
+        assert cache.lookup(2, "/a", 6) is None
+        assert cache.stats.misses == 1
+
+    def test_miss_on_unknown_key_or_text(self):
+        cache = ResultCache()
+        store(cache, 2, "/a", version=5)
+        assert cache.lookup(3, "/a", 5) is None
+        assert cache.lookup(2, "/b", 5) is None
+
+    def test_lru_eviction_at_capacity(self):
+        cache = ResultCache(capacity=2)
+        store(cache, SAFE, "/a", version=1)
+        store(cache, SAFE, "/b", version=1)
+        cache.lookup(SAFE, "/a", 1)  # refresh /a; /b becomes the LRU victim
+        store(cache, SAFE, "/c", version=1)
+        assert cache.stats.evicted == 1
+        assert cache.lookup(SAFE, "/a", 1) is not None
+        assert cache.lookup(SAFE, "/b", 1) is None
+        assert cache.lookup(SAFE, "/c", 1) is not None
+
+
+class TestOnCommit:
+    def test_disjoint_entry_is_revalidated(self):
+        cache = ResultCache()
+        store(cache, 2, "/a", version=5, tokens={10, 11})
+        cache.on_commit(6, {2: {99}}, set())
+        assert cache.lookup(2, "/a", 6) is not None
+        assert cache.stats.revalidated == 1 and cache.stats.invalidated == 0
+
+    def test_token_intersection_invalidates(self):
+        cache = ResultCache()
+        store(cache, 2, "/a", version=5, tokens={10, 11})
+        cache.on_commit(6, {2: {11}}, set())
+        assert cache.lookup(2, "/a", 6) is None
+        assert cache.stats.invalidated == 1 and cache.stats.revalidated == 0
+
+    def test_dnode_cone_intersection_invalidates(self):
+        cache = ResultCache()
+        store(cache, SAFE, "//a", version=5, tokens={1}, dnodes={7, 8})
+        cache.on_commit(6, {SAFE: set()}, {8})
+        assert cache.lookup(SAFE, "//a", 6) is None
+
+    def test_exact_entries_ignore_changed_dnodes(self):
+        # exact routes record no validation cone; dnode churn alone
+        # cannot invalidate them
+        cache = ResultCache()
+        store(cache, 2, "/a", version=5, tokens={1})
+        cache.on_commit(6, {2: set()}, {7, 8})
+        assert cache.lookup(2, "/a", 6) is not None
+
+    def test_none_changed_set_drops_the_level(self):
+        cache = ResultCache()
+        store(cache, 2, "/a", version=5, tokens={1})
+        store(cache, 1, "/b", version=5, tokens={1})
+        cache.on_commit(6, {2: None, 1: set()}, set())
+        assert cache.lookup(2, "/a", 6) is None
+        assert cache.lookup(1, "/b", 6) is not None
+
+    def test_absent_key_drops_the_level(self):
+        # the writer stopped publishing the level (ladder retune)
+        cache = ResultCache()
+        store(cache, 2, "/a", version=5, tokens=set())
+        cache.on_commit(6, {1: set()}, set())
+        assert cache.lookup(2, "/a", 6) is None
+
+    def test_stale_entry_is_dropped_not_revalidated(self):
+        # an entry stored by a reader racing a past swap lags more than
+        # one version behind; it was never checked against v5's commit
+        cache = ResultCache()
+        store(cache, 2, "/a", version=4, tokens=set())
+        cache.on_commit(6, {2: set()}, set())
+        assert cache.lookup(2, "/a", 6) is None
+        assert cache.stats.revalidated == 0
+
+    def test_entry_survives_a_chain_of_disjoint_commits(self):
+        cache = ResultCache()
+        store(cache, 2, "/a", version=1, tokens={10})
+        for version in (2, 3, 4):
+            cache.on_commit(version, {2: {99}}, set())
+        assert cache.lookup(2, "/a", 4) is not None
+        assert cache.stats.revalidated == 3
+
+
+class TestFlush:
+    def test_flush_drops_everything(self):
+        cache = ResultCache()
+        store(cache, 2, "/a", version=5)
+        store(cache, SAFE, "/b", version=5)
+        cache.flush()
+        assert len(cache) == 0
+        assert cache.stats.flushes == 1 and cache.stats.invalidated == 2

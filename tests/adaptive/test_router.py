@@ -1,0 +1,80 @@
+"""Unit tests for the query router (repro.adaptive.router).
+
+The load-bearing property: the router's exactness classification is the
+compiled-NFA form of ``PathExpression.answerable_exactly_by_ak`` — the
+two must agree on every expression a workload can generate.
+"""
+
+from __future__ import annotations
+
+from repro.adaptive.router import SAFE, QueryRouter
+from repro.query.path_expression import parse_path
+from repro.workload.queries import QueryWorkload
+
+from tests.adaptive.conftest import ADAPT_SEED
+
+
+class TestClassify:
+    def test_child_only_goes_to_smallest_sufficient_level(self):
+        router = QueryRouter((1, 3), k=5)
+        assert router.classify("/a").level == 1
+        assert router.classify("/a/b").level == 3
+        assert router.classify("/a/b/c").level == 3
+        assert router.classify("/a/b/c/d").level == 5  # leaf is always exact
+        assert router.classify("/a/b/c/d/e").level == 5
+
+    def test_too_long_for_the_leaf_is_safe(self):
+        router = QueryRouter((1,), k=2)
+        route = router.classify("/a/b/c")
+        assert route.level is None and route.key == SAFE
+        assert not route.exact
+
+    def test_descendant_axis_is_safe(self):
+        router = QueryRouter((1, 3), k=5)
+        for text in ("//a", "/a//b"):
+            route = router.classify(text)
+            assert route.level is None and route.descendant
+
+    def test_empty_ladder_degenerates_to_fixed_k(self):
+        router = QueryRouter((), k=3)
+        assert router.classify("/a").level == 3
+        assert router.classify("/a/b/c").level == 3
+        assert router.classify("/a/b/c/d").level is None
+
+    def test_route_key_matches_level_or_safe(self):
+        router = QueryRouter((2,), k=4)
+        assert router.classify("/a/b").key == 2
+        assert router.classify("//a").key == SAFE
+
+    def test_agrees_with_answerable_exactly_by_ak(self, xmark_graph):
+        pool = QueryWorkload.generate(
+            xmark_graph, count=40, seed=3 + ADAPT_SEED, max_depth=5
+        )
+        for k in (0, 2, 4):
+            router = QueryRouter((), k=k)
+            for text in pool:
+                exact = parse_path(text).answerable_exactly_by_ak(k)
+                assert router.classify(text).exact == exact, (text, k)
+
+
+class TestWindow:
+    def test_route_records_demand_and_window_resets(self):
+        router = QueryRouter((1,), k=3)
+        router.route("/a")
+        router.route("/a/b/c")
+        router.route("//a")
+        window = router.window()
+        assert window["total"] == 3
+        assert window["routed"] == {1: 1, 3: 1, SAFE: 1}
+        assert window["demand"] == {1: 1, 3: 1}
+        assert window["levels"] == (1,) and window["k"] == 3
+        # window statistics reset; lifetime tallies survive
+        assert router.window()["total"] == 0
+        assert router.lifetime_routed == {1: 1, 3: 1, SAFE: 1}
+
+    def test_set_levels_swaps_the_ladder(self):
+        router = QueryRouter((1,), k=4)
+        assert router.classify("/a/b").level == 4
+        router.set_levels((2, 3))
+        assert router.levels == (2, 3)
+        assert router.classify("/a/b").level == 2

@@ -43,6 +43,7 @@ class TestConfig:
             "persist", "recover", "bench-store",
             "replicate", "bench-replicate",
             "corpus", "bench-corpus",
+            "adaptive", "bench-adaptive",
         }
 
 

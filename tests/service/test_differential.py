@@ -25,12 +25,13 @@ import json
 
 import pytest
 
+from repro.adaptive import AdaptiveConfig, AdaptiveIndexService
 from repro.query.evaluator import evaluate_on_graph
 from repro.resilience.faults import FaultInjector
 from repro.service.snapshot import IndexSnapshot
 from repro.resilience.guard import GuardConfig
 from repro.service import IndexService, ServiceConfig
-from repro.workload.queries import QueryWorkload
+from repro.workload.queries import QueryWorkload, ShiftingQueryPool
 from repro.workload.sessions import ClosedLoopDriver, SessionMix
 from repro.workload.updates import MixedUpdateWorkload
 from repro.workload.xmark import generate_xmark
@@ -128,4 +129,101 @@ def test_ground_truth_survives_forced_rollbacks(family):
     # ...and still have served exact answers at every single version
     assert report.batch_failures == 0
     assert checker.versions_checked == list(range(1, report.batches + 1))
+    service.check()
+
+
+class RoutedChecker:
+    """An ``on_commit`` hook that audits the *routed* read path.
+
+    Where :class:`SnapshotChecker` evaluates on the published snapshot,
+    this one drives every pooled expression through
+    ``AdaptiveIndexService.query`` — ladder routing, result cache and
+    all — and compares each answer against scratch evaluation on the
+    version's own frozen graph.  Replaying the same pool at every
+    version is also what exercises the cache's commit-edge logic
+    (revalidation vs invalidation) hardest.
+    """
+
+    def __init__(self, service: AdaptiveIndexService, pool):
+        self.service = service
+        self.pool = pool
+        self.versions_checked: list[int] = []
+
+    def __call__(self, batch_result) -> None:
+        snapshot = self.service.snapshot
+        assert snapshot.version == batch_result.version
+        for expression in self.pool:
+            served = self.service.query(expression)
+            assert served.version == snapshot.version
+            got = canonical(served.report.matches)
+            truth = canonical(evaluate_on_graph(snapshot.graph, expression).matches)
+            assert got == truth, (
+                f"v{snapshot.version} {expression!r}: routed {got} != {truth}"
+            )
+        self.versions_checked.append(snapshot.version)
+
+
+def run_adaptive_differential(family: str, injector=None, guard=None):
+    graph = generate_xmark(SERVICE_XMARK).graph
+    updates = MixedUpdateWorkload.prepare(graph, seed=17 + SOAK_SEED)
+    config = ServiceConfig(
+        family=family,
+        k=2,
+        batch_max_ops=16,
+        guard=guard if guard is not None else ServiceConfig().guard,
+    )
+    service = AdaptiveIndexService(
+        graph, config, AdaptiveConfig(audit=True), fault_injector=injector
+    )
+    # a shifting mix: short child-only traffic giving way to a deeper
+    # descendant-heavy phase, so both exact routes and the safe path are
+    # on trial at every version
+    short = QueryWorkload.generate(
+        graph, count=8, seed=19 + SOAK_SEED, max_depth=2, descendant_fraction=0.0
+    )
+    deep = QueryWorkload.generate(
+        graph, count=8, seed=23 + SOAK_SEED, max_depth=4, descendant_fraction=0.5
+    )
+    pool = ShiftingQueryPool([(STEPS // 4, short), (STEPS // 4, deep)])
+    checker = RoutedChecker(service, pool)
+    driver = ClosedLoopDriver(
+        service,
+        updates,
+        pool,
+        SessionMix(steps=STEPS, seed=21 + SOAK_SEED),
+        on_commit=checker,
+    )
+    report = driver.run()
+    service.close()
+    return service, checker, report
+
+
+@pytest.mark.parametrize("family", ["one", "ak"])
+def test_adaptive_routed_answers_are_ground_truth_at_every_version(family):
+    service, checker, report = run_adaptive_differential(family)
+    assert report.steps == STEPS
+    assert report.batches > 0 and report.batch_failures == 0
+    # reconstruct_now publishes versions of its own, so the committed
+    # batches are a subset of all published versions — every one checked
+    assert len(checker.versions_checked) == report.batches
+    assert checker.versions_checked == sorted(checker.versions_checked)
+    # the driver's own queries were audited too (AdaptiveConfig.audit)
+    assert service.audits >= report.queries
+    assert service.cache.stats.hits > 0
+    service.check()
+
+
+@pytest.mark.parametrize("family", ["one", "ak"])
+def test_adaptive_ground_truth_survives_forced_rollbacks(family):
+    injector = FaultInjector(at_record=100 + SOAK_SEED, rearm=True)
+    service, checker, report = run_adaptive_differential(
+        family, injector=injector, guard=GuardConfig(policy="degrade")
+    )
+    # rollback + degrade genuinely happened...
+    assert injector.fired >= 1
+    assert service.guarded.stats.rollbacks >= 1
+    assert service.guarded.stats.degradations >= 1
+    # ...and every routed/cached answer stayed exact at every version
+    assert report.batch_failures == 0
+    assert len(checker.versions_checked) == report.batches
     service.check()

@@ -8,7 +8,7 @@ from repro.exceptions import GraphError
 from repro.graph.datagraph import DataGraph
 from repro.query.evaluator import evaluate_on_graph
 from repro.query.path_expression import parse_path
-from repro.workload.queries import QueryWorkload
+from repro.workload.queries import QueryWorkload, ShiftingQueryPool
 from repro.workload.xmark import XMarkConfig, generate_xmark
 
 CONFIG = XMarkConfig(
@@ -79,3 +79,70 @@ class TestAnswerableByAk:
         workload = QueryWorkload.generate(graph, count=15, seed=13)
         pool = set(workload.expressions)
         assert all(workload.sample() in pool for _ in range(50))
+
+    def test_k_zero_answers_nothing(self, graph):
+        # every generated expression has at least one step, so A(0) can
+        # answer none of them exactly
+        workload = QueryWorkload.generate(graph, count=30, seed=15)
+        assert workload.answerable_by_ak(0) == []
+
+    def test_length_equal_to_k_is_included(self):
+        workload = QueryWorkload(expressions=["/a/b", "/a", "/a/b/c", "//a"])
+        assert workload.answerable_by_ak(2) == ["/a/b", "/a"]
+
+    def test_length_beyond_k_is_excluded(self):
+        workload = QueryWorkload(expressions=["/a/b/c"])
+        assert workload.answerable_by_ak(2) == []
+        assert workload.answerable_by_ak(3) == ["/a/b/c"]
+
+    def test_descendant_axis_is_never_answerable(self):
+        workload = QueryWorkload(expressions=["//a", "/a//b"])
+        for k in (0, 1, 5, 100):
+            assert workload.answerable_by_ak(k) == []
+
+    def test_agrees_with_the_query_router(self, graph):
+        # the serving-layer router compiles the same exactness condition;
+        # the two classifications must never drift apart
+        from repro.adaptive.router import QueryRouter
+
+        workload = QueryWorkload.generate(graph, count=40, seed=17, max_depth=5)
+        for k in (2, 3, 4):
+            exact = set(workload.answerable_by_ak(k))
+            router = QueryRouter((), k=k)
+            for expression in workload:
+                assert router.classify(expression).exact == (expression in exact)
+
+
+class TestShiftingQueryPool:
+    def _pools(self):
+        short = QueryWorkload(expressions=["/a", "/b"])
+        deep = QueryWorkload(expressions=["//c"])
+        return short, deep
+
+    def test_phases_advance_on_budget_exhaustion(self):
+        short, deep = self._pools()
+        pool = ShiftingQueryPool([(3, short), (2, deep)])
+        drawn = [pool.sample() for _ in range(5)]
+        assert all(e in short.expressions for e in drawn[:3])
+        assert drawn[3:] == ["//c", "//c"]
+        assert pool.phase == 1
+
+    def test_stays_on_the_last_phase_forever(self):
+        short, deep = self._pools()
+        pool = ShiftingQueryPool([(1, short), (1, deep)])
+        draws = [pool.sample() for _ in range(10)]
+        assert draws[-5:] == ["//c"] * 5
+        assert pool.draws == 10
+
+    def test_iterates_and_counts_the_union_of_phases(self):
+        short, deep = self._pools()
+        pool = ShiftingQueryPool([(5, short), (5, deep)])
+        assert list(pool) == ["/a", "/b", "//c"]
+        assert len(pool) == 3
+
+    def test_rejects_empty_phases_and_zero_budgets(self):
+        short, _ = self._pools()
+        with pytest.raises(ValueError):
+            ShiftingQueryPool([])
+        with pytest.raises(ValueError):
+            ShiftingQueryPool([(0, short)])
