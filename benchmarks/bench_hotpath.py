@@ -9,18 +9,27 @@ makes:
   snapshot (fingerprints compared in the same run);
 * serving throughput with incremental publish on is no worse than with
   it off;
-* the raw maintainers sustain a positive split/merge op rate.
+* the raw maintainers sustain a positive split/merge op rate;
+* the **array-backed core** (graph + 1-index) fits in at most half the
+  dict core's bytes at the medium tier (≥ 4x smaller at the 500k-node
+  large tier for the committed baseline), builds no slower than the
+  dict core (1.2x guard band against timer noise), and produces
+  byte-identical index fingerprints.
 
 Also runnable directly for CI smoke::
 
     PYTHONPATH=src python benchmarks/bench_hotpath.py --smoke
 
 which runs at smoke scale, enforces the same gates (with a relaxed 1x
-bar for the tiny smoke graphs), and writes the machine-readable
-baseline to ``BENCH_hotpath.json`` at the repository root (schema
-``repro.bench_hotpath/1``; see DESIGN.md §8).  Without ``--smoke`` the
+speedup bar for the tiny smoke graphs, and the medium-only 2x memory
+bar), and writes the machine-readable baseline to
+``BENCH_hotpath.json`` at the repository root (schema
+``repro.bench_hotpath/2``; see DESIGN.md §8).  Without ``--smoke`` the
 run uses small scale — that is the configuration whose output is
-committed as the repository's perf baseline.
+committed as the repository's perf baseline.  ``--legacy-core`` keeps
+the run and the A/B measurements but waives the slab-core memory and
+build gates — the escape hatch for investigating a suspected slab-core
+regression while CI stays green on the /1-era gates.
 """
 
 from __future__ import annotations
@@ -83,6 +92,34 @@ def test_maintenance_throughput(run_once, benchmark, scale):
         benchmark.extra_info[f"{p.family}_ops_per_s"] = round(p.ops_per_second)
 
 
+def test_slab_core_memory_and_build(run_once, benchmark, scale):
+    points = run_once(lambda: bench_hotpath.run_memory(scale))
+    assert points, "memory sweep produced no measurements"
+    for p in points:
+        # the ratio is only meaningful for provably identical indexes
+        assert p.fingerprints_equal, (
+            f"{p.tier} tier: slab-core index != dict-core index"
+        )
+        assert p.memory_ratio >= 2.0, (
+            f"{p.tier} tier: slab core only {p.memory_ratio:.2f}x smaller "
+            f"than the dict core (need >= 2x)"
+        )
+        # 1.2 is a guard band against timer noise (typical is ~1.0x);
+        # a real construction regression lands well past it
+        assert p.build_ratio <= 1.2, (
+            f"{p.tier} tier: slab build {p.build_ratio:.2f}x the dict "
+            f"build (regression bar is 1.2x)"
+        )
+    largest = max(points, key=lambda p: p.nodes)
+    if largest.tier == "large":
+        assert largest.memory_ratio >= 4.0, (
+            f"large tier: slab core only {largest.memory_ratio:.2f}x smaller "
+            f"than the dict core (need >= 4x)"
+        )
+    benchmark.extra_info["memory_ratio_largest"] = round(largest.memory_ratio, 2)
+    benchmark.extra_info["largest_tier_nodes"] = largest.nodes
+
+
 def main(argv: list[str] | None = None) -> int:
     """CI entry point: run the experiment, gate, and write the baseline."""
     parser = argparse.ArgumentParser(description=__doc__)
@@ -98,6 +135,13 @@ def main(argv: list[str] | None = None) -> int:
         default=str(DEFAULT_OUTPUT),
         help="where to write the JSON baseline (default: %(default)s)",
     )
+    parser.add_argument(
+        "--legacy-core",
+        action="store_true",
+        help="waive the slab-core memory/build gates (the A/B numbers are "
+        "still measured and written); use while bisecting a suspected "
+        "slab-core regression against the retained dict reference",
+    )
     args = parser.parse_args(argv)
 
     from repro.experiments import scale_by_name
@@ -110,6 +154,7 @@ def main(argv: list[str] | None = None) -> int:
             print(bench_hotpath.report(result))
 
     payload = result.as_json()
+    payload["summary"]["gates"] = "legacy" if args.legacy_core else "slab"
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\nwrote {args.output}")
 
@@ -127,6 +172,34 @@ def main(argv: list[str] | None = None) -> int:
             "on the largest graph (need >= 5x)"
         )
         return 1
+    # cross-core identity is non-negotiable even under --legacy-core:
+    # mismatched fingerprints mean a correctness bug, not a perf miss
+    if not result.memory_fingerprints_equal:
+        print("FAIL: slab-core index differed from the dict-core reference")
+        return 1
+    if not args.legacy_core:
+        # slab-core gates: <= 0.5x dict bytes at every tier (the medium
+        # tier is what CI smoke runs), >= 4x at the large tier of the
+        # committed baseline, and construction no slower than dict
+        if result.worst_memory_ratio < 2.0:
+            print(
+                f"FAIL: slab core only {result.worst_memory_ratio:.2f}x "
+                "smaller than the dict core (need >= 2x at every tier)"
+            )
+            return 1
+        if not args.smoke and result.memory_ratio_largest < 4.0:
+            print(
+                f"FAIL: slab core only {result.memory_ratio_largest:.2f}x "
+                "smaller than the dict core at the large tier (need >= 4x)"
+            )
+            return 1
+        # 1.2 is a guard band against timer noise (typical is ~1.0x)
+        if result.worst_build_ratio > 1.2:
+            print(
+                f"FAIL: slab-core index build {result.worst_build_ratio:.2f}x "
+                "the dict-core build (regression bar is 1.2x)"
+            )
+            return 1
     return 0
 
 

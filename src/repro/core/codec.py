@@ -1,0 +1,34 @@
+"""Delta codecs for sorted int sequences (wire format v2 extents).
+
+Index extents serialize as sorted oid lists.  At rest the gaps between
+consecutive sorted oids are small (document-local allocation makes them
+mostly 1), so v2 wire dumps store ``[first, gap, gap, ...]`` instead of
+absolute oids: JSON then emits one or two characters per member instead
+of a full oid.  The codec is exact and order-preserving; the in-memory
+core never stores extents this way (live extents are unsorted compact
+arrays with O(1) swap-removal).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def delta_encode(sorted_values: Sequence[int]) -> list[int]:
+    """``[v0, v1, v2, ...]`` (ascending) → ``[v0, v1-v0, v2-v1, ...]``."""
+    out: list[int] = []
+    prev = 0
+    for value in sorted_values:
+        out.append(value - prev)
+        prev = value
+    return out
+
+
+def delta_decode(deltas: Iterable[int]) -> list[int]:
+    """Inverse of :func:`delta_encode`."""
+    out: list[int] = []
+    acc = 0
+    for delta in deltas:
+        acc += delta
+        out.append(acc)
+    return out

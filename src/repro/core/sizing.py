@@ -1,0 +1,41 @@
+"""Deep resident-size accounting shared by ``approx_bytes()`` methods.
+
+``sys.getsizeof`` is shallow; :func:`deep_sizeof` walks the standard
+container types iteratively (cycle-safe via an id-set) and sums the
+allocations.  It deliberately does **not** follow arbitrary object
+attributes: the cores hold only dicts/sets/lists/arrays of ints and
+strings, and bounding the walk to those keeps the accounting fast and
+deterministic.  Interpreter-level sharing (small-int cache, interned
+strings) means the figure is an upper bound on private bytes — the
+same bound for both cores, which is all the A/B ratio needs.
+"""
+
+from __future__ import annotations
+
+import sys
+from array import array
+
+_CONTAINERS = (dict, list, tuple, set, frozenset)
+
+
+def deep_sizeof(obj: object, seen: set[int] | None = None) -> int:
+    """Deep ``getsizeof`` over standard containers, cycle-safe."""
+    if seen is None:
+        seen = set()
+    total = 0
+    stack = [obj]
+    while stack:
+        item = stack.pop()
+        item_id = id(item)
+        if item_id in seen:
+            continue
+        seen.add(item_id)
+        total += sys.getsizeof(item)
+        if isinstance(item, dict):
+            stack.extend(item.keys())
+            stack.extend(item.values())
+        elif isinstance(item, _CONTAINERS):
+            stack.extend(item)
+        elif isinstance(item, array):
+            pass  # flat buffer; getsizeof already counts it
+    return total

@@ -20,16 +20,31 @@ Three measurements back the DESIGN.md §8 claims and feed the
    serving layer out of the picture: N insert/delete edge pairs applied
    directly through each family's maintainer.
 
+4. **Memory A/B: slab core vs dict core** — per tier (``medium`` =
+   20k nodes; ``large`` = 500k–1M nodes, skipped at smoke scale), build
+   the graph + 1-index on the array-backed core, replay the same graph
+   onto the retained dict-of-sets reference
+   (:mod:`repro.core.refimpl`), build its 1-index, and report
+   ``approx_bytes`` for all four structures plus both construction
+   times.  The two cores' snapshots are byte-compared via
+   :meth:`IndexSnapshot.capture` fingerprints, so the memory ratio is
+   only ever reported for provably identical indexes.  At the medium
+   tier a second, ``tracemalloc``-traced build pass records real
+   allocation peaks as a cross-check on the ``approx_bytes`` estimates.
+
 All numbers also flow through :mod:`repro.obs`
 (``bench.hotpath.*``), so ``--trace-summary`` tabulates them.
 """
 
 from __future__ import annotations
 
+import gc
 import random
 import time
+import tracemalloc
 from dataclasses import asdict, dataclass
 
+from repro.core.refimpl import build_dict_one_index, to_dict_graph
 from repro.experiments.config import ExperimentScale
 from repro.experiments.reporting import format_table
 from repro.graph.datagraph import DataGraph
@@ -43,7 +58,7 @@ from repro.resilience.journal import TouchedSet
 from repro.service import IndexService, ServiceConfig
 from repro.service.snapshot import IndexSnapshot
 from repro.workload.queries import QueryWorkload
-from repro.workload.random_graphs import candidate_edges, random_dag
+from repro.workload.random_graphs import candidate_edges, document_tree, random_dag
 from repro.workload.sessions import ClosedLoopDriver, SessionMix
 from repro.workload.updates import MixedUpdateWorkload
 from repro.workload.xmark import generate_xmark
@@ -54,6 +69,10 @@ PUBLISH_BATCH_OPS = 16
 
 #: timing repetitions per publish measurement (minimum is reported)
 PUBLISH_REPEATS = 5
+
+#: timing repetitions per memory-tier index build (minimum is reported);
+#: the large tier runs once — its builds are long enough to be stable
+MEMORY_BUILD_REPEATS = 3
 
 
 @dataclass
@@ -108,13 +127,62 @@ class MaintenancePoint:
 
 
 @dataclass
+class MemoryPoint:
+    """Slab core vs dict core: bytes and build time at one tier.
+
+    ``*_build_seconds`` time from-scratch 1-index construction only
+    (:meth:`OneIndex.build` vs :func:`build_dict_one_index`) — the
+    apples-to-apples pair; graph population is excluded because the two
+    cores ingest through different paths (generator vs replay).
+    ``tracemalloc_*`` fields are real allocation peaks from a separate
+    traced build pass, or 0 at tiers where tracing is skipped.
+    """
+
+    tier: str
+    nodes: int
+    edges: int
+    slab_graph_bytes: int
+    slab_index_bytes: int
+    dict_graph_bytes: int
+    dict_index_bytes: int
+    slab_build_seconds: float
+    dict_build_seconds: float
+    tracemalloc_slab_peak_bytes: int
+    tracemalloc_dict_peak_bytes: int
+    fingerprints_equal: bool
+
+    @property
+    def slab_total_bytes(self) -> int:
+        return self.slab_graph_bytes + self.slab_index_bytes
+
+    @property
+    def dict_total_bytes(self) -> int:
+        return self.dict_graph_bytes + self.dict_index_bytes
+
+    @property
+    def memory_ratio(self) -> float:
+        """dict-core bytes / slab-core bytes (graph + index); higher is better."""
+        if self.slab_total_bytes <= 0:
+            return float("inf")
+        return self.dict_total_bytes / self.slab_total_bytes
+
+    @property
+    def build_ratio(self) -> float:
+        """Slab index build time / dict index build time; <= 1 means no regression."""
+        if self.dict_build_seconds <= 0:
+            return float("inf")
+        return self.slab_build_seconds / self.dict_build_seconds
+
+
+@dataclass
 class BenchHotpathResult:
-    """All three measurements at one scale."""
+    """All four measurements at one scale."""
 
     scale: str
     publish_latency: list[PublishPoint]
     throughput: list[ThroughputPoint]
     maintenance: list[MaintenancePoint]
+    memory: list[MemoryPoint]
 
     @property
     def worst_publish_speedup(self) -> float:
@@ -135,10 +203,36 @@ class BenchHotpathResult:
         """Whether every evolve/capture pair byte-matched."""
         return all(p.fingerprints_equal for p in self.publish_latency)
 
+    @property
+    def memory_ratio_largest(self) -> float:
+        """dict/slab memory ratio at the largest benchmarked tier."""
+        if not self.memory:
+            return 0.0
+        return max(self.memory, key=lambda p: p.nodes).memory_ratio
+
+    @property
+    def worst_memory_ratio(self) -> float:
+        """Smallest dict/slab memory ratio over the tiers (the gate's number)."""
+        if not self.memory:
+            return 0.0
+        return min(p.memory_ratio for p in self.memory)
+
+    @property
+    def worst_build_ratio(self) -> float:
+        """Largest slab/dict build-time ratio over the tiers (<= 1 is a win)."""
+        if not self.memory:
+            return 0.0
+        return max(p.build_ratio for p in self.memory)
+
+    @property
+    def memory_fingerprints_equal(self) -> bool:
+        """Whether every slab/dict index pair byte-matched."""
+        return all(p.fingerprints_equal for p in self.memory)
+
     def as_json(self) -> dict:
         """The ``BENCH_hotpath.json`` payload (schema documented in DESIGN.md §8)."""
         return {
-            "schema": "repro.bench_hotpath/1",
+            "schema": "repro.bench_hotpath/2",
             "scale": self.scale,
             "publish_latency": [
                 {**asdict(p), "speedup": round(p.speedup, 2)}
@@ -149,10 +243,24 @@ class BenchHotpathResult:
                 {**asdict(p), "ops_per_second": round(p.ops_per_second, 1)}
                 for p in self.maintenance
             ],
+            "memory": [
+                {
+                    **asdict(p),
+                    "slab_total_bytes": p.slab_total_bytes,
+                    "dict_total_bytes": p.dict_total_bytes,
+                    "memory_ratio": round(p.memory_ratio, 2),
+                    "build_ratio": round(p.build_ratio, 3),
+                }
+                for p in self.memory
+            ],
             "summary": {
                 "worst_publish_speedup": round(self.worst_publish_speedup, 2),
                 "largest_graph_speedup": round(self.largest_graph_speedup, 2),
                 "all_fingerprints_equal": self.all_fingerprints_equal,
+                "memory_ratio_largest": round(self.memory_ratio_largest, 2),
+                "worst_memory_ratio": round(self.worst_memory_ratio, 2),
+                "worst_build_ratio": round(self.worst_build_ratio, 3),
+                "memory_fingerprints_equal": self.memory_fingerprints_equal,
             },
         }
 
@@ -321,13 +429,115 @@ def run_maintenance(scale: ExperimentScale, seed: int = 81) -> list[MaintenanceP
     return points
 
 
+def memory_tiers_for(scale: ExperimentScale) -> tuple[tuple[str, int], ...]:
+    """``(tier_name, node_count)`` pairs for the memory A/B sweep.
+
+    The ``large`` tier is the 500k–1M-node test the array-backed core
+    exists for; smoke keeps CI fast with the medium tier only (whose
+    gate already discriminates the two cores decisively).
+    """
+    if scale.name == "smoke":
+        return (("medium", 20000),)
+    if scale.name == "paper":
+        return (("medium", 20000), ("large", 1000000))
+    return (("medium", 20000), ("large", 500000))
+
+
+def _measure_memory(tier: str, num_nodes: int, seed: int, trace: bool) -> MemoryPoint:
+    """One slab-vs-dict A/B: build both cores' graph + 1-index, size them.
+
+    Uses :func:`document_tree` rather than :func:`random_dag`: document
+    corpora have an O(schema) 1-index, so the bytes measured here are
+    the per-node storage both cores actually disagree about (adjacency,
+    labels, class maps, extents) — not the partition-fragmentation
+    noise of a uniformly random graph, whose 13k-inode index for 20k
+    nodes is the same dict-of-dicts on either core.
+    """
+    rng = random.Random(seed)
+    graph = document_tree(rng, num_nodes)
+    repeats = MEMORY_BUILD_REPEATS if num_nodes <= 50000 else 1
+    slab_build_seconds, index = _timed_best(lambda: OneIndex.build(graph), repeats)
+    dict_graph = to_dict_graph(graph)
+    dict_build_seconds, dict_index = _timed_best(
+        lambda: build_dict_one_index(dict_graph), repeats
+    )
+
+    slab_fp = IndexSnapshot.capture(0, graph, index=index).fingerprint()
+    dict_fp = IndexSnapshot.capture(0, dict_graph, index=dict_index).fingerprint()
+
+    slab_peak = dict_peak = 0
+    if trace:
+        # a separate traced pass: tracemalloc skews timings, so the
+        # timed builds above run untraced and these rebuilds exist only
+        # to cross-check approx_bytes against real allocation peaks
+        tracemalloc.start()
+        OneIndex.build(graph)
+        _, slab_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        tracemalloc.start()
+        build_dict_one_index(dict_graph)
+        _, dict_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+
+    point = MemoryPoint(
+        tier=tier,
+        nodes=graph.num_nodes,
+        edges=graph.num_edges,
+        slab_graph_bytes=graph.approx_bytes(),
+        slab_index_bytes=index.approx_bytes(),
+        dict_graph_bytes=dict_graph.approx_bytes(),
+        dict_index_bytes=dict_index.approx_bytes(),
+        slab_build_seconds=slab_build_seconds,
+        dict_build_seconds=dict_build_seconds,
+        tracemalloc_slab_peak_bytes=slab_peak,
+        tracemalloc_dict_peak_bytes=dict_peak,
+        fingerprints_equal=slab_fp == dict_fp,
+    )
+    obs = current_obs()
+    obs.observe(f"bench.hotpath.memory_{tier}_slab_bytes", point.slab_total_bytes)
+    obs.observe(f"bench.hotpath.memory_{tier}_dict_bytes", point.dict_total_bytes)
+    return point
+
+
+def _timed_best(func, repeats: int) -> tuple[float, object]:
+    """Best-of-*repeats* wall time plus the result (builds are sized after).
+
+    Collections are forced before and disabled during each run: the
+    builds allocate heavily and a generational GC pass landing inside
+    one core's timing but not the other's would swamp the build-ratio
+    gate with noise.
+    """
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        gc.collect()
+        gc.disable()
+        try:
+            started = time.perf_counter()
+            result = func()
+            elapsed = time.perf_counter() - started
+        finally:
+            gc.enable()
+        best = min(best, elapsed)
+    return best, result
+
+
+def run_memory(scale: ExperimentScale, seed: int = 91) -> list[MemoryPoint]:
+    """The slab-vs-dict memory A/B over the scale's tiers (1-index)."""
+    return [
+        _measure_memory(tier, num_nodes, seed, trace=tier == "medium")
+        for tier, num_nodes in memory_tiers_for(scale)
+    ]
+
+
 def run(scale: ExperimentScale) -> BenchHotpathResult:
-    """All three measurements at the given scale."""
+    """All four measurements at the given scale."""
     return BenchHotpathResult(
         scale=scale.name,
         publish_latency=run_publish_latency(scale),
         throughput=run_throughput(scale),
         maintenance=run_maintenance(scale),
+        memory=run_memory(scale),
     )
 
 
@@ -370,13 +580,43 @@ def report(result: BenchHotpathResult) -> str:
             for p in result.maintenance
         ],
     )
+    memory = format_table(
+        [
+            "tier",
+            "nodes",
+            "edges",
+            "slab MB",
+            "dict MB",
+            "ratio",
+            "slab build s",
+            "dict build s",
+            "identical",
+        ],
+        [
+            [
+                p.tier,
+                p.nodes,
+                p.edges,
+                f"{p.slab_total_bytes / 1e6:.1f}",
+                f"{p.dict_total_bytes / 1e6:.1f}",
+                f"{p.memory_ratio:.1f}x",
+                f"{p.slab_build_seconds:.2f}",
+                f"{p.dict_build_seconds:.2f}",
+                "yes" if p.fingerprints_equal else "NO",
+            ]
+            for p in result.memory
+        ],
+    )
     header = (
         f"publish batch = {PUBLISH_BATCH_OPS} ops; worst evolve speedup "
         f"{result.worst_publish_speedup:.1f}x, largest-graph speedup "
         f"{result.largest_graph_speedup:.1f}x, fingerprints "
-        f"{'all identical' if result.all_fingerprints_equal else 'MISMATCHED'}"
+        f"{'all identical' if result.all_fingerprints_equal else 'MISMATCHED'}; "
+        f"slab core {result.memory_ratio_largest:.1f}x smaller than dict core "
+        f"at the largest tier (cross-core fingerprints "
+        f"{'identical' if result.memory_fingerprints_equal else 'MISMATCHED'})"
     )
-    return f"{header}\n\n{publish}\n\n{throughput}\n\n{maintenance}"
+    return f"{header}\n\n{publish}\n\n{throughput}\n\n{maintenance}\n\n{memory}"
 
 
 def main(scale: ExperimentScale) -> str:

@@ -10,11 +10,25 @@ graph ``G = (V, E, root, Sigma, label, oid, value)``:
 * a single distinguished root node is labeled ``ROOT`` and has no incoming
   edges.
 
-The class below is a plain adjacency-set digraph tuned for the access
-patterns of the index algorithms: O(1) membership tests, O(1) edge
-insert/delete, and cheap iteration over successors (``succ``) and
-predecessors (``pred``).  Predecessor sets are first-class because the
-1-index stability condition is expressed in terms of parents.
+Storage layout (the array-backed core)
+--------------------------------------
+The public API is the classic adjacency digraph — O(1) membership, O(1)
+edge insert/delete, cheap ``succ``/``pred`` iteration — but the storage
+is slab-backed rather than dict-of-sets (the historical representation
+is retained as :class:`repro.core.refimpl.DictGraph`):
+
+* oids map to dense *slots* through a
+  :class:`~repro.core.intmap.PagedIntMap`; a freed slot returns to a
+  freelist and is recycled by the next node;
+* per-slot labels are interned ints in an ``array('i')`` and adjacency
+  lives in two :class:`~repro.core.slab.SlotSlabs` (one ``array('q')``
+  data slab each for successors and predecessors);
+* edge kinds need no side table: TREE is the default and the minority
+  IDREF edges live in one set of packed ``(source << 48) | target``
+  ints — which is why oids must satisfy ``0 <= oid < 2**48``.
+
+Per node this costs ~60 bytes instead of ~600; see DESIGN.md §13 for the
+layout, growth and compaction policies, and the dense-id ↔ oid contract.
 
 Edges carry a *kind* flag (:data:`EdgeKind.TREE` or :data:`EdgeKind.IDREF`)
 so workloads can manipulate only reference edges, exactly as the paper's
@@ -25,9 +39,15 @@ algorithms themselves are kind-agnostic: a dedge is a dedge.
 from __future__ import annotations
 
 import enum
-from collections.abc import Hashable, Iterable, Iterator
+import sys
+from array import array
+from collections.abc import Iterable, Iterator, Sequence
 from typing import Any, Optional
 
+from repro.core.intmap import PagedIntMap
+from repro.core.labels import LabelInterner
+from repro.core.sizing import deep_sizeof
+from repro.core.slab import SlotSlabs
 from repro.exceptions import (
     DuplicateEdgeError,
     DuplicateNodeError,
@@ -43,6 +63,13 @@ ROOT_LABEL = "ROOT"
 #: (Section 5.2: "Have a special node with a distinguished label DELETE").
 DELETE_LABEL = "DELETE"
 
+#: Exclusive upper bound on oids: two oids must pack into one 96-bit int
+#: (IDREF edge set) and index into paged arrays, so oids are confined to
+#: ``[0, 2**48)`` — far beyond any real corpus.
+OID_LIMIT = 1 << 48
+
+_OID_SHIFT = 48
+
 
 class EdgeKind(enum.Enum):
     """Provenance of a dedge in the XML data model."""
@@ -57,8 +84,8 @@ class DataGraph:
     """A directed, labeled data graph with a single distinguished root.
 
     Nodes are identified by integer oids.  The graph stores, per node, the
-    label, the optional value, and adjacency as successor/predecessor sets.
-    Edge kinds are kept in a side dictionary keyed by ``(source, target)``.
+    label, the optional value, and adjacency as successor/predecessor
+    slots in shared array slabs.
 
     The class enforces the data-model invariants lazily where cheap
     (duplicate nodes/edges, missing endpoints) and provides
@@ -79,11 +106,15 @@ class DataGraph:
     """
 
     __slots__ = (
-        "_labels",
+        "_slot_of",
+        "_oid_at",
+        "_label_at",
+        "_free_slots",
+        "_interner",
         "_values",
-        "_succ",
-        "_pred",
-        "_edge_kinds",
+        "_succ_slabs",
+        "_pred_slabs",
+        "_idref",
         "_root",
         "_next_oid",
         "_num_edges",
@@ -95,11 +126,19 @@ class DataGraph:
     )
 
     def __init__(self) -> None:
-        self._labels: dict[int, str] = {}
+        #: oid -> dense slot (the remap table; see DESIGN.md §13)
+        self._slot_of = PagedIntMap()
+        #: slot -> oid (-1 for freed slots)
+        self._oid_at = array("q")
+        #: slot -> interned label id
+        self._label_at = array("i")
+        self._free_slots: list[int] = []
+        self._interner = LabelInterner()
         self._values: dict[int, Any] = {}
-        self._succ: dict[int, set[int]] = {}
-        self._pred: dict[int, set[int]] = {}
-        self._edge_kinds: dict[tuple[int, int], EdgeKind] = {}
+        self._succ_slabs = SlotSlabs()
+        self._pred_slabs = SlotSlabs()
+        #: packed ``(source << 48) | target`` of the IDREF edges only
+        self._idref: set[int] = set()
         self._root: Optional[int] = None
         self._next_oid: int = 0
         self._num_edges: int = 0
@@ -114,6 +153,38 @@ class DataGraph:
         self._view_generation: int = 0
 
     # ------------------------------------------------------------------
+    # Slot management (dense-id layer)
+    # ------------------------------------------------------------------
+
+    def _alloc_slot(self, oid: int, label_id: int) -> int:
+        if self._free_slots:
+            slot = self._free_slots.pop()
+            self._oid_at[slot] = oid
+            self._label_at[slot] = label_id
+        else:
+            slot = len(self._oid_at)
+            self._oid_at.append(oid)
+            self._label_at.append(label_id)
+            self._succ_slabs.new_slot()
+            self._pred_slabs.new_slot()
+        self._slot_of[oid] = slot
+        return slot
+
+    def _release_slot(self, oid: int, slot: int) -> None:
+        self._succ_slabs.clear_slot(slot)
+        self._pred_slabs.clear_slot(slot)
+        self._oid_at[slot] = -1
+        self._label_at[slot] = -1
+        del self._slot_of[oid]
+        self._free_slots.append(slot)
+
+    def _slot(self, oid: int) -> int:
+        slot = self._slot_of.get(oid)
+        if slot is None:
+            raise NodeNotFoundError(oid)
+        return slot
+
+    # ------------------------------------------------------------------
     # Node operations
     # ------------------------------------------------------------------
 
@@ -121,22 +192,27 @@ class DataGraph:
         """Add a node and return its oid.
 
         If *oid* is omitted a fresh oid is allocated.  Adding an explicit
-        oid that already exists raises :class:`DuplicateNodeError`.
+        oid that already exists raises :class:`DuplicateNodeError`; oids
+        must be ints in ``[0, OID_LIMIT)`` (:class:`TypeError` otherwise).
         """
+        slot_of = self._slot_of
         if oid is None:
             oid = self._next_oid
-            while oid in self._labels:  # skip oids taken explicitly
+            while slot_of.get(oid) is not None:  # skip oids taken explicitly
                 oid += 1
-        elif oid in self._labels:
-            raise DuplicateNodeError(oid)
+        else:
+            if not isinstance(oid, int) or isinstance(oid, bool):
+                raise TypeError(f"oid must be an int, got {type(oid).__name__}")
+            if oid < 0 or oid >= OID_LIMIT:
+                raise TypeError(f"oid {oid} out of range [0, 2**48)")
+            if slot_of.get(oid) is not None:
+                raise DuplicateNodeError(oid)
         if not isinstance(label, str):
             raise TypeError(f"label must be a string, got {type(label).__name__}")
         prev_next_oid = self._next_oid
-        self._labels[oid] = label
+        self._alloc_slot(oid, self._interner.intern(label))
         if value is not None:
             self._values[oid] = value
-        self._succ[oid] = set()
-        self._pred[oid] = set()
         self._next_oid = max(self._next_oid, oid + 1)
         self._generation += 1
         if self._journal is not None:
@@ -159,18 +235,16 @@ class DataGraph:
 
     def remove_node(self, oid: int) -> None:
         """Remove a node and all its incident edges."""
-        self._require_node(oid)
-        for target in list(self._succ[oid]):
+        slot = self._slot(oid)
+        for target in self._succ_slabs.to_list(slot):
             self.remove_edge(oid, target)
-        for source in list(self._pred[oid]):
+        for source in self._pred_slabs.to_list(slot):
             self.remove_edge(source, oid)
-        label = self._labels[oid]
+        label = self._interner.name_of(self._label_at[slot])
         value = self._values.get(oid)
         was_root = self._root == oid
-        del self._labels[oid]
         self._values.pop(oid, None)
-        del self._succ[oid]
-        del self._pred[oid]
+        self._release_slot(oid, slot)
         if was_root:
             self._root = None
         self._generation += 1
@@ -179,21 +253,20 @@ class DataGraph:
 
     def has_node(self, oid: int) -> bool:
         """Return whether *oid* names a node of the graph."""
-        return oid in self._labels
+        return self._slot_of.get(oid) is not None
 
     def label(self, oid: int) -> str:
         """Return the label of node *oid*."""
-        self._require_node(oid)
-        return self._labels[oid]
+        return self._interner.name_of(self._label_at[self._slot(oid)])
 
     def value(self, oid: int) -> Any:
         """Return the optional value of node *oid* (``None`` if unset)."""
-        self._require_node(oid)
+        self._slot(oid)
         return self._values.get(oid)
 
     def set_value(self, oid: int, value: Any) -> None:
         """Set (or clear, with ``None``) the value of node *oid*."""
-        self._require_node(oid)
+        self._slot(oid)
         old = self._values.get(oid)
         if value is None:
             self._values.pop(oid, None)
@@ -210,11 +283,11 @@ class DataGraph:
         maintenance of relabelings is out of the paper's scope (they can be
         modelled as node deletion + insertion).
         """
-        self._require_node(oid)
+        slot = self._slot(oid)
         if oid == self._root and label != ROOT_LABEL:
             raise RootError("the root node must keep the ROOT label")
-        old = self._labels[oid]
-        self._labels[oid] = label
+        old = self._interner.name_of(self._label_at[slot])
+        self._label_at[slot] = self._interner.intern(label)
         self._generation += 1
         if self._journal is not None:
             self._journal.record(self, "relabeled", (oid, old))
@@ -229,15 +302,16 @@ class DataGraph:
         Raises :class:`DuplicateEdgeError` for parallel edges and
         :class:`RootError` for edges into the root (the model forbids them).
         """
-        self._require_node(source)
-        self._require_node(target)
-        if target in self._succ[source]:
+        source_slot = self._slot(source)
+        target_slot = self._slot(target)
+        if self._succ_slabs.contains(source_slot, target):
             raise DuplicateEdgeError(source, target)
         if target == self._root:
             raise RootError("the root node cannot have incoming edges")
-        self._succ[source].add(target)
-        self._pred[target].add(source)
-        self._edge_kinds[(source, target)] = kind
+        self._succ_slabs.append(source_slot, target)
+        self._pred_slabs.append(target_slot, source)
+        if kind is EdgeKind.IDREF:
+            self._idref.add((source << _OID_SHIFT) | target)
         self._num_edges += 1
         self._generation += 1
         if self._journal is not None:
@@ -245,14 +319,18 @@ class DataGraph:
 
     def remove_edge(self, source: int, target: int) -> None:
         """Remove the dedge ``source -> target``."""
-        self._require_node(source)
-        self._require_node(target)
-        if target not in self._succ[source]:
+        source_slot = self._slot(source)
+        target_slot = self._slot(target)
+        if not self._succ_slabs.contains(source_slot, target):
             raise EdgeNotFoundError(source, target)
-        kind = self._edge_kinds[(source, target)]
-        self._succ[source].discard(target)
-        self._pred[target].discard(source)
-        del self._edge_kinds[(source, target)]
+        packed = (source << _OID_SHIFT) | target
+        if packed in self._idref:
+            kind = EdgeKind.IDREF
+            self._idref.discard(packed)
+        else:
+            kind = EdgeKind.TREE
+        self._succ_slabs.remove(source_slot, target)
+        self._pred_slabs.remove(target_slot, source)
         self._num_edges -= 1
         self._generation += 1
         if self._journal is not None:
@@ -260,13 +338,16 @@ class DataGraph:
 
     def has_edge(self, source: int, target: int) -> bool:
         """Return whether the dedge ``source -> target`` exists."""
-        return source in self._succ and target in self._succ[source]
+        slot = self._slot_of.get(source)
+        return slot is not None and self._succ_slabs.contains(slot, target)
 
     def edge_kind(self, source: int, target: int) -> EdgeKind:
         """Return the :class:`EdgeKind` of an existing edge."""
         if not self.has_edge(source, target):
             raise EdgeNotFoundError(source, target)
-        return self._edge_kinds[(source, target)]
+        if ((source << _OID_SHIFT) | target) in self._idref:
+            return EdgeKind.IDREF
+        return EdgeKind.TREE
 
     # ------------------------------------------------------------------
     # Views and queries
@@ -302,14 +383,14 @@ class DataGraph:
         Memoized per generation: repeated calls between mutations return
         the same frozen object instead of allocating a copy each time.
         """
-        self._require_node(oid)
+        slot = self._slot(oid)
         if self._view_generation != self._generation:
             self._succ_view.clear()
             self._pred_view.clear()
             self._view_generation = self._generation
         view = self._succ_view.get(oid)
         if view is None:
-            view = self._succ_view[oid] = frozenset(self._succ[oid])
+            view = self._succ_view[oid] = frozenset(self._succ_slabs.segment(slot))
         return view
 
     def pred(self, oid: int) -> frozenset[int]:
@@ -317,66 +398,87 @@ class DataGraph:
 
         Memoized per generation, like :meth:`succ`.
         """
-        self._require_node(oid)
+        slot = self._slot(oid)
         if self._view_generation != self._generation:
             self._succ_view.clear()
             self._pred_view.clear()
             self._view_generation = self._generation
         view = self._pred_view.get(oid)
         if view is None:
-            view = self._pred_view[oid] = frozenset(self._pred[oid])
+            view = self._pred_view[oid] = frozenset(self._pred_slabs.segment(slot))
         return view
 
     def iter_succ(self, oid: int) -> Iterator[int]:
-        """Iterate over the successors of *oid* without copying.
+        """Iterate over the successors of *oid*.
 
         The graph must not be mutated during iteration.
         """
-        self._require_node(oid)
-        return iter(self._succ[oid])
+        return self._succ_slabs.iter_slot(self._slot(oid))
 
     def iter_pred(self, oid: int) -> Iterator[int]:
-        """Iterate over the predecessors of *oid* without copying.
+        """Iterate over the predecessors of *oid*.
 
         The graph must not be mutated during iteration.
         """
-        self._require_node(oid)
-        return iter(self._pred[oid])
+        return self._pred_slabs.iter_slot(self._slot(oid))
 
     def out_degree(self, oid: int) -> int:
         """Number of outgoing edges of *oid*."""
-        self._require_node(oid)
-        return len(self._succ[oid])
+        return self._succ_slabs.length(self._slot(oid))
 
     def in_degree(self, oid: int) -> int:
         """Number of incoming edges of *oid*."""
-        self._require_node(oid)
-        return len(self._pred[oid])
+        return self._pred_slabs.length(self._slot(oid))
 
     def nodes(self) -> Iterator[int]:
-        """Iterate over all node oids."""
-        return iter(self._labels)
+        """Iterate over all node oids (ascending)."""
+        return iter(self._slot_of)
 
     def edges(self) -> Iterator[tuple[int, int]]:
         """Iterate over all dedges as ``(source, target)`` pairs."""
-        return iter(self._edge_kinds)
+        oid_at = self._oid_at
+        succ_slabs = self._succ_slabs
+        for slot in range(len(oid_at)):
+            source = oid_at[slot]
+            if source < 0:
+                continue
+            for target in succ_slabs.iter_slot(slot):
+                yield (source, target)
 
     def edges_of_kind(self, kind: EdgeKind) -> Iterator[tuple[int, int]]:
         """Iterate over all dedges of the given kind."""
-        return (edge for edge, k in self._edge_kinds.items() if k is kind)
+        if kind is EdgeKind.IDREF:
+            mask = OID_LIMIT - 1
+            return ((packed >> _OID_SHIFT, packed & mask) for packed in self._idref)
+        idref = self._idref
+        return (
+            (s, t)
+            for s, t in self.edges()
+            if ((s << _OID_SHIFT) | t) not in idref
+        )
 
     def labels(self) -> set[str]:
         """The label alphabet Sigma actually used in the graph."""
-        return set(self._labels.values())
+        name_of = self._interner.name_of
+        return {name_of(label_id) for label_id in set(self._label_at) if label_id >= 0}
 
     def nodes_with_label(self, label: str) -> list[int]:
         """All oids carrying *label* (linear scan; used by tests/tools)."""
-        return [oid for oid, lab in self._labels.items() if lab == label]
+        if label not in self._interner:
+            return []
+        label_id = self._interner.id_of(label)
+        oid_at = self._oid_at
+        label_at = self._label_at
+        return sorted(
+            oid_at[slot]
+            for slot in range(len(oid_at))
+            if oid_at[slot] >= 0 and label_at[slot] == label_id
+        )
 
     @property
     def num_nodes(self) -> int:
         """Number of dnodes ``|V|``."""
-        return len(self._labels)
+        return len(self._slot_of)
 
     @property
     def num_edges(self) -> int:
@@ -384,10 +486,10 @@ class DataGraph:
         return self._num_edges
 
     def __len__(self) -> int:
-        return len(self._labels)
+        return len(self._slot_of)
 
     def __contains__(self, oid: object) -> bool:
-        return isinstance(oid, Hashable) and oid in self._labels
+        return self._slot_of.get(oid) is not None  # type: ignore[arg-type]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -402,11 +504,15 @@ class DataGraph:
     def copy(self) -> "DataGraph":
         """Return an independent deep copy of the graph."""
         clone = DataGraph()
-        clone._labels = dict(self._labels)
+        clone._slot_of = self._slot_of.copy()
+        clone._oid_at = array("q", self._oid_at)
+        clone._label_at = array("i", self._label_at)
+        clone._free_slots = list(self._free_slots)
+        clone._interner = self._interner.copy()
         clone._values = dict(self._values)
-        clone._succ = {oid: set(s) for oid, s in self._succ.items()}
-        clone._pred = {oid: set(p) for oid, p in self._pred.items()}
-        clone._edge_kinds = dict(self._edge_kinds)
+        clone._succ_slabs = self._succ_slabs.copy()
+        clone._pred_slabs = self._pred_slabs.copy()
+        clone._idref = set(self._idref)
         clone._root = self._root
         clone._next_oid = self._next_oid
         clone._num_edges = self._num_edges
@@ -451,26 +557,29 @@ class DataGraph:
         The extracted graph keeps the original oids and has no ROOT node
         unless *start* is the root.
         """
+        self._slot(start)
+        idref = self._idref
         reachable = {start}
         stack = [start]
         while stack:
             node = stack.pop()
-            for child in self._succ[node]:
+            node_slot = self._slot_of[node]
+            for child in self._succ_slabs.iter_slot(node_slot):
                 if child in reachable:
                     continue
-                if not follow_idref and self._edge_kinds[(node, child)] is EdgeKind.IDREF:
+                if not follow_idref and ((node << _OID_SHIFT) | child) in idref:
                     continue
                 reachable.add(child)
                 stack.append(child)
         sub = DataGraph()
         for oid in reachable:
-            sub.add_node(self._labels[oid], self._values.get(oid), oid=oid)
+            sub.add_node(self.label(oid), self._values.get(oid), oid=oid)
             if oid == self._root:
                 sub._root = oid
         for oid in reachable:
-            for child in self._succ[oid]:
+            for child in self._succ_slabs.iter_slot(self._slot_of[oid]):
                 if child in reachable:
-                    sub.add_edge(oid, child, self._edge_kinds[(oid, child)])
+                    sub.add_edge(oid, child, self.edge_kind(oid, child))
         return sub
 
     def remove_nodes(self, oids: Iterable[int]) -> None:
@@ -480,42 +589,91 @@ class DataGraph:
                 self.remove_node(oid)
 
     # ------------------------------------------------------------------
+    # Sizing
+    # ------------------------------------------------------------------
+
+    def approx_bytes(self, deep_values: bool = False) -> int:
+        """Approximate resident bytes of the graph's storage.
+
+        Cheap by construction — O(#pages + #overlays + #labels), not
+        O(nodes) — so the serving layer can publish it as a gauge on
+        every commit.  ``deep_values=True`` additionally walks the node
+        values dict exactly (O(values); used by the memory benches),
+        otherwise values are estimated at a flat 48 bytes per entry.
+        """
+        total = (
+            self._slot_of.approx_bytes()
+            + sys.getsizeof(self._oid_at)
+            + sys.getsizeof(self._label_at)
+            + sys.getsizeof(self._free_slots)
+            + self._interner.approx_bytes()
+            + self._succ_slabs.approx_bytes()
+            + self._pred_slabs.approx_bytes()
+            + sys.getsizeof(self._idref)
+            + 32 * len(self._idref)
+        )
+        if deep_values:
+            total += deep_sizeof(self._values)
+        else:
+            total += sys.getsizeof(self._values) + 48 * len(self._values)
+        return total
+
+    # ------------------------------------------------------------------
     # Invariants
     # ------------------------------------------------------------------
 
     def check_invariants(self) -> None:
         """Verify internal consistency; raise :class:`AssertionError` on bugs.
 
-        Beyond the partition bookkeeping this also verifies edge-kind
-        consistency: every adjacency pair has exactly one
-        :class:`EdgeKind` (and vice versa — no orphaned kind entries),
-        ``pred``/``succ`` mirror each other in *both* directions, and no
-        IDREF edge targets the root.  Intended for tests and guarded
-        maintenance post-checks, not hot paths: O(n + m).
+        Beyond the node bookkeeping this also verifies edge-kind
+        consistency: every IDREF entry corresponds to a live edge,
+        ``pred``/``succ`` mirror each other in *both* directions, the
+        slot maps are bijective, and no IDREF edge targets the root.
+        Intended for tests and guarded maintenance post-checks, not hot
+        paths: O(n + m).
         """
-        assert set(self._succ) == set(self._labels), "succ keys out of sync"
-        assert set(self._pred) == set(self._labels), "pred keys out of sync"
+        live_slots = 0
+        for oid, slot in self._slot_of.items():
+            assert self._oid_at[slot] == oid, f"slot map broken for oid {oid}"
+            assert self._label_at[slot] >= 0, f"label missing for oid {oid}"
+            live_slots += 1
+        assert live_slots == len(self._slot_of), "slot count out of sync"
         edge_count = 0
-        for source, targets in self._succ.items():
+        for source, slot in self._slot_of.items():
+            targets = self._succ_slabs.to_list(slot)
+            assert len(set(targets)) == len(targets), f"duplicate succ at {source}"
             for target in targets:
-                assert source in self._pred[target], f"pred missing for {source}->{target}"
-                assert (source, target) in self._edge_kinds, f"kind missing {source}->{target}"
+                target_slot = self._slot_of.get(target)
+                assert target_slot is not None, f"dangling edge {source}->{target}"
+                assert self._pred_slabs.contains(target_slot, source), (
+                    f"pred missing for {source}->{target}"
+                )
                 edge_count += 1
-        for target, sources in self._pred.items():
-            for source in sources:
-                assert target in self._succ[source], f"succ missing for {source}->{target}"
+            sources = self._pred_slabs.to_list(slot)
+            assert len(set(sources)) == len(sources), f"duplicate pred at {source}"
+            for origin in sources:
+                origin_slot = self._slot_of.get(origin)
+                assert origin_slot is not None, f"dangling pred {origin}->{source}"
+                assert self._succ_slabs.contains(origin_slot, source), (
+                    f"succ missing for {origin}->{source}"
+                )
         assert edge_count == self._num_edges, "edge counter out of sync"
-        assert edge_count == len(self._edge_kinds), "edge kinds out of sync"
-        for (source, target), kind in self._edge_kinds.items():
-            assert isinstance(kind, EdgeKind), f"non-EdgeKind kind for {source}->{target}"
-            assert target in self._succ.get(source, ()), (
-                f"kind entry for non-edge {source}->{target}"
-            )
-            if kind is EdgeKind.IDREF:
-                assert target != self._root, f"IDREF edge {source}->{target} targets root"
+        mask = OID_LIMIT - 1
+        for packed in self._idref:
+            source, target = packed >> _OID_SHIFT, packed & mask
+            source_slot = self._slot_of.get(source)
+            assert source_slot is not None and self._succ_slabs.contains(
+                source_slot, target
+            ), f"IDREF entry for non-edge {source}->{target}"
+            assert target != self._root, f"IDREF edge {source}->{target} targets root"
         if self._root is not None:
-            assert self._labels[self._root] == ROOT_LABEL, "root label corrupted"
-            assert not self._pred[self._root], "root must have no incoming edges"
+            root_slot = self._slot_of[self._root]
+            assert (
+                self._interner.name_of(self._label_at[root_slot]) == ROOT_LABEL
+            ), "root label corrupted"
+            assert self._pred_slabs.length(root_slot) == 0, (
+                "root must have no incoming edges"
+            )
 
     # ------------------------------------------------------------------
     # Journal undo (repro.resilience)
@@ -526,43 +684,40 @@ class DataGraph:
 
         Called by :meth:`repro.resilience.MutationJournal.rollback` with
         records in reverse order; must never be called directly.  The
-        undo paths write the internal dicts directly (never the public
-        mutators) so a rollback is itself journal-free.
+        undo paths write the internal structures directly (never the
+        public mutators) so a rollback is itself journal-free.
         """
         self._generation += 1
         if op == "edge_added":
             source, target = payload
-            self._succ[source].discard(target)
-            self._pred[target].discard(source)
-            del self._edge_kinds[(source, target)]
+            self._succ_slabs.remove(self._slot_of[source], target, missing_ok=True)
+            self._pred_slabs.remove(self._slot_of[target], source, missing_ok=True)
+            self._idref.discard((source << _OID_SHIFT) | target)
             self._num_edges -= 1
         elif op == "edge_removed":
             source, target, kind = payload
-            self._succ[source].add(target)
-            self._pred[target].add(source)
-            self._edge_kinds[(source, target)] = kind
+            self._succ_slabs.append(self._slot_of[source], target)
+            self._pred_slabs.append(self._slot_of[target], source)
+            if kind is EdgeKind.IDREF:
+                self._idref.add((source << _OID_SHIFT) | target)
             self._num_edges += 1
         elif op == "node_added":
             oid, prev_next_oid = payload
-            del self._labels[oid]
             self._values.pop(oid, None)
-            del self._succ[oid]
-            del self._pred[oid]
+            self._release_slot(oid, self._slot_of[oid])
             self._next_oid = prev_next_oid
         elif op == "node_removed":
             oid, label, value, was_root = payload
-            self._labels[oid] = label
+            self._alloc_slot(oid, self._interner.intern(label))
             if value is not None:
                 self._values[oid] = value
-            self._succ[oid] = set()
-            self._pred[oid] = set()
             if was_root:
                 self._root = oid
         elif op == "root_set":
             self._root = None
         elif op == "relabeled":
             oid, old = payload
-            self._labels[oid] = old
+            self._label_at[self._slot_of[oid]] = self._interner.intern(old)
         elif op == "value_set":
             oid, old = payload
             if old is None:
@@ -572,6 +727,30 @@ class DataGraph:
         else:  # pragma: no cover - guards against journal format drift
             raise ValueError(f"unknown graph journal op {op!r}")
 
+    # ------------------------------------------------------------------
+    # Internal fast paths (construction / index layers)
+    # ------------------------------------------------------------------
+
+    def _pred_lists(self) -> Iterator[tuple[int, Sequence[int]]]:
+        """Yield ``(oid, parent oids)`` over live slots in slot order.
+
+        Slot order equals oid order for graphs built without deletions,
+        which is what keeps signature interning deterministic across the
+        slab and dict cores.  Used by the construction fast path; the
+        parents come back as ``array('q')`` slices (C-speed copies), so
+        consumers must only read them.
+        """
+        oid_at = self._oid_at
+        pred_slabs = self._pred_slabs
+        for slot in range(len(oid_at)):
+            oid = oid_at[slot]
+            if oid >= 0:
+                yield oid, pred_slabs.segment(slot)
+
+    def _succ_list(self, oid: int) -> list[int]:
+        """The successors of *oid* as a list (no existence check)."""
+        return self._succ_slabs.to_list(self._slot_of[oid])
+
     def _require_node(self, oid: int) -> None:
-        if oid not in self._labels:
+        if self._slot_of.get(oid) is None:
             raise NodeNotFoundError(oid)

@@ -5,14 +5,21 @@ re-parseable (they may have been assembled programmatically), so the
 library offers a plain-dict wire format::
 
     {
-      "format_version": 1,
-      "nodes": [[oid, label, value-or-null], ...],
+      "format_version": 2,
+      "labels": ["chapter", "section", ...],
+      "nodes": [[oid, label-id, value-or-null], ...],
       "edges": [[source, target, "tree"|"idref"], ...],
       "root": oid-or-null
     }
 
 Values must be JSON-serialisable; everything else round-trips exactly
 (including oids, which index serialisation relies on).
+
+Since v2 node labels are indexes into a sorted ``labels`` table (XML
+element names repeat massively; inlining them dominated v1 payload
+size).  The reader also accepts an inline string where a label id is
+expected, so hand-edited payloads stay loadable.  v0/v1 payloads (no
+``labels`` table, inline labels) load unchanged.
 
 ``format_version`` makes persisted payloads (checkpoints, WAL subgraph
 operations — see :mod:`repro.store`) evolvable: the reader accepts a
@@ -30,7 +37,7 @@ from repro.exceptions import GraphError, SerializationError
 from repro.graph.datagraph import ROOT_LABEL, DataGraph, EdgeKind
 
 #: current graph wire-format version; bump on structural changes
-GRAPH_FORMAT_VERSION = 1
+GRAPH_FORMAT_VERSION = 2
 
 
 def check_format_version(data: Any, current: int, error: type) -> int:
@@ -56,10 +63,14 @@ def check_format_version(data: Any, current: int, error: type) -> int:
 
 def graph_to_dict(graph: DataGraph) -> dict[str, Any]:
     """Convert a graph to the plain-dict wire format."""
+    labels = sorted({graph.label(oid) for oid in graph.nodes()})
+    label_id = {label: i for i, label in enumerate(labels)}
     return {
         "format_version": GRAPH_FORMAT_VERSION,
+        "labels": labels,
         "nodes": [
-            [oid, graph.label(oid), graph.value(oid)] for oid in sorted(graph.nodes())
+            [oid, label_id[graph.label(oid)], graph.value(oid)]
+            for oid in sorted(graph.nodes())
         ],
         "edges": [
             [source, target, graph.edge_kind(source, target).value]
@@ -78,14 +89,19 @@ def graph_from_dict(data: dict[str, Any]) -> DataGraph:
     subclass) with a descriptive message, never a bare ``KeyError`` /
     ``TypeError`` / ``ValueError``.
     """
-    check_format_version(data, GRAPH_FORMAT_VERSION, SerializationError)
+    version = check_format_version(data, GRAPH_FORMAT_VERSION, SerializationError)
     graph = DataGraph()
     try:
         nodes = data["nodes"]
         edges = data["edges"]
         root = data.get("root")
+        labels = data.get("labels", []) if version >= 2 else []
     except (KeyError, TypeError) as exc:
         raise SerializationError(f"malformed graph payload: {exc!r}") from exc
+    if version >= 2 and (
+        not isinstance(labels, list) or any(not isinstance(l, str) for l in labels)
+    ):
+        raise SerializationError("malformed label table: expected a list of strings")
     for entry in nodes:
         try:
             oid, label, value = entry
@@ -93,6 +109,19 @@ def graph_from_dict(data: dict[str, Any]) -> DataGraph:
             raise SerializationError(
                 f"malformed node entry {entry!r}: expected [oid, label, value]"
             ) from exc
+        if version >= 2 and not isinstance(label, str):
+            # Labels are table indexes since v2; inline strings (above)
+            # are still honoured for hand-edited payloads.
+            if (
+                not isinstance(label, int)
+                or isinstance(label, bool)
+                or not 0 <= label < len(labels)
+            ):
+                raise SerializationError(
+                    f"malformed node entry {entry!r}: label id {label!r} is not "
+                    f"an index into the label table"
+                )
+            label = labels[label]
         try:
             if root is not None and oid == root:
                 if label != ROOT_LABEL:

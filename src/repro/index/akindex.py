@@ -128,6 +128,27 @@ class AkIndexFamily:
         """``[|A(0)|, |A(1)|, ..., |A(k)|]``."""
         return [self.num_inodes(i) for i in range(self.k + 1)]
 
+    def approx_bytes(self) -> int:
+        """Approximate resident bytes of the family's storage.
+
+        O(#classes) per level — dict entries are estimated at a flat
+        56/64 bytes rather than walked, so this is cheap enough for the
+        per-publish ``repro_index_bytes`` gauge.
+        """
+        import sys
+
+        total = 0
+        for level in self.levels:
+            total += sys.getsizeof(level.class_of) + 56 * len(level.class_of)
+            total += sys.getsizeof(level.extents)
+            for extent in level.extents.values():
+                total += sys.getsizeof(extent) + 64
+            total += sys.getsizeof(level.parent) + 56 * len(level.parent)
+            total += sys.getsizeof(level.children)
+            for kids in level.children.values():
+                total += sys.getsizeof(kids) + 64
+        return total
+
     def tokens_at(self, level: int) -> Iterator[int]:
         """Iterate over the inode tokens of one level."""
         self._require_level(level)

@@ -13,6 +13,20 @@ inodes; the index edges (iedges) are derived: there is an iedge
 * primitive partition surgery (:meth:`split_off`, :meth:`merge_inodes`,
   :meth:`move_dnode`) on which the maintenance algorithms are built.
 
+Storage layout (the array-backed core)
+--------------------------------------
+Extents are compact unsorted ``array('q')`` runs, one per inode, paired
+with two :class:`~repro.core.intmap.PagedIntMap` side tables: ``oid →
+inode id`` (the partition map) and ``oid → position inside its extent
+array``.  Membership is answered by the partition map, removal is an
+O(1) swap-with-last through the position map, and :meth:`extent`
+returns a generation-memoized frozen view (like the ``ipred_set``
+cache).  Support tables remain plain dict-of-dicts — there are few
+inodes and the tests introspect them.  The historical dict-of-sets
+implementation is retained as :class:`repro.core.refimpl.DictIndex`
+(the differential-testing oracle).  Wire dumps delta-encode the sorted
+extents; see :mod:`repro.index.serialize` and DESIGN.md §13.
+
 The invariant linking partition and iedges can always be re-derived from
 scratch with :meth:`rebuild_iedges`; :meth:`check_invariants` compares the
 incremental state against that oracle and is used heavily by the tests.
@@ -20,9 +34,12 @@ incremental state against that oracle and is used heavily by the tests.
 
 from __future__ import annotations
 
+import sys
+from array import array
 from collections.abc import Iterable, Iterator
 from typing import Optional
 
+from repro.core.intmap import PAGE_BITS, PAGE_MASK, PagedIntMap
 from repro.exceptions import InvalidIndexError, StructuralIndexError
 from repro.graph.datagraph import DataGraph
 
@@ -83,8 +100,12 @@ class StructuralIndex:
 
     def __init__(self, graph: DataGraph):
         self.graph = graph
-        self._inode_of: dict[int, int] = {}
-        self._extent: dict[int, set[int]] = {}
+        #: dnode oid -> inode id (the partition map)
+        self._inode_of = PagedIntMap()
+        #: dnode oid -> its position inside its inode's extent array
+        self._pos_of = PagedIntMap()
+        #: inode id -> compact unsorted extent array
+        self._extent_arr: dict[int, array] = {}
         self._label: dict[int, str] = {}
         # support counts: _succ_support[I][J] = #dedges from extent(I) to extent(J)
         self._succ_support: dict[int, dict[int, int]] = {}
@@ -94,11 +115,36 @@ class StructuralIndex:
         #: a transaction is open, ``None`` (a no-op) otherwise.
         self._journal = None
         #: mutation counter: every mutator bumps it, invalidating the
-        #: memoized frozen views (see :meth:`ipred_set`/:meth:`isucc_set`)
+        #: memoized frozen views (see :meth:`ipred_set`/:meth:`extent`)
         self._generation: int = 0
         self._ipred_view: dict[int, frozenset[int]] = {}
         self._isucc_view: dict[int, frozenset[int]] = {}
+        self._extent_view: dict[int, frozenset[int]] = {}
         self._view_generation: int = 0
+
+    # ------------------------------------------------------------------
+    # Extent bookkeeping (internal)
+    # ------------------------------------------------------------------
+
+    def _extent_append(self, inode: int, dnode: int) -> None:
+        arr = self._extent_arr[inode]
+        self._pos_of[dnode] = len(arr)
+        arr.append(dnode)
+
+    def _extent_swap_remove(self, inode: int, dnode: int) -> None:
+        arr = self._extent_arr[inode]
+        pos = self._pos_of.pop(dnode)
+        last = arr.pop()
+        if last != dnode:
+            arr[pos] = last
+            self._pos_of[last] = pos
+
+    def _fresh_views(self) -> None:
+        if self._view_generation != self._generation:
+            self._ipred_view.clear()
+            self._isucc_view.clear()
+            self._extent_view.clear()
+            self._view_generation = self._generation
 
     # ------------------------------------------------------------------
     # Construction primitives
@@ -114,6 +160,7 @@ class StructuralIndex:
         the graph's nodes or if some block mixes labels.
         """
         index = cls(graph)
+        inode_of = index._inode_of
         for block in blocks:
             members = list(block)
             if not members:
@@ -123,13 +170,42 @@ class StructuralIndex:
                 raise InvalidIndexError(f"block {sorted(members)} mixes labels {labels}")
             inode = index.new_inode(labels.pop())
             for w in members:
-                if w in index._inode_of:
+                if inode_of.get(w) is not None:
                     raise InvalidIndexError(f"dnode {w} appears in two blocks")
-                index._inode_of[w] = inode
-                index._extent[inode].add(w)
-        missing = set(graph.nodes()) - set(index._inode_of)
+                inode_of[w] = inode
+                index._extent_append(inode, w)
+        missing = set(graph.nodes()) - set(inode_of)
         if missing:
             raise InvalidIndexError(f"partition misses dnodes {sorted(missing)[:5]}...")
+        index.rebuild_iedges()
+        return index
+
+    @classmethod
+    def _from_partition_trusted(
+        cls, graph: DataGraph, blocks: Iterable[Iterable[int]]
+    ) -> "StructuralIndex":
+        """:meth:`from_partition` minus validation, for construction output.
+
+        The from-scratch builders hand over partitions that are correct
+        by construction (label-homogeneous, covering, disjoint — the
+        refinement loop only ever splits the label partition), so the
+        per-dnode label and duplicate checks of the public entry point
+        are pure overhead on the hot rebuild path.  Blocks are loaded
+        with bulk fills: one C-level ``array('q')`` per extent plus the
+        paged-map block writes of :meth:`PagedIntMap.set_all`.
+        """
+        index = cls(graph)
+        inode_of = index._inode_of
+        pos_of = index._pos_of
+        label = graph.label
+        for block in blocks:
+            members = block if type(block) is list else list(block)
+            if not members:
+                continue
+            inode = index.new_inode(label(members[0]))
+            index._extent_arr[inode] = array("q", members)
+            inode_of.set_all(members, inode)
+            pos_of.set_enumerated(members)
         index.rebuild_iedges()
         return index
 
@@ -137,7 +213,7 @@ class StructuralIndex:
         """Create an empty inode with the given label and return its id."""
         inode = self._next_id
         self._next_id += 1
-        self._extent[inode] = set()
+        self._extent_arr[inode] = array("q")
         self._label[inode] = label
         self._succ_support[inode] = {}
         self._pred_support[inode] = {}
@@ -146,30 +222,55 @@ class StructuralIndex:
             self._journal.record(self, "inode_created", (inode,))
         return inode
 
+    def _adopt_from(self, fresh: "StructuralIndex") -> None:
+        """Swap this index's state wholesale for *fresh*'s.
+
+        The reconstruction paths build a from-scratch index and adopt it
+        in place (the caller object must keep its identity — services
+        and maintainers hold references).  Bumps the generation since
+        the swap bypasses the mutators.
+        """
+        self._inode_of = fresh._inode_of
+        self._pos_of = fresh._pos_of
+        self._extent_arr = fresh._extent_arr
+        self._label = fresh._label
+        self._succ_support = fresh._succ_support
+        self._pred_support = fresh._pred_support
+        self._next_id = fresh._next_id
+        self._generation += 1
+
     # ------------------------------------------------------------------
     # Lookups
     # ------------------------------------------------------------------
 
     def inode_of(self, dnode: int) -> int:
         """The id of the inode whose extent contains *dnode* (``I[v]``)."""
-        try:
-            return self._inode_of[dnode]
-        except KeyError:
-            raise StructuralIndexError(f"dnode {dnode} is not covered by the index") from None
+        inode = self._inode_of.get(dnode)
+        if inode is None:
+            raise StructuralIndexError(f"dnode {dnode} is not covered by the index")
+        return inode
 
     def covers(self, dnode: int) -> bool:
         """Whether *dnode* is assigned to some inode."""
         return dnode in self._inode_of
 
-    def extent(self, inode: int) -> set[int]:
-        """The extent of *inode* (live set — do not mutate)."""
+    def extent(self, inode: int) -> frozenset[int]:
+        """The extent of *inode* as a frozen set.
+
+        Memoized per generation, like :meth:`ipred_set`: repeated reads
+        between mutations share one frozen object.
+        """
         self._require(inode)
-        return self._extent[inode]
+        self._fresh_views()
+        view = self._extent_view.get(inode)
+        if view is None:
+            view = self._extent_view[inode] = frozenset(self._extent_arr[inode])
+        return view
 
     def extent_size(self, inode: int) -> int:
         """``|extent(inode)|``."""
         self._require(inode)
-        return len(self._extent[inode])
+        return len(self._extent_arr[inode])
 
     def label_of(self, inode: int) -> str:
         """The label shared by the extent of *inode*."""
@@ -178,11 +279,11 @@ class StructuralIndex:
 
     def has_inode(self, inode: int) -> bool:
         """Whether *inode* is a live inode id."""
-        return inode in self._extent
+        return inode in self._extent_arr
 
     def inodes(self) -> Iterator[int]:
         """Iterate over all live inode ids."""
-        return iter(self._extent)
+        return iter(self._extent_arr)
 
     def view(self, inode: int) -> INodeView:
         """A read-only :class:`INodeView` for *inode*."""
@@ -191,12 +292,12 @@ class StructuralIndex:
 
     def views(self) -> Iterator[INodeView]:
         """Iterate over read-only views of all inodes."""
-        return (INodeView(self, inode) for inode in list(self._extent))
+        return (INodeView(self, inode) for inode in list(self._extent_arr))
 
     @property
     def num_inodes(self) -> int:
         """Number of inodes in the index."""
-        return len(self._extent)
+        return len(self._extent_arr)
 
     @property
     def num_iedges(self) -> int:
@@ -204,7 +305,7 @@ class StructuralIndex:
         return sum(len(targets) for targets in self._succ_support.values())
 
     def __len__(self) -> int:
-        return len(self._extent)
+        return len(self._extent_arr)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<StructuralIndex inodes={self.num_inodes} iedges={self.num_iedges}>"
@@ -241,10 +342,7 @@ class StructuralIndex:
         instead of allocating a copy each time.
         """
         self._require(inode)
-        if self._view_generation != self._generation:
-            self._ipred_view.clear()
-            self._isucc_view.clear()
-            self._view_generation = self._generation
+        self._fresh_views()
         view = self._ipred_view.get(inode)
         if view is None:
             view = self._ipred_view[inode] = frozenset(self._pred_support[inode])
@@ -256,10 +354,7 @@ class StructuralIndex:
         Memoized per generation, like :meth:`ipred_set`.
         """
         self._require(inode)
-        if self._view_generation != self._generation:
-            self._ipred_view.clear()
-            self._isucc_view.clear()
-            self._view_generation = self._generation
+        self._fresh_views()
         view = self._isucc_view.get(inode)
         if view is None:
             view = self._isucc_view[inode] = frozenset(self._succ_support[inode])
@@ -281,8 +376,15 @@ class StructuralIndex:
         """``Succ(I)``: dnode successors of the extent of *inode*."""
         self._require(inode)
         result: set[int] = set()
-        for w in self._extent[inode]:
-            result.update(self.graph.iter_succ(w))
+        graph = self.graph
+        slot_of = getattr(graph, "_slot_of", None)
+        if slot_of is not None:  # slab fast path: bulk set.update per segment
+            succ_slabs = graph._succ_slabs
+            for w in self._extent_arr[inode]:
+                result.update(succ_slabs.segment(slot_of[w]))
+        else:
+            for w in self._extent_arr[inode]:
+                result.update(graph.iter_succ(w))
         return result
 
     def succ_extent_of(self, inodes: Iterable[int]) -> set[int]:
@@ -299,7 +401,8 @@ class StructuralIndex:
         (see the proof of Lemma 3); on an intermediate partition the two
         may differ, and the dnode-level notion is the meaningful one.
         """
-        return frozenset(self._inode_of[p] for p in self.graph.iter_pred(dnode))
+        inode_of = self._inode_of
+        return frozenset(inode_of[p] for p in self.graph.iter_pred(dnode))
 
     # ------------------------------------------------------------------
     # Partition surgery
@@ -321,9 +424,9 @@ class StructuralIndex:
                 f"into inode labeled {self._label[to_inode]!r}"
             )
         self._detach(dnode)
-        self._extent[source].discard(dnode)
-        self._extent[to_inode].add(dnode)
+        self._extent_swap_remove(source, dnode)
         self._inode_of[dnode] = to_inode
+        self._extent_append(to_inode, dnode)
         self._attach(dnode)
         self._generation += 1
         if self._journal is not None:
@@ -362,7 +465,7 @@ class StructuralIndex:
         labels = {self.label_of(i) for i in ids}
         if len(labels) != 1:
             raise InvalidIndexError(f"cannot merge inodes with labels {labels}")
-        survivor = max(ids, key=lambda i: len(self._extent[i]))
+        survivor = max(ids, key=lambda i: len(self._extent_arr[i]))
         for other in ids:
             if other != survivor:
                 self._fold_into(survivor, other)
@@ -379,15 +482,21 @@ class StructuralIndex:
                 survivor,
                 other,
                 self._label[other],
-                frozenset(self._extent[other]),
+                frozenset(self._extent_arr[other]),
                 dict(self._succ_support[other]),
                 dict(self._pred_support[other]),
                 dict(self._succ_support[survivor]),
                 dict(self._pred_support[survivor]),
             )
-        for w in self._extent[other]:
-            self._inode_of[w] = survivor
-        self._extent[survivor].update(self._extent[other])
+        inode_of = self._inode_of
+        pos_of = self._pos_of
+        surv_arr = self._extent_arr[survivor]
+        base = len(surv_arr)
+        other_arr = self._extent_arr[other]
+        for offset, w in enumerate(other_arr):
+            inode_of[w] = survivor
+            pos_of[w] = base + offset
+        surv_arr.extend(other_arr)
 
         surv_succ = self._succ_support[survivor]
         surv_pred = self._pred_support[survivor]
@@ -425,7 +534,7 @@ class StructuralIndex:
             origin_succ.pop(other)
             self._bump(origin_succ, survivor, count)
 
-        del self._extent[other]
+        del self._extent_arr[other]
         del self._label[other]
         del self._succ_support[other]
         del self._pred_support[other]
@@ -435,14 +544,14 @@ class StructuralIndex:
 
     def remove_if_empty(self, inode: int) -> bool:
         """Delete *inode* if its extent is empty.  Returns whether deleted."""
-        if inode not in self._extent or self._extent[inode]:
+        if inode not in self._extent_arr or len(self._extent_arr[inode]):
             return False
         if self._succ_support[inode] or self._pred_support[inode]:
             raise StructuralIndexError(
                 f"empty inode {inode} still has iedges; supports corrupted"
             )
         label = self._label[inode]
-        del self._extent[inode]
+        del self._extent_arr[inode]
         del self._label[inode]
         del self._succ_support[inode]
         del self._pred_support[inode]
@@ -458,7 +567,7 @@ class StructuralIndex:
         fresh singleton inode is created.  The dnode's edges, if any already
         exist, are accounted for.  Returns the inode id.
         """
-        if dnode in self._inode_of:
+        if self._inode_of.get(dnode) is not None:
             raise StructuralIndexError(f"dnode {dnode} is already covered")
         label = self.graph.label(dnode)
         if inode is None:
@@ -468,7 +577,7 @@ class StructuralIndex:
                 f"dnode {dnode} ({label!r}) cannot join inode labeled "
                 f"{self._label[inode]!r}"
             )
-        self._extent[inode].add(dnode)
+        self._extent_append(inode, dnode)
         self._inode_of[dnode] = inode
         self._attach(dnode)
         self._generation += 1
@@ -487,6 +596,7 @@ class StructuralIndex:
         """
         new_ids: list[int] = []
         new_nodes: set[int] = set()
+        inode_of = self._inode_of
         for block in blocks:
             members = list(block)
             if not members:
@@ -494,12 +604,12 @@ class StructuralIndex:
             inode = self.new_inode(self.graph.label(members[0]))
             new_ids.append(inode)
             for w in members:
-                if w in self._inode_of:
+                if inode_of.get(w) is not None:
                     raise StructuralIndexError(f"dnode {w} is already covered")
                 if self.graph.label(w) != self._label[inode]:
                     raise InvalidIndexError(f"block mixes labels at dnode {w}")
-                self._inode_of[w] = inode
-                self._extent[inode].add(w)
+                inode_of[w] = inode
+                self._extent_append(inode, w)
                 new_nodes.add(w)
         self._account_new_nodes(new_nodes, 1)
         self._generation += 1
@@ -514,17 +624,18 @@ class StructuralIndex:
         (``sign=-1``); both run against identical graph adjacency, so the
         traversal — including the internal-edge dedup — cancels exactly.
         """
+        inode_of = self._inode_of
         for w in new_nodes:
-            wi = self._inode_of[w]
+            wi = inode_of[w]
             for c in self.graph.iter_succ(w):
-                ci = self._inode_of.get(c)
+                ci = inode_of.get(c)
                 if ci is not None:
                     self._bump(self._succ_support[wi], ci, sign)
                     self._bump(self._pred_support[ci], wi, sign)
             for p in self.graph.iter_pred(w):
                 if p in new_nodes or p == w:
                     continue  # internal edges were counted from the succ side
-                pi = self._inode_of.get(p)
+                pi = inode_of.get(p)
                 if pi is not None:
                     self._bump(self._succ_support[pi], wi, sign)
                     self._bump(self._pred_support[wi], pi, sign)
@@ -537,7 +648,7 @@ class StructuralIndex:
         """
         inode = self.inode_of(dnode)
         self._detach(dnode)
-        self._extent[inode].discard(dnode)
+        self._extent_swap_remove(inode, dnode)
         del self._inode_of[dnode]
         self._generation += 1
         if self._journal is not None:
@@ -574,42 +685,90 @@ class StructuralIndex:
 
     def rebuild_iedges(self) -> None:
         """Recompute all support counters from the partition (O(n + m))."""
-        for inode in self._extent:
+        for inode in self._extent_arr:
             self._succ_support[inode] = {}
             self._pred_support[inode] = {}
-        for source, target in self.graph.edges():
-            si = self._inode_of[source]
-            ti = self._inode_of[target]
-            self._bump(self._succ_support[si], ti, 1)
-            self._bump(self._pred_support[ti], si, 1)
+        inode_of = self._inode_of
+        succ_support = self._succ_support
+        pred_support = self._pred_support
+        graph = self.graph
+        oid_at = getattr(graph, "_oid_at", None)
+        if oid_at is not None:
+            # slab fast path: walk the successor slabs in slot order and
+            # read the paged map's pages directly — every oid seen here
+            # is live, so the absence checks of ``get`` can't fire
+            pages = inode_of._pages
+            succ_slabs = graph._succ_slabs
+            for slot in range(len(oid_at)):
+                source = oid_at[slot]
+                if source < 0:
+                    continue
+                targets = succ_slabs.segment(slot)
+                if not targets:
+                    continue
+                si = pages[source >> PAGE_BITS][source & PAGE_MASK]
+                ssup = succ_support[si]
+                for target in targets:
+                    ti = pages[target >> PAGE_BITS][target & PAGE_MASK]
+                    ssup[ti] = ssup.get(ti, 0) + 1
+                    psup = pred_support[ti]
+                    psup[si] = psup.get(si, 0) + 1
+        else:
+            for source, target in graph.edges():
+                si = inode_of[source]
+                ti = inode_of[target]
+                self._bump(succ_support[si], ti, 1)
+                self._bump(pred_support[ti], si, 1)
         self._generation += 1
 
     def partition(self) -> list[frozenset[int]]:
         """The partition as a list of frozen extents (testing helper)."""
-        return [frozenset(extent) for extent in self._extent.values()]
+        return [frozenset(arr) for arr in self._extent_arr.values()]
 
     def as_blocks(self) -> set[frozenset[int]]:
         """The partition as a set of frozen extents (order-insensitive)."""
-        return {frozenset(extent) for extent in self._extent.values()}
+        return {frozenset(arr) for arr in self._extent_arr.values()}
 
     def copy(self) -> "StructuralIndex":
         """An independent copy sharing the same graph object."""
         clone = StructuralIndex(self.graph)
-        clone._inode_of = dict(self._inode_of)
-        clone._extent = {i: set(e) for i, e in self._extent.items()}
+        clone._inode_of = self._inode_of.copy()
+        clone._pos_of = self._pos_of.copy()
+        clone._extent_arr = {i: array("q", a) for i, a in self._extent_arr.items()}
         clone._label = dict(self._label)
         clone._succ_support = {i: dict(s) for i, s in self._succ_support.items()}
         clone._pred_support = {i: dict(p) for i, p in self._pred_support.items()}
         clone._next_id = self._next_id
         return clone
 
+    def approx_bytes(self) -> int:
+        """Approximate resident bytes of the index's storage.
+
+        O(#inodes + #pages), cheap enough to publish as a gauge on every
+        commit.  Support-table entries are estimated at a flat 56 bytes
+        (dict slot + boxed key and count).
+        """
+        total = self._inode_of.approx_bytes() + self._pos_of.approx_bytes()
+        total += sys.getsizeof(self._extent_arr) + sys.getsizeof(self._label)
+        total += 64 * len(self._label)
+        for arr in self._extent_arr.values():
+            total += sys.getsizeof(arr) + 64
+        for table in (self._succ_support, self._pred_support):
+            total += sys.getsizeof(table)
+            for inner in table.values():
+                total += sys.getsizeof(inner) + 56 * len(inner) + 64
+        return total
+
     def check_invariants(self) -> None:
         """Assert partition/iedge consistency against the from-scratch oracle."""
         covered: set[int] = set()
-        for inode, extent in self._extent.items():
-            assert extent, f"inode {inode} has an empty extent"
-            for w in extent:
+        for inode, arr in self._extent_arr.items():
+            assert len(arr), f"inode {inode} has an empty extent"
+            extent = set(arr)
+            assert len(extent) == len(arr), f"extent of inode {inode} has duplicates"
+            for pos, w in enumerate(arr):
                 assert self._inode_of.get(w) == inode, f"mapping broken for dnode {w}"
+                assert self._pos_of.get(w) == pos, f"position broken for dnode {w}"
                 assert self.graph.label(w) == self._label[inode], (
                     f"label mismatch in inode {inode}"
                 )
@@ -617,19 +776,19 @@ class StructuralIndex:
             covered |= extent
         assert covered == set(self.graph.nodes()), "partition does not cover the graph"
 
-        oracle: dict[int, dict[int, int]] = {i: {} for i in self._extent}
+        oracle: dict[int, dict[int, int]] = {i: {} for i in self._extent_arr}
         for source, target in self.graph.edges():
             self._bump(oracle[self._inode_of[source]], self._inode_of[target], 1)
-        for inode in self._extent:
+        for inode in self._extent_arr:
             assert self._succ_support[inode] == oracle[inode], (
                 f"succ supports of inode {inode} drifted: "
                 f"{self._succ_support[inode]} != {oracle[inode]}"
             )
-        pred_oracle: dict[int, dict[int, int]] = {i: {} for i in self._extent}
+        pred_oracle: dict[int, dict[int, int]] = {i: {} for i in self._extent_arr}
         for source, targets in oracle.items():
             for target, count in targets.items():
                 self._bump(pred_oracle[target], source, count)
-        for inode in self._extent:
+        for inode in self._extent_arr:
             assert self._pred_support[inode] == pred_oracle[inode], (
                 f"pred supports of inode {inode} drifted"
             )
@@ -657,30 +816,30 @@ class StructuralIndex:
             dnode, from_inode = payload
             to_inode = self._inode_of[dnode]
             self._detach(dnode)
-            self._extent[to_inode].discard(dnode)
-            self._extent[from_inode].add(dnode)
+            self._extent_swap_remove(to_inode, dnode)
             self._inode_of[dnode] = from_inode
+            self._extent_append(from_inode, dnode)
             self._attach(dnode)
         elif op == "dnode_covered":
             dnode, inode = payload
             self._detach(dnode)
-            self._extent[inode].discard(dnode)
+            self._extent_swap_remove(inode, dnode)
             del self._inode_of[dnode]
         elif op == "dnode_dropped":
             dnode, inode = payload
-            self._extent[inode].add(dnode)
+            self._extent_append(inode, dnode)
             self._inode_of[dnode] = inode
             self._attach(dnode)
         elif op == "inode_created":
             (inode,) = payload
-            del self._extent[inode]
+            del self._extent_arr[inode]
             del self._label[inode]
             del self._succ_support[inode]
             del self._pred_support[inode]
             self._next_id = inode
         elif op == "inode_destroyed":
             inode, label = payload
-            self._extent[inode] = set()
+            self._extent_arr[inode] = array("q")
             self._label[inode] = label
             self._succ_support[inode] = {}
             self._pred_support[inode] = {}
@@ -696,15 +855,27 @@ class StructuralIndex:
                 surv_pred,
             ) = payload
             # Resurrect other wholesale and give survivor its old tables.
-            self._extent[other] = set(other_extent)
+            # The extent arrays are rebuilt (positions may have shifted
+            # since the record was written; set-membership is the
+            # observable state, array order is not).
+            other_members = set(other_extent)
+            surv_arr = self._extent_arr[survivor]
+            new_surv = array("q", (w for w in surv_arr if w not in other_members))
+            self._extent_arr[survivor] = new_surv
+            pos_of = self._pos_of
+            inode_of = self._inode_of
+            for pos, w in enumerate(new_surv):
+                pos_of[w] = pos
+            other_arr = array("q", sorted(other_members))
+            self._extent_arr[other] = other_arr
+            for pos, w in enumerate(other_arr):
+                pos_of[w] = pos
+                inode_of[w] = other
             self._label[other] = other_label
             self._succ_support[other] = dict(other_succ)
             self._pred_support[other] = dict(other_pred)
             self._succ_support[survivor] = dict(surv_succ)
             self._pred_support[survivor] = dict(surv_pred)
-            self._extent[survivor] -= other_extent
-            for w in other_extent:
-                self._inode_of[w] = other
             # Third parties saw `other` popped and `survivor` bumped;
             # reverse both using other's old tables as the ledger.
             for target, count in other_succ.items():
@@ -724,7 +895,7 @@ class StructuralIndex:
             members = set(new_nodes)
             self._account_new_nodes(members, -1)
             for w in members:
-                self._extent[self._inode_of[w]].discard(w)
+                self._extent_swap_remove(self._inode_of[w], w)
                 del self._inode_of[w]
         else:  # pragma: no cover - guards against journal format drift
             raise ValueError(f"unknown index journal op {op!r}")
@@ -735,29 +906,31 @@ class StructuralIndex:
 
     def _detach(self, dnode: int) -> None:
         """Remove all of *dnode*'s dedges from the support counters."""
-        inode = self._inode_of[dnode]
+        inode_of = self._inode_of
+        inode = inode_of[dnode]
         for p in self.graph.iter_pred(dnode):
-            pi = self._inode_of[p]
+            pi = inode_of[p]
             self._bump(self._succ_support[pi], inode, -1)
             self._bump(self._pred_support[inode], pi, -1)
         for c in self.graph.iter_succ(dnode):
             if c == dnode:
                 continue  # the self-loop was handled in the pred pass
-            ci = self._inode_of[c]
+            ci = inode_of[c]
             self._bump(self._succ_support[inode], ci, -1)
             self._bump(self._pred_support[ci], inode, -1)
 
     def _attach(self, dnode: int) -> None:
         """Add all of *dnode*'s dedges to the support counters."""
-        inode = self._inode_of[dnode]
+        inode_of = self._inode_of
+        inode = inode_of[dnode]
         for p in self.graph.iter_pred(dnode):
-            pi = self._inode_of[p]
+            pi = inode_of[p]
             self._bump(self._succ_support[pi], inode, 1)
             self._bump(self._pred_support[inode], pi, 1)
         for c in self.graph.iter_succ(dnode):
             if c == dnode:
                 continue
-            ci = self._inode_of[c]
+            ci = inode_of[c]
             self._bump(self._succ_support[inode], ci, 1)
             self._bump(self._pred_support[ci], inode, 1)
 
@@ -773,5 +946,5 @@ class StructuralIndex:
             counter[key] = new
 
     def _require(self, inode: int) -> None:
-        if inode not in self._extent:
+        if inode not in self._extent_arr:
             raise StructuralIndexError(f"inode {inode} does not exist")

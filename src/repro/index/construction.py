@@ -25,6 +25,7 @@ Two construction styles are provided:
 from __future__ import annotations
 
 from collections import deque
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -41,9 +42,30 @@ ClassMap = dict[int, int]
 
 
 def label_partition(graph: DataGraph) -> ClassMap:
-    """Partition the dnodes by label: the A(0)-index (Definition 4)."""
-    ids: dict[str, int] = {}
+    """Partition the dnodes by label: the A(0)-index (Definition 4).
+
+    Class ids are dense ints in first-encounter order over ascending
+    oids.  The slab fast path interns by the graph's int label ids
+    straight off the slot arrays; first-encounter order of label ids
+    equals that of label strings (both follow node order), so the two
+    paths produce identical class maps — the cross-core fingerprint
+    contract of the A/B benches.
+    """
     class_of: ClassMap = {}
+    oid_at = getattr(graph, "_oid_at", None)
+    if oid_at is not None:
+        label_ids: dict[int, int] = {}
+        label_at = graph._label_at
+        for slot in range(len(oid_at)):
+            oid = oid_at[slot]
+            if oid < 0:
+                continue
+            cls = label_ids.get(label_at[slot])
+            if cls is None:
+                cls = label_ids[label_at[slot]] = len(label_ids)
+            class_of[oid] = cls
+        return class_of
+    ids: dict[str, int] = {}
     for node in graph.nodes():
         label = graph.label(node)
         if label not in ids:
@@ -52,7 +74,11 @@ def label_partition(graph: DataGraph) -> ClassMap:
     return class_of
 
 
-def refine_by_signature(graph: DataGraph, class_of: ClassMap) -> ClassMap:
+def refine_by_signature(
+    graph: DataGraph,
+    class_of: ClassMap,
+    items: Optional[list[tuple[int, Sequence[int]]]] = None,
+) -> ClassMap:
     """One refinement round: split classes by parents' classes.
 
     Returns a new class map where two dnodes share a class iff they shared
@@ -68,14 +94,48 @@ def refine_by_signature(graph: DataGraph, class_of: ClassMap) -> ClassMap:
     class" can never intern to different ids.  Class ids are dense
     non-negative ints, so ``-1`` and bare-int keys cannot collide with
     anything else.
+
+    On the slab core the predecessor slab is read **in place** through
+    its offset/length headers — no per-node materialisation at all, and
+    the 0/1-parent nodes that dominate document data never touch the
+    slab beyond one array read.  Dict-backed graphs (the differential
+    reference) walk their ``_pred`` table; callers iterating to a
+    fixpoint can pass those materialised *items* once instead of paying
+    the dict walk every round (:func:`bisimulation_partition`).
     """
     ids: dict[tuple[int, object], int] = {}
     refined: ClassMap = {}
-    pred = graph._pred
-    for node in graph.nodes():
-        parents = pred[node]
+    pred_slabs = getattr(graph, "_pred_slabs", None)
+    if items is None and pred_slabs is not None:
+        oid_at = graph._oid_at
+        offsets = pred_slabs._off
+        lengths = pred_slabs._len
+        data = pred_slabs._data
+        for slot in range(len(oid_at)):
+            node = oid_at[slot]
+            if node < 0:
+                continue
+            count = lengths[slot]
+            if count == 0:
+                pkey: object = -1
+            elif count == 1:
+                pkey = class_of[data[offsets[slot]]]
+            else:
+                start = offsets[slot]
+                classes = {class_of[p] for p in data[start : start + count]}
+                pkey = classes.pop() if len(classes) == 1 else frozenset(classes)
+            signature = (class_of[node], pkey)
+            cls = ids.get(signature)
+            if cls is None:
+                cls = ids[signature] = len(ids)
+            refined[node] = cls
+        return refined
+    if items is None:
+        pred = graph._pred
+        items = ((node, pred[node]) for node in graph.nodes())
+    for node, parents in items:
         if not parents:
-            pkey: object = -1
+            pkey = -1
         elif len(parents) == 1:
             (parent,) = parents
             pkey = class_of[parent]
@@ -102,8 +162,15 @@ def bisimulation_partition(graph: DataGraph, max_rounds: Optional[int] = None) -
         class_of = label_partition(graph)
         count = len(set(class_of.values()))
         rounds = 0
+        # the slab core's refine path reads the pred slab in place each
+        # round; for dict-backed graphs, materialise the (node, parents)
+        # pairs once — the adjacency does not change between rounds
+        items = None
+        if not hasattr(graph, "_pred_slabs"):
+            pred = graph._pred
+            items = [(node, pred[node]) for node in graph.nodes()]
         while True:
-            refined = refine_by_signature(graph, class_of)
+            refined = refine_by_signature(graph, class_of, items)
             new_count = len(set(refined.values()))
             rounds += 1
             if new_count == count:

@@ -42,7 +42,11 @@ class OneIndex(StructuralIndex):
         O(m · depth)) or ``"worklist"`` (Paige–Tarjan compound blocks).
         """
         if method == "signature":
-            return cls.from_partition(graph, blocks_of(bisimulation_partition(graph)))
+            # the refinement loop's output is a partition by construction,
+            # so the validating public entry point is skipped
+            return cls._from_partition_trusted(
+                graph, blocks_of(bisimulation_partition(graph))
+            )
         if method == "worklist":
             plain = stabilize_from_labels(graph)
             return cls._adopt(plain)
@@ -52,12 +56,7 @@ class OneIndex(StructuralIndex):
     def _adopt(cls, index: StructuralIndex) -> "OneIndex":
         """Rebrand a plain :class:`StructuralIndex` as a :class:`OneIndex`."""
         adopted = cls(index.graph)
-        adopted._inode_of = index._inode_of
-        adopted._extent = index._extent
-        adopted._label = index._label
-        adopted._succ_support = index._succ_support
-        adopted._pred_support = index._pred_support
-        adopted._next_id = index._next_id
+        adopted._adopt_from(index)
         return adopted
 
     def copy(self) -> "OneIndex":

@@ -5,6 +5,12 @@ dnode oids per inode, with the inode ids preserved); iedge supports are
 recomputed on load — they are derived state.  The A(k) family format adds
 the per-level partitions and the refinement-tree parent links.
 
+Since wire v2 every extent is stored **delta-encoded**: the sorted member
+oids become ``[first, gap, gap, ...]`` (see :mod:`repro.core.codec`),
+which collapses the dominant payload cost — dense oid runs — to one or
+two JSON characters per member.  v0/v1 payloads (absolute oids) load
+unchanged.
+
 Typical use: persist the graph (:mod:`repro.graph.serialize`) and its
 maintained index together, reload both, resume maintenance::
 
@@ -17,8 +23,10 @@ maintained index together, reload both, resume maintenance::
 from __future__ import annotations
 
 import json
+from array import array
 from typing import Any, TextIO, Type, TypeVar
 
+from repro.core.codec import delta_decode, delta_encode
 from repro.exceptions import InvalidIndexError
 from repro.graph.datagraph import DataGraph
 from repro.graph.serialize import check_format_version
@@ -31,7 +39,21 @@ IndexT = TypeVar("IndexT", bound=StructuralIndex)
 #: Readers accept a missing version as v0 (the identical pre-versioned
 #: layout) and reject newer versions with :class:`InvalidIndexError` —
 #: checkpoints must stay evolvable (see :mod:`repro.store.checkpoint`).
-INDEX_FORMAT_VERSION = 1
+#: v2 delta-encodes extents; v0/v1 stored absolute sorted oids.
+INDEX_FORMAT_VERSION = 2
+
+
+def _decode_extent(raw: Any, version: int, inode_id: Any) -> list:
+    """Materialise one wire extent: delta-decoded since v2, absolute before."""
+    if version < 2:
+        return raw
+    try:
+        return delta_decode(raw)
+    except TypeError as exc:
+        raise InvalidIndexError(
+            f"malformed extent of inode {inode_id}: expected a delta-encoded "
+            f"int list, got {raw!r}"
+        ) from exc
 
 
 def index_to_dict(index: StructuralIndex) -> dict[str, Any]:
@@ -39,7 +61,8 @@ def index_to_dict(index: StructuralIndex) -> dict[str, Any]:
     return {
         "format_version": INDEX_FORMAT_VERSION,
         "inodes": [
-            [inode, sorted(index.extent(inode))] for inode in sorted(index.inodes())
+            [inode, delta_encode(sorted(index.extent(inode)))]
+            for inode in sorted(index.inodes())
         ],
         "next_id": index._next_id,
     }
@@ -51,13 +74,14 @@ def index_from_dict(
     cls: Type[IndexT] = StructuralIndex,  # type: ignore[assignment]
 ) -> IndexT:
     """Rebuild an index over *graph* from :func:`index_to_dict` output."""
-    check_format_version(data, INDEX_FORMAT_VERSION, InvalidIndexError)
+    version = check_format_version(data, INDEX_FORMAT_VERSION, InvalidIndexError)
     try:
         inodes = data["inodes"]
         next_id = data["next_id"]
     except (KeyError, TypeError) as exc:
         raise InvalidIndexError(f"malformed index payload: {exc!r}") from exc
     index = cls(graph)
+    inode_of = index._inode_of
     for entry in inodes:
         try:
             inode_id, extent = entry
@@ -65,40 +89,43 @@ def index_from_dict(
             raise InvalidIndexError(
                 f"malformed inode entry {entry!r}: expected [id, extent]"
             ) from exc
+        extent = _decode_extent(extent, version, inode_id)
         if not extent:
             raise InvalidIndexError(f"inode {inode_id} has an empty extent")
-        try:
-            if inode_id in index._extent:
-                raise InvalidIndexError(f"inode id {inode_id} appears twice")
-        except TypeError as exc:
-            raise InvalidIndexError(f"inode id {inode_id!r} is not hashable") from exc
+        # Inode ids feed the PagedIntMap partition table, whose values
+        # must be non-negative ints (hashability alone no longer cuts it).
+        if not isinstance(inode_id, int) or isinstance(inode_id, bool) or inode_id < 0:
+            raise InvalidIndexError(
+                f"inode id {inode_id!r} is not a non-negative int"
+            )
+        if inode_id in index._extent_arr:
+            raise InvalidIndexError(f"inode id {inode_id} appears twice")
         for dnode in extent:
             if not graph.has_node(dnode):
                 raise InvalidIndexError(
                     f"inode {inode_id} references dnode {dnode!r} not in the graph"
                 )
         label = graph.label(extent[0])
-        try:
-            index._extent[inode_id] = set()
-        except TypeError as exc:
-            raise InvalidIndexError(f"inode id {inode_id!r} is not hashable") from exc
+        index._extent_arr[inode_id] = arr = array("q")
         index._label[inode_id] = label
         index._succ_support[inode_id] = {}
         index._pred_support[inode_id] = {}
+        pos_of = index._pos_of
         for dnode in extent:
             if graph.label(dnode) != label:
                 raise InvalidIndexError(f"inode {inode_id} mixes labels")
-            if dnode in index._inode_of:
+            if inode_of.get(dnode) is not None:
                 raise InvalidIndexError(f"dnode {dnode} in two inodes")
-            index._inode_of[dnode] = inode_id
-            index._extent[inode_id].add(dnode)
-    missing = set(graph.nodes()) - set(index._inode_of)
+            inode_of[dnode] = inode_id
+            pos_of[dnode] = len(arr)
+            arr.append(dnode)
+    missing = set(graph.nodes()) - set(inode_of)
     if missing:
         raise InvalidIndexError(
             f"extents do not partition the graph: missing dnodes {sorted(missing)[:5]}"
         )
     try:
-        index._next_id = max(next_id, max(index._extent, default=-1) + 1)
+        index._next_id = max(next_id, max(index._extent_arr, default=-1) + 1)
     except TypeError as exc:
         raise InvalidIndexError(f"malformed next_id {next_id!r}") from exc
     index.rebuild_iedges()
@@ -112,7 +139,8 @@ def family_to_dict(family: AkIndexFamily) -> dict[str, Any]:
         levels.append(
             {
                 "extents": [
-                    [token, sorted(extent)] for token, extent in sorted(level.extents.items())
+                    [token, delta_encode(sorted(extent))]
+                    for token, extent in sorted(level.extents.items())
                 ],
                 "parent": sorted(level.parent.items()) if level_no > 0 else [],
                 "next_token": level.next_token,
@@ -123,7 +151,7 @@ def family_to_dict(family: AkIndexFamily) -> dict[str, Any]:
 
 def family_from_dict(graph: DataGraph, data: dict[str, Any]) -> AkIndexFamily:
     """Rebuild an A(k) family over *graph*; validates the invariants."""
-    check_format_version(data, INDEX_FORMAT_VERSION, InvalidIndexError)
+    version = check_format_version(data, INDEX_FORMAT_VERSION, InvalidIndexError)
     try:
         k = data["k"]
         levels = data["levels"]
@@ -139,6 +167,7 @@ def family_from_dict(graph: DataGraph, data: dict[str, Any]) -> AkIndexFamily:
                     raise InvalidIndexError(
                         f"token {token} appears twice at level {level_no}"
                     )
+                extent = _decode_extent(extent, version, token)
                 level.extents[token] = set(extent)
                 for dnode in extent:
                     level.class_of[dnode] = token

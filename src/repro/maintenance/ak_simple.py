@@ -71,13 +71,7 @@ class SimpleAkMaintainer:
         """Rebuild the index to the minimum A(k) from scratch."""
         classes = ak_class_maps(self.graph, self.k)[self.k]
         fresh = StructuralIndex.from_partition(self.graph, blocks_of(classes))
-        index = self.index
-        index._inode_of = fresh._inode_of
-        index._extent = fresh._extent
-        index._label = fresh._label
-        index._succ_support = fresh._succ_support
-        index._pred_support = fresh._pred_support
-        index._next_id = fresh._next_id
+        self.index._adopt_from(fresh)
 
     #: guarded ``degrade`` fallback; the rebuild is the same operation the
     #: 5 % reconstruction policy triggers.

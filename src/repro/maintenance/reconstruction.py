@@ -114,13 +114,7 @@ def reconstruct_from_scratch(index: StructuralIndex) -> None:
         for dnode, cls in classes.items():
             target.setdefault(cls, []).append(dnode)
         fresh = StructuralIndex.from_partition(index.graph, target.values())
-        index._inode_of = fresh._inode_of
-        index._extent = fresh._extent
-        index._label = fresh._label
-        index._succ_support = fresh._succ_support
-        index._pred_support = fresh._pred_support
-        index._next_id = fresh._next_id
-        index._generation += 1  # the swap bypasses the mutators
+        index._adopt_from(fresh)
         span.set(after=index.num_inodes)
     obs.add("recon.from_scratch")
 

@@ -459,6 +459,18 @@ class IndexService:
         self.stats.versions_published += 1
         obs.observe("service.queries_per_version", retired)
         obs.add("service.versions")
+        obs.set("graph.bytes", self._graph_bytes())
+        obs.set("index.bytes", self._index_bytes())
+
+    def _graph_bytes(self) -> int:
+        """Approximate resident bytes of the live graph (O(#pages))."""
+        return self.graph.approx_bytes()
+
+    def _index_bytes(self) -> int:
+        """Approximate resident bytes of the live index or family."""
+        if self.config.family == "one":
+            return self.guarded.index.approx_bytes()
+        return self.guarded.family.approx_bytes()
 
     # ------------------------------------------------------------------
     # Background writer
@@ -543,6 +555,8 @@ class IndexService:
             "batches": self.stats.batches,
             "batch_failures": self.stats.batch_failures,
             "versions_published": self.stats.versions_published,
+            "graph_bytes": self._graph_bytes(),
+            "index_bytes": self._index_bytes(),
         }
 
     def _writer_loop(self) -> None:

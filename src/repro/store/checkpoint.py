@@ -6,7 +6,7 @@ Hellings et al.'s external-memory bisimulation work, transplanted to the
 incremental setting.  A checkpoint file is one JSON document::
 
     {"crc": 123..., "data": {
-        "format_version": 1,
+        "format_version": 2,
         "kind": "one" | "ak",
         "k": 0,
         "wal_lsn": 42,         # every WAL record <= this is superseded
@@ -53,8 +53,11 @@ from repro.obs import current as current_obs
 from repro.resilience.faults import FaultInjector
 from repro.store.wal import WriteAheadLog, _fsync_dir
 
-#: current checkpoint format version; bump on structural changes
-CHECKPOINT_FORMAT_VERSION = 1
+#: current checkpoint format version; bump on structural changes.
+#: v2 embeds v2 graph/index payloads (label table, delta-encoded
+#: extents).  The embedded dicts carry their own ``format_version`` and
+#: the nested loaders branch on it, so v1 checkpoints still materialize.
+CHECKPOINT_FORMAT_VERSION = 2
 
 CHECKPOINT_PREFIX = "checkpoint-"
 CHECKPOINT_SUFFIX = ".json"

@@ -51,6 +51,41 @@ def random_dag(
     return graph
 
 
+def document_tree(
+    rng: random.Random,
+    num_nodes: int,
+    record_labels: tuple[str, ...] = ("item", "person", "auction"),
+    field_labels: tuple[str, ...] = ("name", "price", "date", "text"),
+) -> DataGraph:
+    """A record-oriented document: wide, shallow, few distinct label paths.
+
+    Mimics the shape of real XML corpora (XMark, IMDB): many records
+    under the root, each with a schema-bounded set of fields and an
+    optional nested ``category``/``name`` group.  The number of distinct
+    root-to-node label paths — and hence the 1-index size — is O(schema),
+    independent of *num_nodes*, which is what makes this the right
+    workload for memory benchmarks: index bytes measure per-node
+    bookkeeping (class maps, extents), not partition fragmentation.
+    """
+    graph = DataGraph()
+    root = graph.add_root()
+    while graph.num_nodes < num_nodes:
+        record = graph.add_node(rng.choice(record_labels))
+        graph.add_edge(root, record)
+        for field in field_labels:
+            if graph.num_nodes >= num_nodes:
+                break
+            if rng.random() < 0.8:
+                graph.add_edge(record, graph.add_node(field))
+        for _ in range(rng.randrange(3)):
+            if graph.num_nodes + 1 >= num_nodes:
+                break
+            category = graph.add_node("category")
+            graph.add_edge(record, category)
+            graph.add_edge(category, graph.add_node("name"))
+    return graph
+
+
 def random_cyclic(
     rng: random.Random,
     num_nodes: int,

@@ -1,0 +1,184 @@
+"""Unit tests for the paged int→int map behind the slab core."""
+
+import random
+
+import pytest
+
+from repro.core.intmap import PAGE_SIZE, PagedIntMap
+
+
+class TestBasicMapping:
+    def test_set_get_roundtrip(self):
+        m = PagedIntMap()
+        m[3] = 7
+        m[4096] = 0
+        assert m[3] == 7
+        assert m[4096] == 0
+        assert len(m) == 2
+
+    def test_get_default_for_absent(self):
+        m = PagedIntMap()
+        assert m.get(5) is None
+        assert m.get(5, -1) == -1
+        m[5] = 1
+        assert m.get(5, -1) == 1
+
+    def test_getitem_raises_for_absent(self):
+        m = PagedIntMap()
+        with pytest.raises(KeyError):
+            m[99]
+
+    def test_contains(self):
+        m = PagedIntMap()
+        m[10] = 0
+        assert 10 in m
+        assert 11 not in m
+
+    def test_non_int_keys_are_absent(self):
+        # dict semantics: a str key was never found among int oids
+        m = PagedIntMap()
+        m[0] = 5
+        assert "0" not in m
+        assert m.get("x") is None
+        assert m.get(2.5) is None
+
+    def test_bool_keys_coerce_to_int(self):
+        m = PagedIntMap()
+        m[1] = 9
+        assert m.get(True) == 9
+        assert True in m
+
+    def test_negative_keys_work(self):
+        m = PagedIntMap()
+        m[-1] = 4
+        m[-PAGE_SIZE - 3] = 8
+        assert m[-1] == 4
+        assert m[-PAGE_SIZE - 3] == 8
+        assert len(m) == 2
+
+    def test_negative_values_rejected(self):
+        m = PagedIntMap()
+        with pytest.raises(ValueError):
+            m[0] = -1
+
+    def test_overwrite_does_not_grow_count(self):
+        m = PagedIntMap()
+        m[7] = 1
+        m[7] = 2
+        assert len(m) == 1
+        assert m[7] == 2
+
+
+class TestDeletion:
+    def test_delete_and_pop(self):
+        m = PagedIntMap()
+        m[1] = 10
+        m[2] = 20
+        del m[1]
+        assert 1 not in m
+        assert len(m) == 1
+        assert m.pop(2) == 20
+        assert len(m) == 0
+
+    def test_delete_absent_raises(self):
+        m = PagedIntMap()
+        with pytest.raises(KeyError):
+            del m[3]
+        m[3] = 1
+        del m[3]
+        with pytest.raises(KeyError):
+            del m[3]
+
+    def test_pop_default(self):
+        m = PagedIntMap()
+        assert m.pop(9, 42) == 42
+        with pytest.raises(KeyError):
+            m.pop(9)
+
+    def test_clear(self):
+        m = PagedIntMap()
+        for i in range(100):
+            m[i * 37] = i
+        m.clear()
+        assert len(m) == 0
+        assert 0 not in m
+
+
+class TestIteration:
+    def test_ascending_key_order_across_pages(self):
+        m = PagedIntMap()
+        keys = [5, 3, PAGE_SIZE + 1, 2 * PAGE_SIZE, 0]
+        for i, k in enumerate(keys):
+            m[k] = i
+        assert list(m) == sorted(keys)
+        assert list(m.keys()) == sorted(keys)
+
+    def test_items_match_mapping(self):
+        m = PagedIntMap()
+        expected = {}
+        rng = random.Random(7)
+        for _ in range(500):
+            k = rng.randrange(0, 10 * PAGE_SIZE)
+            v = rng.randrange(0, 1 << 40)
+            m[k] = v
+            expected[k] = v
+        assert dict(m.items()) == expected
+        assert len(m) == len(expected)
+
+
+class TestBulkHelpers:
+    def test_set_all(self):
+        m = PagedIntMap()
+        keys = [1, 2, PAGE_SIZE + 5, 3 * PAGE_SIZE]
+        m.set_all(keys, 17)
+        assert len(m) == len(keys)
+        for k in keys:
+            assert m[k] == 17
+
+    def test_set_all_rejects_negative_value(self):
+        m = PagedIntMap()
+        with pytest.raises(ValueError):
+            m.set_all([1, 2], -3)
+        assert len(m) == 0
+
+    def test_set_enumerated(self):
+        m = PagedIntMap()
+        keys = [9, 4, PAGE_SIZE + 2, 100]
+        m.set_enumerated(keys)
+        assert len(m) == len(keys)
+        for pos, k in enumerate(keys):
+            assert m[k] == pos
+
+    def test_bulk_matches_item_by_item(self):
+        rng = random.Random(3)
+        keys = rng.sample(range(20 * PAGE_SIZE), 2000)
+        bulk = PagedIntMap()
+        bulk.set_enumerated(keys)
+        slow = PagedIntMap()
+        for pos, k in enumerate(keys):
+            slow[k] = pos
+        assert dict(bulk.items()) == dict(slow.items())
+        assert len(bulk) == len(slow)
+
+
+class TestCopyAndSizing:
+    def test_copy_is_independent(self):
+        m = PagedIntMap()
+        m[1] = 10
+        clone = m.copy()
+        clone[1] = 99
+        clone[2] = 5
+        assert m[1] == 10
+        assert 2 not in m
+        assert clone[1] == 99 and clone[2] == 5
+
+    def test_approx_bytes_tracks_pages(self):
+        m = PagedIntMap()
+        empty = m.approx_bytes()
+        m[0] = 1
+        one_page = m.approx_bytes()
+        m[50 * PAGE_SIZE] = 1
+        two_pages = m.approx_bytes()
+        assert empty < one_page < two_pages
+        # a page is 1024 * 8 bytes of payload; the estimate must cover it
+        assert one_page - empty >= 8 * PAGE_SIZE

@@ -1,0 +1,71 @@
+"""Unit tests for label interning and the v2 delta extent codec."""
+
+import random
+
+import pytest
+
+from repro.core.codec import delta_decode, delta_encode
+from repro.core.labels import LabelInterner
+
+
+class TestLabelInterner:
+    def test_intern_assigns_dense_ids_in_first_sight_order(self):
+        t = LabelInterner()
+        assert t.intern("site") == 0
+        assert t.intern("item") == 1
+        assert t.intern("site") == 0
+        assert len(t) == 2
+
+    def test_two_way_roundtrip(self):
+        t = LabelInterner()
+        names = ["a", "b", "c"]
+        ids = [t.intern(n) for n in names]
+        for name, label_id in zip(names, ids):
+            assert t.name_of(label_id) == name
+            assert t.id_of(name) == label_id
+
+    def test_id_of_unknown_raises(self):
+        t = LabelInterner()
+        with pytest.raises(KeyError):
+            t.id_of("never-seen")
+
+    def test_contains(self):
+        t = LabelInterner()
+        t.intern("x")
+        assert "x" in t
+        assert "y" not in t
+
+    def test_copy_is_independent(self):
+        t = LabelInterner()
+        t.intern("a")
+        clone = t.copy()
+        clone.intern("b")
+        assert "b" not in t
+        assert clone.id_of("a") == 0 and clone.id_of("b") == 1
+
+    def test_approx_bytes_positive(self):
+        t = LabelInterner()
+        empty = t.approx_bytes()
+        t.intern("some-label")
+        assert t.approx_bytes() > empty
+
+
+class TestDeltaCodec:
+    def test_roundtrip_simple(self):
+        values = [3, 4, 5, 9, 100]
+        assert delta_decode(delta_encode(values)) == values
+
+    def test_encode_shape(self):
+        # [v0, v1-v0, v2-v1, ...]: dense runs become streams of 1s
+        assert delta_encode([7, 8, 9, 10]) == [7, 1, 1, 1]
+        assert delta_encode([]) == []
+        assert delta_encode([0]) == [0]
+
+    def test_roundtrip_randomized(self):
+        rng = random.Random(23)
+        for _ in range(50):
+            values = sorted(rng.sample(range(1 << 32), rng.randrange(1, 200)))
+            assert delta_decode(delta_encode(values)) == values
+
+    def test_decode_accepts_any_iterable(self):
+        assert delta_decode(iter([5, 1, 1])) == [5, 6, 7]

@@ -8,6 +8,7 @@ import random
 
 import pytest
 
+from repro.core.codec import delta_decode, delta_encode
 from repro.exceptions import GraphError, InvalidIndexError
 from repro.graph.serialize import (
     dump_graph,
@@ -122,9 +123,11 @@ class TestIndexRoundtrip:
     def test_rejects_mixed_labels(self, figure2_graph):
         index = OneIndex.build(figure2_graph)
         data = index_to_dict(index)
-        # merge two different-label inodes in the payload
+        # merge two different-label inodes in the payload (extents travel
+        # delta-encoded in v2, so splice them in decoded oid space)
         (a_id, a_extent), (b_id, b_extent) = data["inodes"][0], data["inodes"][1]
-        data["inodes"] = [[a_id, a_extent + b_extent]] + data["inodes"][2:]
+        merged = sorted(delta_decode(a_extent) + delta_decode(b_extent))
+        data["inodes"] = [[a_id, delta_encode(merged)]] + data["inodes"][2:]
         with pytest.raises(InvalidIndexError):
             index_from_dict(figure2_graph, data)
 
@@ -164,19 +167,21 @@ class TestIndexCorruptPayloads:
             index_from_dict(figure2_graph, payload)
 
     def test_dangling_dnode(self, figure2_graph, payload):
-        payload["inodes"][0][1].append(999)
+        # corrupt in decoded oid space: append an oid the graph lacks
+        extent = delta_decode(payload["inodes"][0][1])
+        payload["inodes"][0][1] = delta_encode(sorted(extent + [999]))
         with pytest.raises(InvalidIndexError, match="not in the graph"):
             index_from_dict(figure2_graph, payload)
 
     def test_dnode_in_two_inodes(self, figure2_graph, payload):
-        shared = payload["inodes"][1][1][0]
+        shared = delta_decode(payload["inodes"][1][1])[0]
         other = payload["inodes"][2]
-        if figure2_graph.label(shared) == figure2_graph.label(other[1][0]):
-            other[1].append(shared)
+        other_extent = delta_decode(other[1])
+        other[1] = delta_encode(sorted(other_extent + [shared]))
+        if figure2_graph.label(shared) == figure2_graph.label(other_extent[0]):
             with pytest.raises(InvalidIndexError, match="two inodes"):
                 index_from_dict(figure2_graph, payload)
         else:
-            other[1].append(shared)
             with pytest.raises(InvalidIndexError):
                 index_from_dict(figure2_graph, payload)
 

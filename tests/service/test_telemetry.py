@@ -33,9 +33,16 @@ def idref_ops(graph, count: int, seed: int = 3) -> list[Update]:
 
 def wait_drained(service, timeout: float = 10.0) -> None:
     deadline = time.monotonic() + timeout
-    while service.queue_depth() > 0 and time.monotonic() < deadline:
+    while time.monotonic() < deadline:
+        if service.queue_depth() == 0:
+            # the writer pops a batch before committing it, so an empty
+            # queue can still have a commit in flight; the writer lock
+            # being free proves the last drained batch has landed
+            with service._writer_lock:
+                if service.queue_depth() == 0:
+                    return
         time.sleep(0.005)
-    assert service.queue_depth() == 0
+    raise AssertionError(f"queue not drained: depth={service.queue_depth()}")
 
 
 class TestTracePropagation:
